@@ -1,0 +1,33 @@
+"""Figure 10 benchmark — hot-region locality percentage.
+
+Paper shape asserted: chunk caching beats query caching at every
+locality percentage; the chunk scheme's CSR does not degrade as locality
+rises while the query scheme suffers from redundant storage (the paper
+measured query-scheme CSR dropping toward 0.42 at Q100).
+"""
+
+from conftest import rows_by
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_fig10(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("fig10", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    table = rows_by(result, "stream", "scheme")
+    for stream in ("Q60", "Q80", "Q100"):
+        chunk = table[(stream, "chunk")]
+        query = table[(stream, "query")]
+        assert chunk["csr"] > query["csr"], stream
+        assert chunk["mean_time_last"] < query["mean_time_last"], stream
+    # Chunk caching exploits rising locality; at Q100 it clearly leads.
+    assert table[("Q100", "chunk")]["csr"] > 0.6
+    assert (
+        table[("Q100", "chunk")]["csr"]
+        - table[("Q100", "query")]["csr"]
+    ) > 0.2

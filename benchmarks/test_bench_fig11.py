@@ -1,0 +1,24 @@
+"""Figure 11 benchmark — effect of cache size (EQPR, chunk caching).
+
+Paper shape asserted: CSR rises and the steady-state execution time
+falls (weakly) monotonically as the cache budget grows.
+"""
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_fig11(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("fig11", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    csr = result.column("csr")
+    times = result.column("mean_time_last")
+    assert all(b >= a - 0.01 for a, b in zip(csr, csr[1:])), csr
+    assert all(b <= a * 1.05 for a, b in zip(times, times[1:])), times
+    # The sweep must actually span a meaningful range.
+    assert csr[-1] - csr[0] > 0.03
+    assert times[0] > times[-1]

@@ -1,0 +1,32 @@
+"""Figure 12 benchmark — effect of the chunk dimension range.
+
+Paper shape asserted: performance as a function of chunk granularity is
+U-shaped — both the finest geometry (too many chunks: per-chunk overhead
+and a larger chunk index) and the coarsest one (boundary waste: whole
+large chunks computed for small queries) are worse than a middle point.
+"""
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_fig12(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("fig12", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Order points by actual granularity (number of base chunks), finest
+    # first: the hierarchy makes the ratio -> chunk-count map non-monotone.
+    points = sorted(
+        result.rows, key=lambda row: row["base_chunks"], reverse=True
+    )
+    times = [row["mean_time"] for row in points]
+    best = min(range(len(times)), key=times.__getitem__)
+    assert 0 < best < len(times) - 1, (
+        f"expected an interior optimum, got index {best} of {times}"
+    )
+    # The endpoints are measurably worse than the optimum.
+    assert times[0] > times[best] * 1.05
+    assert times[-1] > times[best] * 1.05

@@ -1,0 +1,29 @@
+"""Figure 13 benchmark — replacement policies (EQPR, chunk caching).
+
+Paper shape asserted: the benefit-weighted CLOCK policy beats simple
+LRU (approximated by CLOCK, as in the paper) on both CSR and
+steady-state execution time, because expensive highly-aggregated chunks
+are retained.
+"""
+
+from conftest import rows_by
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_fig13(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("fig13", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    table = rows_by(result, "policy")
+    benefit = table[("benefit",)]
+    clock = table[("clock",)]
+    assert benefit["csr"] > clock["csr"]
+    assert benefit["mean_time_last"] < clock["mean_time_last"]
+    # Replacement must actually have churned for the comparison to mean
+    # anything.
+    assert benefit["evictions"] > 0 and clock["evictions"] > 0

@@ -1,0 +1,36 @@
+"""Figure 9 benchmark — chunk vs query caching under locality types.
+
+Paper shape asserted: chunk caching achieves a higher CSR and a lower
+steady-state execution time than query caching on every stream, and the
+execution-time advantage grows with the locality of the stream.
+"""
+
+from conftest import rows_by
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_fig9(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("fig9", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    table = rows_by(result, "stream", "scheme")
+
+    ratios = {}
+    for stream in ("Random", "EQPR", "Proximity"):
+        chunk = table[(stream, "chunk")]
+        query = table[(stream, "query")]
+        assert chunk["csr"] > query["csr"], stream
+        assert chunk["mean_time_last"] < query["mean_time_last"], stream
+        ratios[stream] = (
+            query["mean_time_last"] / chunk["mean_time_last"]
+        )
+    # The gap widens with locality: Proximity's improvement factor tops
+    # the Random stream's (paper: ~2x on average).
+    assert ratios["Proximity"] > ratios["Random"]
+    average = sum(ratios.values()) / len(ratios)
+    assert average > 1.5, f"average improvement only {average:.2f}x"

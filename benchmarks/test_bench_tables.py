@@ -1,0 +1,25 @@
+"""Benchmarks for Table 1 and Table 2 (setup artifacts)."""
+
+from repro.experiments import registry
+from repro.experiments.configs import DEFAULT_SCALE
+
+
+def test_bench_table1(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("table1"), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.notes == "matches the paper exactly"
+
+
+def test_bench_table2(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: registry.run_experiment("table2", DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    realized = result.column("realized_proximity")
+    nominal = result.column("Proximity")
+    for got, want in zip(realized, nominal):
+        assert abs(got - want) < 0.12

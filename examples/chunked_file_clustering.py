@@ -1,0 +1,93 @@
+"""The chunked file's multidimensional clustering effect (Section 4.2).
+
+Stores the *same* 2-D fact data twice — once in random (arrival) order,
+once clustered by chunk number — builds a bitmap index on each, and runs
+identical selections against both.  The chunked file confines qualifying
+tuples to a few chunks, so the bitmap fetch touches far fewer data pages;
+the script also prints Feller's occupancy model next to the measurements.
+
+Run:
+    python examples/chunked_file_clustering.py
+"""
+
+import numpy as np
+
+from repro.analysis.probability import (
+    expected_pages_chunked,
+    expected_pages_random,
+)
+from repro.experiments.fig14 import build_bitmap_setup
+from repro.experiments.reporting import format_table
+from repro.query.model import StarQuery
+
+
+def main() -> None:
+    setup = build_bitmap_setup(
+        distinct_values=200, density=0.5, tuples_per_cell=4
+    )
+    total_pages = setup.random_engine.num_data_pages
+    print(
+        f"{len(setup.records):,} tuples over {total_pages} data pages, "
+        f"two dimensions of {setup.schema.dimensions[0].leaf_cardinality} "
+        "values each\n"
+    )
+
+    rng = np.random.default_rng(5)
+    rows = []
+    for width in (1, 2, 4, 8, 16, 32):
+        start = int(rng.integers(0, 200 - width))
+        query = StarQuery.build(
+            setup.schema, (1, 1), {"A": (start, start + width)}
+        )
+        measured = {}
+        tuples = 0
+        for label, engine in (
+            ("random", setup.random_engine),
+            ("chunked", setup.chunked_engine),
+        ):
+            engine.buffer_pool.flush()
+            result, report = engine.answer(query, "bitmap")
+            measured[label] = report.pages_read
+            tuples = report.tuples_scanned
+        chunks_a = setup.chunked_engine.space.base_grid.shape[0]
+        selected = (width / 200 * chunks_a + 1) * (
+            setup.chunked_engine.space.base_grid.shape[1]
+        )
+        rows.append(
+            {
+                "A-range": f"{width} values",
+                "tuples": tuples,
+                "random file": measured["random"],
+                "chunked file": measured["chunked"],
+                "model f(n,P)": round(
+                    expected_pages_random(tuples, total_pages), 1
+                ),
+                "model chunked": round(
+                    expected_pages_chunked(
+                        tuples,
+                        total_pages,
+                        selected_chunks=selected,
+                        pages_per_chunk=total_pages
+                        / setup.chunked_engine.space.base_grid.num_chunks,
+                    ),
+                    1,
+                ),
+            }
+        )
+
+    print(
+        format_table(
+            ["A-range", "tuples", "random file", "chunked file",
+             "model f(n,P)", "model chunked"],
+            rows,
+        )
+    )
+    print(
+        "\npage I/O per selection (bitmap index pages included). "
+        "Clustering keeps the chunked file's absolute I/O gap growing "
+        "with the range width — Figure 14's effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run:
+    python examples/run_experiments.py                # default scale
+    python examples/run_experiments.py --smoke        # tiny (seconds)
+    python examples/run_experiments.py --paper        # full paper scale
+    python examples/run_experiments.py fig9 fig13     # a subset
+
+Prints each reproduced artifact as a table with its expected shape, and
+(at the end) which experiments matched the paper's qualitative claims.
+See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+import sys
+import time
+
+from repro.experiments.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> None:
+    scale = DEFAULT_SCALE
+    if "--smoke" in argv:
+        scale = SMOKE_SCALE
+        argv = [a for a in argv if a != "--smoke"]
+    if "--paper" in argv:
+        scale = PAPER_SCALE
+        argv = [a for a in argv if a != "--paper"]
+    selected = argv or list(EXPERIMENTS)
+
+    print(
+        f"scale: {scale.num_tuples:,} tuples, {scale.num_queries} "
+        f"queries/stream, chunk ratio {scale.chunk_ratio}\n"
+    )
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"({elapsed:.1f}s)\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

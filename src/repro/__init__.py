@@ -1,0 +1,103 @@
+"""repro — Caching Multidimensional Queries Using Chunks (SIGMOD 1998).
+
+A full reproduction of Deshpande, Ramasamy, Shukla and Naughton's
+chunk-based OLAP caching system:
+
+- :mod:`repro.schema` — star schemas, hierarchies, domain indexes;
+- :mod:`repro.core` — chunk ranges/grids/closure, the chunk cache with
+  benefit-weighted CLOCK replacement, the middle-tier cache manager, and
+  the query-level caching baseline;
+- :mod:`repro.storage` — a simulated page-based storage engine: disk with
+  I/O accounting, buffer pool, fact files, B+-tree, bitmap indexes, and
+  the chunked file organization;
+- :mod:`repro.backend` — the relational engine (chunk interface, bitmap
+  and scan access paths, aggregation);
+- :mod:`repro.query` — the star-join query model and containment;
+- :mod:`repro.workload` — synthetic data and locality-tunable streams;
+- :mod:`repro.analysis` — the cost model and Feller occupancy math;
+- :mod:`repro.experiments` — one module per reproduced table/figure.
+
+Quickstart::
+
+    from repro import (
+        build_star_schema, ChunkSpace, BackendEngine, ChunkCache,
+        ChunkCacheManager, StarQuery, generate_fact_table,
+    )
+
+    schema = build_star_schema([[5, 25, 50], [10, 50]])
+    space = ChunkSpace(schema, 0.1)
+    records = generate_fact_table(schema, 100_000, seed=1)
+    backend = BackendEngine.build(schema, space, records)
+    manager = ChunkCacheManager(
+        schema, space, backend, ChunkCache(1 << 20)
+    )
+    query = StarQuery.build(schema, (1, 1), {"D0": (0, 3)})
+    answer = manager.answer(query)
+"""
+
+from repro.analysis import CostModel
+from repro.backend import BackendEngine, parse_query
+from repro.core import (
+    Answer,
+    ChunkCache,
+    ChunkCacheManager,
+    ChunkKey,
+    ChunkSpace,
+    QueryCacheManager,
+    StreamMetrics,
+)
+from repro.exceptions import ReproError
+from repro.query import StarQuery
+from repro.schema import (
+    Dimension,
+    Hierarchy,
+    Level,
+    Measure,
+    StarSchema,
+    build_dimension,
+    build_star_schema,
+)
+from repro.storage import ChunkedFile, SimulatedDisk
+from repro.workload import (
+    EQPR,
+    PROXIMITY,
+    RANDOM,
+    LocalityMix,
+    QueryGenerator,
+    generate_fact_table,
+    make_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Level",
+    "Hierarchy",
+    "Dimension",
+    "Measure",
+    "StarSchema",
+    "build_dimension",
+    "build_star_schema",
+    "ChunkSpace",
+    "ChunkKey",
+    "ChunkCache",
+    "ChunkCacheManager",
+    "QueryCacheManager",
+    "Answer",
+    "StreamMetrics",
+    "BackendEngine",
+    "parse_query",
+    "SimulatedDisk",
+    "ChunkedFile",
+    "StarQuery",
+    "CostModel",
+    "LocalityMix",
+    "QueryGenerator",
+    "RANDOM",
+    "EQPR",
+    "PROXIMITY",
+    "generate_fact_table",
+    "make_stream",
+    "__version__",
+]

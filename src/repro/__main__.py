@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+- ``list`` — show the reproducible experiments;
+- ``run [ids...] [--smoke|--paper]`` — regenerate tables/figures
+  (all of them when no ids are given);
+- ``info`` — print version and the configured default scale.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import __version__
+from repro.experiments.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+USAGE = """\
+usage: python -m repro <command> [options]
+
+commands:
+  list                 list reproducible experiments
+  run [ids...]         run experiments (default: all); --smoke / --paper
+  report [path]        run everything and write a Markdown report
+  info                 version and default scale
+"""
+
+
+def _cmd_list() -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, (description, _takes_scale, _runner) in EXPERIMENTS.items():
+        print(f"  {eid.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(argv: list[str]) -> int:
+    scale = DEFAULT_SCALE
+    if "--smoke" in argv:
+        scale = SMOKE_SCALE
+        argv = [a for a in argv if a != "--smoke"]
+    if "--paper" in argv:
+        scale = PAPER_SCALE
+        argv = [a for a in argv if a != "--paper"]
+    ids = argv or list(EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    for eid in ids:
+        print(run_experiment(eid, scale).render())
+        print()
+    return 0
+
+
+def _cmd_report(argv: list[str]) -> int:
+    scale = DEFAULT_SCALE
+    if "--smoke" in argv:
+        scale = SMOKE_SCALE
+        argv = [a for a in argv if a != "--smoke"]
+    if "--paper" in argv:
+        scale = PAPER_SCALE
+        argv = [a for a in argv if a != "--paper"]
+    path = argv[0] if argv else "experiment-report.md"
+    sections = [
+        "# Reproduced evaluation — Caching Multidimensional Queries "
+        "Using Chunks (SIGMOD 1998)",
+        "",
+        f"Scale: {scale.num_tuples:,} tuples, {scale.num_queries} "
+        f"queries/stream, chunk ratio {scale.chunk_ratio}.",
+        "",
+    ]
+    for eid in EXPERIMENTS:
+        result = run_experiment(eid, scale)
+        sections.append(f"## {result.title}")
+        if result.expectation:
+            sections.append(f"*Expected shape*: {result.expectation}")
+            sections.append("")
+        sections.append(_markdown_body(result))
+        if result.notes:
+            sections.append(f"\n*Notes*: {result.notes}")
+        sections.append("")
+        print(f"  {eid}: done")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections) + "\n")
+    print(f"report written to {path}")
+    return 0
+
+
+def _markdown_body(result) -> str:
+    from repro.experiments.reporting import format_markdown
+
+    return format_markdown(result.columns, result.rows)
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__}")
+    print(
+        f"default scale: {DEFAULT_SCALE.num_tuples:,} tuples, "
+        f"{DEFAULT_SCALE.num_queries} queries/stream, "
+        f"chunk ratio {DEFAULT_SCALE.chunk_ratio}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(USAGE)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "list":
+        return _cmd_list()
+    if command == "run":
+        return _cmd_run(rest)
+    if command == "report":
+        return _cmd_report(rest)
+    if command == "info":
+        return _cmd_info()
+    print(USAGE, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

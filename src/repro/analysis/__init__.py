@@ -1,0 +1,17 @@
+"""Analytical models: the simulated cost model and Feller occupancy math."""
+
+from repro.analysis.cost import CostModel
+from repro.analysis.probability import (
+    bitmap_speedup_model,
+    expected_distinct,
+    expected_pages_chunked,
+    expected_pages_random,
+)
+
+__all__ = [
+    "CostModel",
+    "expected_distinct",
+    "expected_pages_random",
+    "expected_pages_chunked",
+    "bitmap_speedup_model",
+]

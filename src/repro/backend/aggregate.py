@@ -1,0 +1,388 @@
+"""Group-by aggregation operators.
+
+The backend computes chunks and full query results by aggregating base
+(or finer-level) tuples up to a target group-by.  This module provides:
+
+- :class:`LevelMapper` — cached numpy lookup tables mapping ordinals
+  between hierarchy levels of each dimension (leaf -> level for base
+  tuples, level -> level for re-aggregation);
+- :func:`aggregate_records` — hash aggregation of base tuples to any
+  group-by, with an optional post-mapping ordinal filter;
+- :func:`reaggregate` — combine already-aggregated rows to a coarser
+  group-by (the paper's future-work extension of aggregating chunks in
+  the middle tier, Section 7).
+
+Aggregates supported: ``sum``, ``count``, ``min``, ``max``, ``avg``.
+``avg`` over base tuples is computed as sum/count; re-aggregating an
+``avg`` is rejected (the partial results are insufficient), matching how
+real systems decompose averages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.query.predicates import Interval
+from repro.schema.star import GroupBy, StarSchema
+from repro.storage.record import RecordFormat, groupby_record_format
+
+__all__ = [
+    "LevelMapper",
+    "aggregate_records",
+    "reaggregate",
+    "PARTIAL_AGGREGATES",
+    "partials_format_aggregates",
+    "finalize_partials",
+]
+
+#: The decomposable partials a materialized aggregate table stores for
+#: every measure; any requested aggregate (including avg) is computable
+#: from them.
+PARTIAL_AGGREGATES = ("sum", "count", "min", "max")
+
+#: Aggregates whose partial results can be merged by re-applying them.
+_SELF_DECOMPOSABLE = {"sum", "min", "max"}
+
+
+class LevelMapper:
+    """Cached ordinal lookup tables between hierarchy levels.
+
+    ``table(dim_position, from_level, to_level)`` returns an int64 array
+    ``t`` with ``t[ordinal_at_from_level] == ordinal_at_to_level`` where
+    ``to_level`` is at or above ``from_level``.  Tables are built lazily
+    and memoized; the base parent tables come straight from each
+    hierarchy's child-start arrays.
+    """
+
+    def __init__(self, schema: StarSchema) -> None:
+        self.schema = schema
+        self._tables: dict[tuple[int, int, int], np.ndarray] = {}
+
+    def table(
+        self, dim_position: int, from_level: int, to_level: int
+    ) -> np.ndarray:
+        """Lookup table mapping ``from_level`` ordinals to ``to_level``."""
+        dim = self.schema.dimensions[dim_position]
+        if not 1 <= to_level <= from_level <= dim.leaf_level:
+            raise BackendError(
+                f"cannot map level {from_level} to level {to_level} of "
+                f"dimension {dim.name!r}"
+            )
+        key = (dim_position, from_level, to_level)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+        table = np.arange(dim.cardinality(from_level), dtype=np.int64)
+        for level in range(from_level, to_level, -1):
+            table = self._parent_table(dim_position, level)[table]
+        self._tables[key] = table
+        return table
+
+    def _parent_table(self, dim_position: int, level: int) -> np.ndarray:
+        """Ordinal -> parent-ordinal table for one step up."""
+        key = (dim_position, level, level - 1)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+        dim = self.schema.dimensions[dim_position]
+        counts = [
+            dim.children_range(level - 1, parent)[1]
+            - dim.children_range(level - 1, parent)[0]
+            for parent in range(dim.cardinality(level - 1))
+        ]
+        table = np.repeat(
+            np.arange(dim.cardinality(level - 1), dtype=np.int64), counts
+        )
+        self._tables[key] = table
+        return table
+
+
+def aggregate_records(
+    schema: StarSchema,
+    records: np.ndarray,
+    groupby: Sequence[int],
+    aggregates: Sequence[tuple[str, str]],
+    mapper: LevelMapper,
+    record_groupby: Sequence[int] | None = None,
+    selection: Sequence[Interval] | None = None,
+    leaf_filters: Sequence[Interval] | None = None,
+) -> np.ndarray:
+    """Aggregate tuples to a target group-by.
+
+    Args:
+        schema: The star schema.
+        records: Structured array with one ordinal column per dimension
+            (named after the dimension) plus raw measure columns.
+        groupby: Target level per dimension.
+        aggregates: ``(measure, aggregate)`` output list.
+        mapper: Shared level mapper.
+        record_groupby: Levels the record ordinals are at; defaults to the
+            base group-by (leaf levels).  Must be at least as fine as the
+            target on every dimension.
+        selection: Optional per-dimension ordinal interval filters applied
+            *at the target level* after mapping (the post-aggregation
+            group-by selections of Section 5.2.1).
+        leaf_filters: Optional per-dimension leaf-ordinal intervals
+            applied to the raw records *before* aggregation (the
+            non-group-by selections of Section 5.2.1).  Requires the
+            filtered dimensions' record ordinals to be at leaf level.
+
+    Returns:
+        A structured array in :func:`groupby_record_format` order, sorted
+        by the combined group key (row-major over retained dimensions).
+    """
+    groupby = schema.validate_groupby(groupby)
+    if record_groupby is None:
+        record_groupby = schema.base_groupby
+    else:
+        record_groupby = schema.validate_groupby(record_groupby)
+    if not schema.is_rollup_of(groupby, record_groupby):
+        raise BackendError(
+            f"cannot aggregate records at {tuple(record_groupby)} "
+            f"to {tuple(groupby)}"
+        )
+    out_format = groupby_record_format(schema, groupby, aggregates)
+
+    # Pre-aggregation leaf filters (fold in before anything else).
+    if leaf_filters is not None and any(f is not None for f in leaf_filters):
+        pre_mask = np.ones(len(records), dtype=bool)
+        for dim, r_level, leaf_filter in zip(
+            schema.dimensions, record_groupby, leaf_filters
+        ):
+            if leaf_filter is None:
+                continue
+            if r_level != dim.leaf_level:
+                raise BackendError(
+                    f"leaf filter on {dim.name!r} requires leaf-level "
+                    f"records, got level {r_level}"
+                )
+            column = records[dim.name]
+            pre_mask &= (column >= leaf_filter[0]) & (
+                column < leaf_filter[1]
+            )
+        if not pre_mask.all():
+            records = records[pre_mask]
+
+    # Map each retained dimension's ordinals to the target level and apply
+    # the optional target-level filters.
+    mapped: list[np.ndarray] = []
+    radices: list[int] = []
+    names: list[str] = []
+    mask = np.ones(len(records), dtype=bool)
+    for pos, (dim, t_level, r_level) in enumerate(
+        zip(schema.dimensions, groupby, record_groupby)
+    ):
+        if t_level == 0:
+            continue
+        source = records[dim.name].astype(np.int64, copy=False)
+        if t_level == r_level:
+            ordinals = source
+        else:
+            ordinals = mapper.table(pos, r_level, t_level)[source]
+        if selection is not None and selection[pos] is not None:
+            lo, hi = selection[pos]  # type: ignore[misc]
+            mask &= (ordinals >= lo) & (ordinals < hi)
+        mapped.append(ordinals)
+        radices.append(dim.cardinality(t_level))
+        names.append(dim.name)
+
+    if selection is not None and not mask.all():
+        records = records[mask]
+        mapped = [m[mask] for m in mapped]
+
+    if len(records) == 0:
+        return out_format.empty()
+
+    # Combined mixed-radix group key, then one hash-group pass.
+    if mapped:
+        keys = np.zeros(len(records), dtype=np.int64)
+        for ordinals, radix in zip(mapped, radices):
+            keys = keys * radix + ordinals
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+    else:
+        unique_keys = np.zeros(1, dtype=np.int64)
+        inverse = np.zeros(len(records), dtype=np.int64)
+    num_groups = len(unique_keys)
+
+    result = out_format.empty(num_groups)
+    # Decode group keys back into per-dimension ordinal columns.
+    remaining = unique_keys.copy()
+    for name, radix in zip(reversed(names), reversed(radices)):
+        remaining, column = np.divmod(remaining, radix)
+        result[name] = column
+
+    for measure_name, aggregate in aggregates:
+        column = f"{aggregate}_{measure_name}"
+        values = records[measure_name]
+        result[column] = _apply_aggregate(
+            aggregate, values, inverse, num_groups
+        )
+    return result
+
+
+def _apply_aggregate(
+    aggregate: str, values: np.ndarray, inverse: np.ndarray, num_groups: int
+) -> np.ndarray:
+    if aggregate == "sum":
+        return np.bincount(
+            inverse, weights=values.astype(np.float64), minlength=num_groups
+        )
+    if aggregate == "count":
+        return np.bincount(inverse, minlength=num_groups)
+    if aggregate == "avg":
+        sums = np.bincount(
+            inverse, weights=values.astype(np.float64), minlength=num_groups
+        )
+        counts = np.bincount(inverse, minlength=num_groups)
+        return sums / counts
+    if aggregate == "min":
+        out = np.full(num_groups, np.inf)
+        np.minimum.at(out, inverse, values.astype(np.float64))
+        return out
+    if aggregate == "max":
+        out = np.full(num_groups, -np.inf)
+        np.maximum.at(out, inverse, values.astype(np.float64))
+        return out
+    raise BackendError(f"unknown aggregate {aggregate!r}")
+
+
+def reaggregate(
+    schema: StarSchema,
+    rows: np.ndarray,
+    from_groupby: Sequence[int],
+    to_groupby: Sequence[int],
+    aggregates: Sequence[tuple[str, str]],
+    mapper: LevelMapper,
+    selection: Sequence[Interval] | None = None,
+) -> np.ndarray:
+    """Combine aggregated rows to a coarser group-by.
+
+    ``rows`` must be in the :func:`groupby_record_format` of
+    ``from_groupby`` with the same ``aggregates``.  Only decomposable
+    aggregates are supported: ``sum`` and ``count`` partials are summed,
+    ``min``/``max`` partials are re-min/maxed; ``avg`` raises.
+
+    This implements the middle-tier chunk aggregation the paper lists as
+    future work (Section 7); see
+    :meth:`repro.core.manager.ChunkCacheManager` for how it is used.
+    """
+    from_groupby = schema.validate_groupby(from_groupby)
+    to_groupby = schema.validate_groupby(to_groupby)
+    if not schema.is_rollup_of(to_groupby, from_groupby):
+        raise BackendError(
+            f"cannot re-aggregate {tuple(from_groupby)} to {tuple(to_groupby)}"
+        )
+    for measure_name, aggregate in aggregates:
+        if aggregate == "avg":
+            raise BackendError(
+                "avg cannot be re-aggregated from partial averages; "
+                "decompose it into sum and count"
+            )
+
+    out_format = groupby_record_format(schema, to_groupby, aggregates)
+    mapped: list[np.ndarray] = []
+    radices: list[int] = []
+    names: list[str] = []
+    mask = np.ones(len(rows), dtype=bool)
+    for pos, (dim, t_level, f_level) in enumerate(
+        zip(schema.dimensions, to_groupby, from_groupby)
+    ):
+        if t_level == 0:
+            continue
+        source = rows[dim.name].astype(np.int64, copy=False)
+        ordinals = (
+            source
+            if t_level == f_level
+            else mapper.table(pos, f_level, t_level)[source]
+        )
+        if selection is not None and selection[pos] is not None:
+            lo, hi = selection[pos]  # type: ignore[misc]
+            mask &= (ordinals >= lo) & (ordinals < hi)
+        mapped.append(ordinals)
+        radices.append(dim.cardinality(t_level))
+        names.append(dim.name)
+
+    if selection is not None and not mask.all():
+        rows = rows[mask]
+        mapped = [m[mask] for m in mapped]
+    if len(rows) == 0:
+        return out_format.empty()
+
+    if mapped:
+        keys = np.zeros(len(rows), dtype=np.int64)
+        for ordinals, radix in zip(mapped, radices):
+            keys = keys * radix + ordinals
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+    else:
+        unique_keys = np.zeros(1, dtype=np.int64)
+        inverse = np.zeros(len(rows), dtype=np.int64)
+    num_groups = len(unique_keys)
+
+    result = out_format.empty(num_groups)
+    remaining = unique_keys.copy()
+    for name, radix in zip(reversed(names), reversed(radices)):
+        remaining, column = np.divmod(remaining, radix)
+        result[name] = column
+
+    for measure_name, aggregate in aggregates:
+        column = f"{aggregate}_{measure_name}"
+        partials = rows[column]
+        # A count of counts is a sum; sums stay sums; min/max re-apply.
+        merge = "sum" if aggregate in ("sum", "count") else aggregate
+        merged = _apply_aggregate(merge, partials, inverse, num_groups)
+        result[column] = merged
+    return result
+
+
+def partials_format_aggregates(schema: StarSchema) -> list[tuple[str, str]]:
+    """The aggregate list a materialized table stores: all partials for
+    every measure (``sum``, ``count``, ``min``, ``max`` per measure)."""
+    return [
+        (measure.name, aggregate)
+        for measure in schema.measures
+        for aggregate in PARTIAL_AGGREGATES
+    ]
+
+
+def finalize_partials(
+    schema: StarSchema,
+    rows: np.ndarray,
+    from_groupby: Sequence[int],
+    to_groupby: Sequence[int],
+    requested: Sequence[tuple[str, str]],
+    mapper: LevelMapper,
+) -> np.ndarray:
+    """Aggregate partials from a materialized table to a requested shape.
+
+    ``rows`` must be in :func:`partials_format_aggregates` layout at
+    ``from_groupby``.  Every requested aggregate — including ``avg``,
+    which is finalized as merged sum over merged count — is derived from
+    the stored partials, so a single materialized table serves any
+    aggregate list (Section 2.4: "These tables will also be stored in a
+    chunked format").
+    """
+    stored = partials_format_aggregates(schema)
+    merged = reaggregate(
+        schema, rows, from_groupby, to_groupby, stored, mapper
+    )
+    out_format = groupby_record_format(schema, to_groupby, requested)
+    result = out_format.empty(len(merged))
+    for dim, level in zip(schema.dimensions, to_groupby):
+        if level > 0:
+            result[dim.name] = merged[dim.name]
+    for measure_name, aggregate in requested:
+        column = f"{aggregate}_{measure_name}"
+        if aggregate == "avg":
+            counts = merged[f"count_{measure_name}"]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                result[column] = merged[f"sum_{measure_name}"] / counts
+        elif aggregate in PARTIAL_AGGREGATES:
+            result[column] = merged[f"{aggregate}_{measure_name}"]
+        else:
+            raise BackendError(
+                f"aggregate {aggregate!r} cannot be derived from partials"
+            )
+    return result

@@ -1,0 +1,769 @@
+"""The backend relational engine.
+
+:class:`BackendEngine` plays the role of the paper's PARADISE backend: it
+owns the stored fact table (chunked or randomly ordered), the bitmap
+indexes, and the buffer pool, and evaluates star-join requests:
+
+- the **chunk interface** (:meth:`compute_chunks`) — compute requested
+  chunks of any group-by by aggregating exactly the base chunks given by
+  the closure property, read through the chunk index (Section 5.2.3);
+- the **relational interface** (:meth:`answer`) — evaluate a whole
+  :class:`~repro.query.model.StarQuery` via a bitmap-index selection or a
+  full scan, the paths a conventional backend would use on a cache miss
+  (Section 6.1.4 builds a bitmap index for the query-caching baseline).
+
+Every method returns the result together with a
+:class:`~repro.backend.plans.CostReport` of the physical work performed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.backend.aggregate import (
+    LevelMapper,
+    aggregate_records,
+    finalize_partials,
+    partials_format_aggregates,
+)
+from repro.backend.plans import CostReport, measure_cost
+from repro.chunks.closure import source_spans
+from repro.chunks.grid import ChunkSpace
+from repro.exceptions import BackendError, QueryError
+from repro.query.model import StarQuery
+from repro.schema.star import GroupBy, StarSchema
+from repro.storage.bitmap import BitmapIndex, combine_and
+from repro.storage.buffer import BufferPool
+from repro.storage.chunkedfile import ChunkedFile, tuple_chunk_numbers
+from repro.storage.dimtable import DimensionTable
+from repro.storage.disk import SimulatedDisk
+from repro.storage.factfile import FactFile
+from repro.storage.record import fact_record_format, groupby_record_format
+
+__all__ = ["BackendEngine"]
+
+#: Valid physical organizations of the stored fact table.
+ORGANIZATIONS = ("chunked", "random")
+
+
+class BackendEngine:
+    """A simulated relational backend over one fact table.
+
+    Use :meth:`build` to construct a loaded engine from raw records.
+
+    Args:
+        schema: The star schema.
+        space: Shared chunk geometry (must be the same object the middle
+            tier uses, so both sides agree on chunk numbers).
+        organization: ``"chunked"`` stores the fact table clustered by
+            chunk number with a chunk index; ``"random"`` stores it in
+            arrival order (the baseline of Figure 14).  The chunk
+            interface requires ``"chunked"``.
+        page_size: Disk page size in bytes.
+        buffer_pool_pages: Buffer pool capacity in frames.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        space: ChunkSpace,
+        organization: str = "chunked",
+        page_size: int = 4096,
+        buffer_pool_pages: int = 256,
+    ) -> None:
+        if organization not in ORGANIZATIONS:
+            raise BackendError(
+                f"unknown organization {organization!r}; "
+                f"expected one of {ORGANIZATIONS}"
+            )
+        self.schema = schema
+        self.space = space
+        self.organization = organization
+        self.disk = SimulatedDisk(page_size)
+        self.buffer_pool = BufferPool(self.disk, buffer_pool_pages)
+        self.record_format = fact_record_format(schema)
+        self.mapper = LevelMapper(schema)
+        self.bitmaps: dict[str, BitmapIndex] = {}
+        self.chunked_file: ChunkedFile | None = None
+        self.fact_file: FactFile | None = None
+        # Precomputed aggregate tables, chunk-organized (Section 2.4:
+        # "These tables will also be stored in a chunked format").
+        self.materialized: dict[GroupBy, ChunkedFile] = {}
+        # Relational dimension tables (slotted pages), built at load.
+        self.dimension_tables: dict[str, DimensionTable] = {}
+        # Unclustered delta region holding appended tuples until the next
+        # reorganize() — the functional stand-in for the paper's
+        # "extra space kept in each chunk" for updates.
+        self.delta_file: FactFile | None = None
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        schema: StarSchema,
+        space: ChunkSpace,
+        records: np.ndarray,
+        organization: str = "chunked",
+        page_size: int = 4096,
+        buffer_pool_pages: int = 256,
+        build_bitmaps: bool = True,
+    ) -> "BackendEngine":
+        """Build and load an engine from raw fact records.
+
+        Load-time I/O (bulk loads, index builds) is excluded from the
+        engine's counters: they are reset before the engine is returned,
+        matching the paper's setup where files are bulk-loaded offline.
+        """
+        engine = cls(
+            schema, space, organization, page_size, buffer_pool_pages
+        )
+        engine.load(records, build_bitmaps=build_bitmaps)
+        return engine
+
+    def load(
+        self,
+        records: np.ndarray,
+        build_bitmaps: bool = True,
+        build_dimension_tables: bool = True,
+    ) -> None:
+        """Bulk-load the fact table, bitmap indexes and dimension tables."""
+        if self._loaded:
+            raise BackendError("engine is already loaded")
+        if records.dtype != self.record_format.dtype:
+            raise BackendError(
+                f"records dtype {records.dtype} does not match fact format "
+                f"{self.record_format.dtype}"
+            )
+        self.space.set_base_tuples(len(records))
+        if self.organization == "chunked":
+            self.chunked_file = ChunkedFile(
+                self.disk, self.record_format, self.space, self.buffer_pool
+            )
+            self.chunked_file.bulk_load(records)
+            self.fact_file = self.chunked_file.fact_file
+            stored = self.chunked_file.read_all()
+        else:
+            self.fact_file = FactFile(
+                self.disk, self.record_format, self.buffer_pool
+            )
+            self.fact_file.bulk_load(records)
+            stored = records
+        if build_bitmaps and len(stored):
+            # Bitmap positions refer to the *stored* record order, so the
+            # index is built from the file's physical layout.  An empty
+            # table has nothing to index (bitmaps need >= 1 bit).
+            for dim in self.schema.dimensions:
+                self.bitmaps[dim.name] = BitmapIndex.build(
+                    self.disk,
+                    stored[dim.name],
+                    dim.leaf_cardinality,
+                    self.buffer_pool,
+                )
+        if build_dimension_tables:
+            for dim in self.schema.dimensions:
+                self.dimension_tables[dim.name] = DimensionTable.build(
+                    self.disk, dim, self.buffer_pool
+                )
+        self._loaded = True
+        self.buffer_pool.flush()
+        self.buffer_pool.reset_stats()
+        self.disk.reset_stats()
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise BackendError("engine has not been loaded")
+
+    @property
+    def num_data_pages(self) -> int:
+        """Pages of the stored fact table."""
+        self._require_loaded()
+        assert self.fact_file is not None
+        return self.fact_file.num_pages
+
+    @property
+    def num_records(self) -> int:
+        """Tuples in the fact table."""
+        self._require_loaded()
+        assert self.fact_file is not None
+        return self.fact_file.num_records
+
+    # ------------------------------------------------------------------
+    # Materialized aggregate tables (Section 2.4)
+    # ------------------------------------------------------------------
+    def materialize(self, groupby: Sequence[int]) -> None:
+        """Precompute one aggregate table and store it chunk-organized.
+
+        The table holds the decomposable partials (sum/count/min/max per
+        measure), clustered by its own group-by's chunk grid with a
+        B-tree chunk index, so the chunk interface can compute any chunk
+        of any coarser group-by from it with I/O proportional to the
+        chunk — exactly as it does from the base table (Section 2.4:
+        "Even statically precomputed aggregate tables can be organized on
+        a chunk basis").  Build I/O is excluded from the counters
+        (offline precomputation, like the initial bulk load).
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError(
+                "materialized tables require the chunked organization"
+            )
+        groupby = self.schema.validate_groupby(groupby)
+        if groupby == self.schema.base_groupby:
+            raise BackendError("the base table is already stored")
+        if groupby in self.materialized:
+            raise BackendError(f"group-by {groupby} already materialized")
+        before = self.disk.stats.copy()
+        stored = partials_format_aggregates(self.schema)
+        rows = aggregate_records(
+            self.schema,
+            self.chunked_file.read_all(),
+            groupby,
+            stored,
+            self.mapper,
+        )
+        table = ChunkedFile(
+            self.disk,
+            groupby_record_format(self.schema, groupby, stored),
+            self.space,
+            self.buffer_pool,
+            groupby=groupby,
+        )
+        table.bulk_load(rows)
+        self.materialized[groupby] = table
+        delta = self.disk.stats.delta(before)
+        self.disk.stats.reads -= delta.reads
+        self.disk.stats.writes -= delta.writes
+        self.buffer_pool.flush()
+
+    def _choose_source(
+        self,
+        groupby: GroupBy,
+        leaf_filters: Sequence | None,
+    ) -> tuple[GroupBy, ChunkedFile] | None:
+        """The cheapest materialized table that can answer ``groupby``.
+
+        Returns None when the base table must be used: no compatible
+        materialized table exists, or the request carries leaf-level
+        dimension filters (only evaluable against base tuples).
+        """
+        if leaf_filters is not None and any(
+            f is not None for f in leaf_filters
+        ):
+            return None
+        assert self.chunked_file is not None
+        best: tuple[GroupBy, ChunkedFile] | None = None
+        # Compare physical size: an aggregate table with fat partial
+        # columns can be *larger* than the base table when aggregation
+        # barely reduces the row count; the base then stays the cheaper
+        # source.
+        best_pages = self.chunked_file.num_pages
+        for candidate, table in self.materialized.items():
+            if not self.schema.is_rollup_of(groupby, candidate):
+                continue
+            if table.num_pages < best_pages:
+                best = (candidate, table)
+                best_pages = table.num_pages
+        return best
+
+    # ------------------------------------------------------------------
+    # Chunk interface (Section 5.2.3)
+    # ------------------------------------------------------------------
+    def compute_chunks(
+        self,
+        groupby: Sequence[int],
+        numbers: Sequence[int],
+        aggregates: Sequence[tuple[str, str]],
+        leaf_filters: Sequence | None = None,
+    ) -> tuple[dict[int, np.ndarray], CostReport]:
+        """Compute the requested chunks of a group-by from source chunks.
+
+        The source is the cheapest compatible materialized aggregate
+        table if one exists, else the base table.  For each target chunk
+        the closure property names the exact source chunks to aggregate;
+        source chunks shared between targets are read once.
+        ``leaf_filters`` (per-dimension leaf intervals) are the query's
+        non-group-by selections, folded in before aggregating — they
+        force the base-table source, and the resulting chunks are only
+        cacheable under a key carrying the same filters.  Returns a
+        mapping from chunk number to its aggregated rows (empty chunks
+        map to empty arrays) and the combined cost.
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError(
+                "the chunk interface requires the chunked organization"
+            )
+        groupby = self.schema.validate_groupby(groupby)
+        numbers = list(numbers)
+        source = self._choose_source(groupby, leaf_filters)
+        results: dict[int, np.ndarray] = {}
+        with measure_cost(self.disk, access_path="chunk") as report:
+            if source is None:
+                source_groupby: GroupBy = self.schema.base_groupby
+                source_file = self.chunked_file
+            else:
+                source_groupby, source_file = source
+            source_numbers = self._union_source_chunks(
+                groupby, numbers, source_groupby
+            )
+            source_records = source_file.read_chunks(source_numbers)
+            if source is None:
+                delta = self._delta_for_base_chunks(set(source_numbers))
+                if len(delta):
+                    source_records = np.concatenate(
+                        [source_records, delta]
+                    )
+            report.tuples_scanned += len(source_records)
+            report.chunks_computed += len(numbers)
+            if source is None:
+                rows = aggregate_records(
+                    self.schema,
+                    source_records,
+                    groupby,
+                    aggregates,
+                    self.mapper,
+                    leaf_filters=leaf_filters,
+                )
+            else:
+                rows = finalize_partials(
+                    self.schema,
+                    source_records,
+                    source_groupby,
+                    groupby,
+                    aggregates,
+                    self.mapper,
+                )
+            target_grid = self.space.grid(groupby)
+            row_numbers = tuple_chunk_numbers(
+                target_grid,
+                rows,
+                tuple(d.name for d in self.schema.dimensions),
+            )
+            wanted = set(numbers)
+            for number in numbers:
+                results[number] = rows[row_numbers == number]
+            # Rows landing in un-requested chunks can only arise from a
+            # caller bug (source chunks exactly tile the targets).
+            stray = set(np.unique(row_numbers).tolist()) - wanted
+            if stray:
+                raise BackendError(
+                    f"aggregated rows fell into unrequested chunks {stray}"
+                )
+            report.result_tuples += sum(len(r) for r in results.values())
+        return results, report
+
+    def _union_source_chunks(
+        self,
+        groupby: GroupBy,
+        numbers: Sequence[int],
+        source_groupby: GroupBy,
+    ) -> list[int]:
+        """Deduplicated, sorted source-chunk numbers covering all targets."""
+        source_grid = self.space.grid(source_groupby)
+        seen: set[int] = set()
+        for number in numbers:
+            spans = source_spans(
+                self.space, groupby, number, source_groupby
+            )
+            seen.update(self._enumerate_spans(source_grid.strides, spans))
+        return sorted(seen)
+
+    def _union_base_chunks(
+        self, groupby: GroupBy, numbers: Sequence[int]
+    ) -> list[int]:
+        """Deduplicated, sorted base-chunk numbers covering all targets."""
+        return self._union_source_chunks(
+            groupby, numbers, self.schema.base_groupby
+        )
+
+    @staticmethod
+    def _enumerate_spans(
+        strides: Sequence[int], spans: Sequence[tuple[int, int]]
+    ) -> list[int]:
+        numbers = [0]
+        for stride, (lo, hi) in zip(strides, spans):
+            numbers = [
+                base + coord * stride
+                for base in numbers
+                for coord in range(lo, hi)
+            ]
+        return numbers
+
+    def estimate_chunk_work(
+        self, groupby: Sequence[int], numbers: Sequence[int]
+    ) -> tuple[int, int]:
+        """``(data_pages, source_tuples)`` computing these chunks would cost.
+
+        Uses the same source selection as :meth:`compute_chunks`
+        (materialized table when available), exact extents, deduplicated
+        across shared source chunks, and free of side effects on the
+        measured I/O counters.  Used by the cache layers for benefit and
+        cost-saving accounting.
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError(
+                "the chunk interface requires the chunked organization"
+            )
+        groupby = self.schema.validate_groupby(groupby)
+        source = self._choose_source(groupby, None)
+        if source is None:
+            source_groupby: GroupBy = self.schema.base_groupby
+            source_file = self.chunked_file
+        else:
+            source_groupby, source_file = source
+        source_numbers = self._union_source_chunks(
+            groupby, list(numbers), source_groupby
+        )
+        pages = 0
+        tuples = 0
+        for number in source_numbers:
+            extent = source_file.chunk_extent_estimate(number)
+            if extent is None:
+                continue
+            start, count = extent
+            pages += source_file.fact_file.pages_for_range(start, count)
+            tuples += count
+        return pages, tuples
+
+    def estimate_chunk_pages(
+        self, groupby: Sequence[int], numbers: Sequence[int]
+    ) -> int:
+        """Data pages computing these chunks would touch (no I/O done)."""
+        pages, _ = self.estimate_chunk_work(groupby, numbers)
+        return pages
+
+    # ------------------------------------------------------------------
+    # Updates (Section 5.3: "To allow for updates, some extra space can
+    # be kept in each chunk.")
+    # ------------------------------------------------------------------
+    def append_records(self, records: np.ndarray) -> list[int]:
+        """Append new fact tuples without reorganizing the chunked file.
+
+        New tuples land in an unclustered *delta region*; every access
+        path folds the delta in, so answers stay exact immediately.  The
+        paper suggests per-chunk slack space for the same purpose — a
+        delta region is the standard functional equivalent for a
+        bulk-clustered file and keeps the main file's chunk -> page-range
+        arithmetic intact.  Materialized aggregate tables are dropped
+        (they no longer reflect the data); call :meth:`reorganize` to
+        fold the delta into the clustered file and re-materialize.
+
+        Returns:
+            The sorted base-level chunk numbers the new tuples fall in —
+            exactly the set a middle-tier cache must invalidate
+            (:meth:`repro.core.manager.ChunkCacheManager.invalidate_base_chunks`).
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError("updates require the chunked organization")
+        if records.dtype != self.record_format.dtype:
+            raise BackendError(
+                f"records dtype {records.dtype} does not match fact format "
+                f"{self.record_format.dtype}"
+            )
+        if len(records) == 0:
+            return []
+        if self.delta_file is None:
+            self.delta_file = FactFile(
+                self.disk, self.record_format, self.buffer_pool
+            )
+        before = self.disk.stats.copy()
+        self.delta_file.bulk_load(records)
+        delta = self.disk.stats.delta(before)
+        self.disk.stats.writes -= delta.writes  # appends are write I/O the
+        self.disk.stats.reads -= delta.reads    # experiments do not measure
+        self.materialized.clear()
+        self.space.set_base_tuples(
+            self.space.base_tuples + len(records)
+        )
+        numbers = tuple_chunk_numbers(
+            self.space.base_grid,
+            records,
+            tuple(d.name for d in self.schema.dimensions),
+        )
+        return sorted(set(int(n) for n in numbers))
+
+    def _delta_for_base_chunks(self, base_numbers: set[int]) -> np.ndarray:
+        """Delta tuples falling into the given base chunks (reads the
+        whole delta region — it is small between reorganizations)."""
+        if self.delta_file is None or not self.delta_file.num_records:
+            return self.record_format.empty()
+        delta = self.delta_file.read_all()
+        numbers = tuple_chunk_numbers(
+            self.space.base_grid,
+            delta,
+            tuple(d.name for d in self.schema.dimensions),
+        )
+        keep = np.isin(numbers, np.fromiter(base_numbers, dtype=np.int64))
+        return delta[keep]
+
+    def reorganize(self) -> None:
+        """Merge the delta region back into a freshly clustered file.
+
+        Rebuilds the chunked file, its chunk index and the bitmap
+        indexes over the combined data — the offline maintenance step
+        that restores pure clustered access.  Excluded from the I/O
+        counters like the initial bulk load.
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError("updates require the chunked organization")
+        if self.delta_file is None or not self.delta_file.num_records:
+            return
+        before = self.disk.stats.copy()
+        combined = np.concatenate(
+            [self.chunked_file.read_all(), self.delta_file.read_all()]
+        )
+        self.chunked_file = ChunkedFile(
+            self.disk, self.record_format, self.space, self.buffer_pool
+        )
+        self.chunked_file.bulk_load(combined)
+        self.fact_file = self.chunked_file.fact_file
+        self.delta_file = None
+        if self.bitmaps:
+            stored = self.chunked_file.read_all()
+            for dim in self.schema.dimensions:
+                self.bitmaps[dim.name] = BitmapIndex.build(
+                    self.disk,
+                    stored[dim.name],
+                    dim.leaf_cardinality,
+                    self.buffer_pool,
+                )
+        delta = self.disk.stats.delta(before)
+        self.disk.stats.reads -= delta.reads
+        self.disk.stats.writes -= delta.writes
+        self.buffer_pool.flush()
+
+    # ------------------------------------------------------------------
+    # Relational interface
+    # ------------------------------------------------------------------
+    def answer(
+        self, query: StarQuery, access_path: str = "auto"
+    ) -> tuple[np.ndarray, CostReport]:
+        """Evaluate a whole star query directly against the backend.
+
+        Args:
+            query: The analyzed query.
+            access_path: ``"bitmap"``, ``"scan"``, ``"chunk"`` or
+                ``"auto"`` (bitmap when any selection exists and bitmaps
+                are built; otherwise scan).
+        """
+        self._require_loaded()
+        if access_path == "auto":
+            has_selection = (
+                any(s is not None for s in query.selections)
+                or query.has_dim_filters()
+            )
+            access_path = (
+                "bitmap" if has_selection and self.bitmaps else "scan"
+            )
+        if access_path == "bitmap":
+            return self._answer_bitmap(query)
+        if access_path == "scan":
+            return self._answer_scan(query)
+        if access_path == "chunk":
+            return self._answer_chunks(query)
+        raise BackendError(f"unknown access path {access_path!r}")
+
+    def _answer_scan(self, query: StarQuery) -> tuple[np.ndarray, CostReport]:
+        assert self.fact_file is not None
+        with measure_cost(self.disk, access_path="scan") as report:
+            records = self.fact_file.read_all()
+            if self.delta_file is not None and self.delta_file.num_records:
+                records = np.concatenate(
+                    [records, self.delta_file.read_all()]
+                )
+            report.tuples_scanned += len(records)
+            rows = aggregate_records(
+                self.schema,
+                records,
+                query.groupby,
+                query.aggregates,
+                self.mapper,
+                selection=query.selections,
+                leaf_filters=query.effective_dim_filters(self.schema),
+            )
+            report.result_tuples += len(rows)
+        return rows, report
+
+    def _answer_bitmap(self, query: StarQuery) -> tuple[np.ndarray, CostReport]:
+        assert self.fact_file is not None
+        if not self.bitmaps:
+            raise BackendError("bitmap indexes were not built")
+        try:
+            leaf_selection = query.leaf_selection(self.schema)
+        except QueryError:
+            # Selection and filter are provably disjoint: empty result,
+            # no I/O.
+            empty = query.result_format(self.schema).empty()
+            return empty, CostReport(access_path="bitmap")
+        restricted = [
+            (dim.name, interval)
+            for dim, interval in zip(self.schema.dimensions, leaf_selection)
+            if interval is not None
+        ]
+        if not restricted:
+            return self._answer_scan(query)
+        with measure_cost(self.disk, access_path="bitmap") as report:
+            masks = [
+                self.bitmaps[name].select_range(lo, hi)
+                for name, (lo, hi) in restricted
+            ]
+            mask = combine_and(masks)
+            positions = BitmapIndex.positions(mask)
+            records = self.fact_file.read_positions(positions)
+            if self.delta_file is not None and self.delta_file.num_records:
+                # Appended tuples are not in the bitmaps yet: scan the
+                # (small) delta region and filter it directly.
+                delta = self.delta_file.read_all()
+                keep = np.ones(len(delta), dtype=bool)
+                for dim, interval in zip(
+                    self.schema.dimensions, leaf_selection
+                ):
+                    if interval is None:
+                        continue
+                    column = delta[dim.name]
+                    keep &= (column >= interval[0]) & (
+                        column < interval[1]
+                    )
+                records = np.concatenate([records, delta[keep]])
+            report.tuples_scanned += len(records)
+            rows = aggregate_records(
+                self.schema,
+                records,
+                query.groupby,
+                query.aggregates,
+                self.mapper,
+                selection=query.selections,
+                leaf_filters=query.effective_dim_filters(self.schema),
+            )
+            report.result_tuples += len(rows)
+        return rows, report
+
+    def _answer_chunks(self, query: StarQuery) -> tuple[np.ndarray, CostReport]:
+        grid = self.space.grid(query.groupby)
+        numbers = grid.chunk_numbers_for_selection(query.selections)
+        chunks, report = self.compute_chunks(
+            query.groupby, numbers, query.aggregates,
+            leaf_filters=query.effective_dim_filters(self.schema),
+        )
+        rows = _concat(
+            [chunks[n] for n in numbers],
+            query.result_format(self.schema).dtype,
+        )
+        rows = _filter_rows(self.schema, rows, query)
+        report.result_tuples = len(rows)
+        return rows, report
+
+    def explain(self, query: StarQuery, access_path: str = "auto") -> dict:
+        """Describe how a query would be evaluated, without running it.
+
+        Returns a dictionary with the resolved access path, the chunk
+        decomposition (chunk interface), the chosen source table
+        (base or materialized), and the estimated physical work — the
+        inspection surface a query optimizer would log.
+        """
+        self._require_loaded()
+        if access_path == "auto":
+            has_selection = (
+                any(s is not None for s in query.selections)
+                or query.has_dim_filters()
+            )
+            access_path = (
+                "bitmap" if has_selection and self.bitmaps else "scan"
+            )
+        plan: dict = {"access_path": access_path, "groupby": query.groupby}
+        if access_path == "chunk" or self.chunked_file is not None:
+            grid = self.space.grid(query.groupby)
+            numbers = grid.chunk_numbers_for_selection(query.selections)
+            filters = query.effective_dim_filters(self.schema)
+            source = self._choose_source(query.groupby, filters)
+            pages, tuples = self.estimate_chunk_work(
+                query.groupby, numbers
+            )
+            plan["chunks"] = {
+                "count": len(numbers),
+                "source": (
+                    "base" if source is None else f"materialized{source[0]}"
+                ),
+                "estimated_pages": pages,
+                "estimated_tuples": tuples,
+            }
+        if access_path == "bitmap" and self.bitmaps:
+            plan["estimated_bitmap_pages"] = self.estimate_bitmap_pages(
+                query
+            )
+        if access_path == "scan":
+            assert self.fact_file is not None
+            plan["scan_pages"] = self.fact_file.num_pages
+        return plan
+
+    # ------------------------------------------------------------------
+    # Estimation helpers for the cache layers
+    # ------------------------------------------------------------------
+    def estimate_bitmap_pages(self, query: StarQuery) -> int:
+        """Expected page reads of the bitmap path (index + data pages).
+
+        An estimate used for cost-saving accounting; uses bitmap sizes and
+        the qualifying tuple count implied by the selection, assuming
+        uniformly spread data (the workload generator's distribution).
+        """
+        self._require_loaded()
+        assert self.fact_file is not None
+        try:
+            leaf_selection = query.leaf_selection(self.schema)
+        except QueryError:
+            return 0
+        index_pages = 0
+        fraction = 1.0
+        for dim, interval in zip(self.schema.dimensions, leaf_selection):
+            if interval is None:
+                continue
+            bitmap = self.bitmaps.get(dim.name)
+            if bitmap is None:
+                continue
+            num_values = interval[1] - interval[0]
+            index_pages += bitmap.pages_for_selection(num_values)
+            fraction *= num_values / dim.leaf_cardinality
+        expected_tuples = self.num_records * fraction
+        total_pages = self.fact_file.num_pages
+        # Feller: distinct pages among P when drawing n tuples at random.
+        if total_pages:
+            data_pages = total_pages * (
+                1.0 - (1.0 - 1.0 / total_pages) ** expected_tuples
+            )
+        else:
+            data_pages = 0.0
+        return index_pages + int(round(data_pages))
+
+
+def _concat(parts: list[np.ndarray], dtype: np.dtype) -> np.ndarray:
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+def _filter_rows(
+    schema: StarSchema, rows: np.ndarray, query: StarQuery
+) -> np.ndarray:
+    """Drop boundary-chunk rows outside the query's exact selection."""
+    if len(rows) == 0:
+        return rows
+    mask = np.ones(len(rows), dtype=bool)
+    for dim, level, interval in zip(
+        schema.dimensions, query.groupby, query.selections
+    ):
+        if level == 0 or interval is None:
+            continue
+        column = rows[dim.name]
+        mask &= (column >= interval[0]) & (column < interval[1])
+    if mask.all():
+        return rows
+    return rows[mask]

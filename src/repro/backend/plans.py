@@ -1,0 +1,90 @@
+"""Physical cost accounting for backend operations.
+
+Every backend operation returns a :class:`CostReport` describing the
+physical work it did: pages read from the simulated disk (buffer-pool
+misses only — hits are free, as on the paper's testbed), tuples pushed
+through operators, and result size.  Reports are additive, so the cost of
+answering a query from several chunk computations is the sum of the parts.
+
+The mapping from a report to a single scalar "execution time" lives in
+:class:`repro.analysis.cost.CostModel`; keeping the raw counters here lets
+experiments report both page counts (Figure 14) and modelled times
+(Figures 9–13) from the same measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+__all__ = ["CostReport", "measure_cost"]
+
+
+@dataclass
+class CostReport:
+    """Physical work done by one backend operation.
+
+    Attributes:
+        pages_read: Physical page reads (disk-level; buffer misses).
+        pages_written: Physical page writes.
+        tuples_scanned: Tuples decoded and pushed through operators.
+        result_tuples: Tuples in the produced result.
+        chunks_computed: Chunks materialized by this operation.
+        access_path: Human-readable tag (``"chunk"``, ``"bitmap"``,
+            ``"scan"``, ``"cache"``).
+    """
+
+    pages_read: int = 0
+    pages_written: int = 0
+    tuples_scanned: int = 0
+    result_tuples: int = 0
+    chunks_computed: int = 0
+    access_path: str = ""
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        paths = {p for p in (self.access_path, other.access_path) if p}
+        return CostReport(
+            pages_read=self.pages_read + other.pages_read,
+            pages_written=self.pages_written + other.pages_written,
+            tuples_scanned=self.tuples_scanned + other.tuples_scanned,
+            result_tuples=self.result_tuples + other.result_tuples,
+            chunks_computed=self.chunks_computed + other.chunks_computed,
+            access_path="+".join(sorted(paths)),
+        )
+
+    def merge(self, other: "CostReport") -> None:
+        """In-place accumulation (keeps this report's access path)."""
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.tuples_scanned += other.tuples_scanned
+        self.result_tuples += other.result_tuples
+        self.chunks_computed += other.chunks_computed
+
+
+class measure_cost:
+    """Context manager filling a :class:`CostReport` with disk I/O deltas.
+
+    Example:
+        >>> disk = SimulatedDisk()
+        >>> _ = disk.allocate()
+        >>> with measure_cost(disk, access_path="scan") as report:
+        ...     _ = disk.read_page(0)
+        >>> report.pages_read
+        1
+    """
+
+    def __init__(self, disk: SimulatedDisk, access_path: str = "") -> None:
+        self._disk = disk
+        self.report = CostReport(access_path=access_path)
+        self._before: DiskStats | None = None
+
+    def __enter__(self) -> CostReport:
+        self._before = self._disk.stats.copy()
+        return self.report
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._before is not None
+        delta = self._disk.stats.delta(self._before)
+        self.report.pages_read += delta.reads
+        self.report.pages_written += delta.writes

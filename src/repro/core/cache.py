@@ -1,0 +1,156 @@
+"""The byte-budgeted chunk cache.
+
+:class:`ChunkCache` maps :class:`~repro.core.chunk.ChunkKey` to
+:class:`~repro.core.chunk.CachedChunk` under a byte budget, delegating
+victim selection to a pluggable
+:class:`~repro.core.replacement.ReplacementPolicy`.  It knows nothing about
+queries — the split of a query into present and missing chunks lives in
+:class:`~repro.core.manager.ChunkCacheManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chunk import CachedChunk, ChunkKey
+from repro.core.replacement import ReplacementPolicy, make_policy
+from repro.exceptions import CacheError
+
+__all__ = ["ChunkCacheStats", "ChunkCache"]
+
+
+@dataclass
+class ChunkCacheStats:
+    """Hit/miss/eviction counters of a chunk cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Chunk-level hit ratio (0.0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ChunkCache:
+    """A byte-budgeted cache of chunks with pluggable replacement.
+
+    Args:
+        capacity_bytes: Total budget; entries are charged their payload
+            size plus a fixed overhead.
+        policy: A policy instance or name (``"lru"``, ``"clock"``,
+            ``"benefit"``).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: ReplacementPolicy | str = "benefit",
+    ) -> None:
+        if capacity_bytes < 0:
+            raise CacheError(f"negative capacity {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.stats = ChunkCacheStats()
+        self._entries: dict[ChunkKey, CachedChunk] = {}
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        return self._used_bytes
+
+    def keys(self) -> list[ChunkKey]:
+        """All resident chunk keys (snapshot)."""
+        return list(self._entries)
+
+    def peek(self, key: ChunkKey) -> CachedChunk | None:
+        """Entry lookup without touching stats or replacement state."""
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, key: ChunkKey) -> CachedChunk | None:
+        """Lookup one chunk; hits refresh its replacement state."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.policy.on_access(key)
+        return entry
+
+    def put(self, entry: CachedChunk) -> bool:
+        """Insert a chunk, evicting as needed; False if it was rejected.
+
+        An entry larger than the whole budget is rejected (admission
+        control).  Re-inserting a resident key refreshes its payload.
+        """
+        size = entry.size_bytes
+        if size > self.capacity_bytes:
+            self.stats.rejected += 1
+            return False
+        existing = self._entries.get(entry.key)
+        if existing is not None:
+            self._used_bytes -= existing.size_bytes
+            self._entries[entry.key] = entry
+            self._used_bytes += size
+            self.policy.on_access(entry.key)
+            # A refreshed payload may be larger than the old one; evict
+            # until the budget holds again (possibly evicting the
+            # refreshed entry itself).
+            while self._used_bytes > self.capacity_bytes:
+                self._evict_one(entry.benefit)
+            return entry.key in self._entries
+        while self._used_bytes + size > self.capacity_bytes:
+            self._evict_one(entry.benefit)
+        self._entries[entry.key] = entry
+        self._used_bytes += size
+        self.policy.on_insert(entry.key, entry.benefit)
+        self.stats.insertions += 1
+        return True
+
+    def invalidate(self, key: ChunkKey) -> bool:
+        """Drop one entry (e.g. after a base-table update); False if absent."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used_bytes -= entry.size_bytes
+        self.policy.remove(key)
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (stats are kept)."""
+        for key in list(self._entries):
+            self.invalidate(key)
+
+    def _evict_one(self, incoming_benefit: float) -> None:
+        victim_key = self.policy.victim(incoming_benefit)
+        victim = self._entries.pop(victim_key, None)
+        if victim is None:
+            raise CacheError(
+                f"policy evicted unknown key {victim_key!r} "
+                "(cache/policy state diverged)"
+            )
+        self._used_bytes -= victim.size_bytes
+        self.stats.evictions += 1

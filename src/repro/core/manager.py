@@ -1,0 +1,499 @@
+"""The middle-tier chunk cache manager — the paper's core contribution.
+
+:class:`ChunkCacheManager` sits between query streams and the backend
+engine and implements the full pipeline of Section 5.2:
+
+1. **Query analysis** — a cached chunk is reusable only when group-by,
+   aggregate list and non-group-by predicates match (conditions 1–3);
+   these three components are baked into every
+   :class:`~repro.core.chunk.ChunkKey`.
+2. **ComputeChunkNums** — the query's group-by selections become the list
+   of chunk numbers forming its bounding envelope
+   (:meth:`~repro.chunks.grid.ChunkGrid.chunk_numbers_for_selection`).
+3. **Query splitting** — the list is partitioned into cache-resident
+   chunks (``CNumsPresent``) and missing chunks (``CNumsMissing``).
+4. **Missing-chunk computation** — missing chunks are computed by the
+   backend through the chunk interface (closure property + chunked file);
+   optionally, the middle tier first tries to *derive* a missing chunk by
+   aggregating cached chunks of a finer group-by (the paper's Section 7
+   future-work extension, off by default).
+5. **Assembly** — chunk rows are concatenated and boundary rows outside
+   the exact selection are filtered out (chunks are a bounding envelope,
+   Section 5.2.3); newly computed chunks enter the cache under the
+   benefit-weighted replacement policy.
+
+Every answer carries a :class:`~repro.core.metrics.QueryRecord` so streams
+accumulate the paper's CSR and mean-time metrics as they run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cost import CostModel
+from repro.backend.aggregate import reaggregate
+from repro.backend.engine import BackendEngine
+from repro.backend.plans import CostReport
+from repro.core.cache import ChunkCache
+from repro.core.chunk import CachedChunk, ChunkKey
+from repro.chunks.closure import source_chunk_numbers, source_spans
+from repro.chunks.grid import ChunkSpace
+from repro.core.metrics import QueryRecord, StreamMetrics
+from repro.exceptions import CacheError
+from repro.query.model import StarQuery
+from repro.schema.star import GroupBy, StarSchema
+
+__all__ = ["Answer", "ChunkCacheManager"]
+
+#: Aggregates whose chunk partials can be merged in the middle tier.
+_DERIVABLE_AGGREGATES = {"sum", "count", "min", "max"}
+
+
+@dataclass
+class Answer:
+    """Result of answering one query through a cache manager.
+
+    Attributes:
+        rows: The query's result rows (exact — boundary tuples filtered).
+        record: The accounting record also appended to the manager's
+            :class:`~repro.core.metrics.StreamMetrics`.
+    """
+
+    rows: np.ndarray
+    record: QueryRecord
+
+
+class ChunkCacheManager:
+    """Answers star queries from a chunk cache backed by a chunked file.
+
+    Args:
+        schema: The star schema.
+        space: Shared chunk geometry (the same object the backend uses).
+        backend: A loaded chunked-organization backend engine.
+        cache: The chunk cache (policy and budget live there).
+        cost_model: Converts physical work into modelled time.
+        aggregate_in_cache: Enable the future-work extension — derive
+            missing chunks by aggregating cached chunks of finer
+            group-bys before falling back to the backend (Section 7).
+        prefetch_drilldown: Enable the paper's second future-work idea:
+            "more aggressive caching schemes, which fetch data at more
+            detail than what is required ... particularly useful for
+            drill down queries" (Section 7).  When the backend computes
+            missing chunks, it computes them one hierarchy level *finer*
+            on every grouped dimension (same base I/O — the base chunks
+            are identical), caches the detailed chunks, and derives the
+            requested level in the middle tier; a subsequent drill-down
+            then hits the cache.  Implies the derivation machinery, so
+            it forces ``aggregate_in_cache`` on and only engages for
+            decomposable aggregates.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        space: ChunkSpace,
+        backend: BackendEngine,
+        cache: ChunkCache,
+        cost_model: CostModel | None = None,
+        aggregate_in_cache: bool = False,
+        prefetch_drilldown: bool = False,
+    ) -> None:
+        if backend.chunked_file is None:
+            raise CacheError(
+                "ChunkCacheManager requires a chunked-organization backend"
+            )
+        self.schema = schema
+        self.space = space
+        self.backend = backend
+        self.cache = cache
+        self.cost_model = cost_model or CostModel()
+        self.aggregate_in_cache = aggregate_in_cache or prefetch_drilldown
+        self.prefetch_drilldown = prefetch_drilldown
+        self.metrics = StreamMetrics()
+        # Memoized per-chunk recomputation work: (groupby, number) ->
+        # (pages, base_tuples).  Exact and immutable once the file is
+        # loaded, so memoization is safe.
+        self._chunk_work: dict[tuple[GroupBy, int], tuple[int, int]] = {}
+        # Group-bys ever cached per compatibility key, for derivation.
+        self._seen_groupbys: dict[tuple, set[GroupBy]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def answer(self, query: StarQuery) -> Answer:
+        """Answer a query, reusing and updating the chunk cache."""
+        grid = self.space.grid(query.groupby)
+        numbers = grid.chunk_numbers_for_selection(query.selections)
+
+        present: dict[int, CachedChunk] = {}
+        missing: list[int] = []
+        for number in numbers:
+            key = ChunkKey(
+                query.groupby, number, query.aggregates,
+                query.fixed_predicates,
+            )
+            entry = self.cache.get(key)
+            if entry is None:
+                missing.append(number)
+            else:
+                present[number] = entry
+
+        derived: dict[int, np.ndarray] = {}
+        derived_tuples = 0
+        if self.aggregate_in_cache and missing:
+            missing, derived, derived_tuples = self._derive_from_cache(
+                query, missing
+            )
+
+        computed: dict[int, np.ndarray] = {}
+        report = CostReport(access_path="chunk")
+        if missing:
+            prefetched = None
+            if self.prefetch_drilldown:
+                prefetched = self._compute_with_prefetch(query, missing)
+            if prefetched is not None:
+                computed, report = prefetched
+            else:
+                computed, report = self.backend.compute_chunks(
+                    query.groupby, missing, query.aggregates,
+                    leaf_filters=query.effective_dim_filters(self.schema),
+                )
+
+        self._admit(query, computed)
+        self._admit(query, derived)
+
+        parts: list[np.ndarray] = []
+        cached_tuples = 0
+        for number in numbers:
+            if number in present:
+                parts.append(present[number].rows)
+                cached_tuples += present[number].num_rows
+            elif number in derived:
+                parts.append(derived[number])
+            else:
+                parts.append(computed[number])
+        rows = self._assemble(query, parts)
+
+        record = self._account(
+            query, numbers, present, derived, report,
+            cached_tuples, derived_tuples, len(rows),
+        )
+        self.metrics.record(record)
+        return Answer(rows=rows, record=record)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def describe_cache(self) -> dict:
+        """A snapshot of cache composition for debugging and reports.
+
+        Returns a dictionary with the byte usage, entry count, and a
+        per-group-by breakdown (resident chunks, bytes, total benefit) —
+        handy for seeing what the replacement policy is protecting.
+        """
+        per_groupby: dict[GroupBy, dict[str, float]] = {}
+        for key in self.cache.keys():
+            entry = self.cache.peek(key)
+            if entry is None:
+                continue
+            bucket = per_groupby.setdefault(
+                key.groupby, {"chunks": 0, "bytes": 0, "benefit": 0.0}
+            )
+            bucket["chunks"] += 1
+            bucket["bytes"] += entry.size_bytes
+            bucket["benefit"] += entry.benefit
+        return {
+            "used_bytes": self.cache.used_bytes,
+            "capacity_bytes": self.cache.capacity_bytes,
+            "entries": len(self.cache),
+            "hit_ratio": self.cache.stats.hit_ratio,
+            "evictions": self.cache.stats.evictions,
+            "per_groupby": dict(
+                sorted(
+                    per_groupby.items(),
+                    key=lambda item: item[1]["bytes"],
+                    reverse=True,
+                )
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Invalidation after base-table updates
+    # ------------------------------------------------------------------
+    def invalidate_base_chunks(self, base_numbers: list[int]) -> int:
+        """Drop every cached chunk whose region covers updated base data.
+
+        ``base_numbers`` is what
+        :meth:`repro.backend.engine.BackendEngine.append_records`
+        returns.  A cached chunk of any group-by is stale iff its
+        source-span block (closure property) contains one of the updated
+        base chunks; containment is a per-dimension coordinate check, so
+        the pass is O(cache size x updates).
+
+        Returns:
+            Number of chunks invalidated.
+        """
+        if not base_numbers:
+            return 0
+        # Updated data also changes recomputation costs: drop the
+        # memoized per-chunk work estimates along with the stale chunks.
+        self._chunk_work.clear()
+        base_grid = self.space.base_grid
+        coords = [base_grid.coords_of(number) for number in base_numbers]
+        removed = 0
+        spans_cache: dict[tuple[GroupBy, int], list[tuple[int, int]]] = {}
+        for key in self.cache.keys():
+            spans = spans_cache.get((key.groupby, key.number))
+            if spans is None:
+                spans = source_spans(
+                    self.space, key.groupby, key.number
+                )
+                spans_cache[(key.groupby, key.number)] = spans
+            for coordinate in coords:
+                if all(
+                    lo <= x < hi
+                    for x, (lo, hi) in zip(coordinate, spans)
+                ):
+                    self.cache.invalidate(key)
+                    removed += 1
+                    break
+        return removed
+
+    # ------------------------------------------------------------------
+    # Aggressive prefetching (Section 7 extension)
+    # ------------------------------------------------------------------
+    def _prefetch_groupby(self, groupby: GroupBy) -> GroupBy | None:
+        """One level finer on every grouped dimension, or None if there is
+        no finer level anywhere (already at full detail)."""
+        finer = tuple(
+            min(level + 1, dim.leaf_level) if level > 0 else 0
+            for dim, level in zip(self.schema.dimensions, groupby)
+        )
+        return finer if finer != tuple(groupby) else None
+
+    def _compute_with_prefetch(
+        self, query: StarQuery, missing: list[int]
+    ) -> tuple[dict[int, np.ndarray], CostReport] | None:
+        """Compute missing chunks via a finer group-by and cache both.
+
+        Returns None when prefetching does not apply (non-decomposable
+        aggregates or already at full detail), in which case the caller
+        falls back to the direct computation.
+        """
+        if not all(a in _DERIVABLE_AGGREGATES for _, a in query.aggregates):
+            return None
+        finer = self._prefetch_groupby(query.groupby)
+        if finer is None:
+            return None
+        # The fine chunks tiling each missing coarse chunk.
+        fine_numbers: set[int] = set()
+        sources: dict[int, list[int]] = {}
+        for number in missing:
+            numbers = source_chunk_numbers(
+                self.space, query.groupby, number, finer
+            )
+            sources[number] = numbers
+            fine_numbers.update(numbers)
+        fine_chunks, report = self.backend.compute_chunks(
+            finer, sorted(fine_numbers), query.aggregates,
+            leaf_filters=query.effective_dim_filters(self.schema),
+        )
+        # Cache the detailed chunks (the aggressive part).
+        fine_query = StarQuery(
+            groupby=finer,
+            selections=(None,) * self.schema.num_dimensions,
+            aggregates=query.aggregates,
+            dim_filters=query.dim_filters,
+            fixed_predicates=query.fixed_predicates,
+        )
+        self._admit(fine_query, fine_chunks)
+        # Derive the requested chunks in the middle tier.
+        computed: dict[int, np.ndarray] = {}
+        for number in missing:
+            parts = [
+                fine_chunks[src] for src in sources[number]
+                if len(fine_chunks[src])
+            ]
+            if parts:
+                stacked = np.concatenate(parts)
+                report.tuples_scanned += len(stacked)
+                computed[number] = reaggregate(
+                    self.schema,
+                    stacked,
+                    finer,
+                    query.groupby,
+                    query.aggregates,
+                    self.backend.mapper,
+                )
+            else:
+                computed[number] = query.result_format(
+                    self.schema
+                ).empty()
+        return computed, report
+
+    # ------------------------------------------------------------------
+    # Derivation from finer cached chunks (Section 7 extension)
+    # ------------------------------------------------------------------
+    def _derive_from_cache(
+        self, query: StarQuery, missing: list[int]
+    ) -> tuple[list[int], dict[int, np.ndarray], int]:
+        """Try to aggregate cached finer-level chunks into missing chunks.
+
+        A missing chunk is derivable when *all* of its source chunks under
+        some finer cached group-by are resident; the closure property
+        guarantees the sources exactly tile the target.  Returns the still
+        missing numbers, the derived rows, and the source tuples consumed.
+        """
+        if not all(a in _DERIVABLE_AGGREGATES for _, a in query.aggregates):
+            return missing, {}, 0
+        shape = (query.aggregates, query.fixed_predicates)
+        candidates = [
+            groupby
+            for groupby in self._seen_groupbys.get(shape, ())
+            if groupby != query.groupby
+            and self.schema.is_rollup_of(query.groupby, groupby)
+        ]
+        if not candidates:
+            return missing, {}, 0
+        derived: dict[int, np.ndarray] = {}
+        tuples_used = 0
+        still_missing: list[int] = []
+        for number in missing:
+            outcome = self._derive_one(query, number, candidates)
+            if outcome is None:
+                still_missing.append(number)
+            else:
+                rows, source_tuples = outcome
+                derived[number] = rows
+                tuples_used += source_tuples
+        return still_missing, derived, tuples_used
+
+    def _derive_one(
+        self,
+        query: StarQuery,
+        number: int,
+        candidates: list[GroupBy],
+    ) -> tuple[np.ndarray, int] | None:
+        for source_groupby in candidates:
+            source_numbers = source_chunk_numbers(
+                self.space, query.groupby, number, source_groupby
+            )
+            entries = []
+            for source_number in source_numbers:
+                key = ChunkKey(
+                    source_groupby, source_number, query.aggregates,
+                    query.fixed_predicates,
+                )
+                entry = self.cache.peek(key)
+                if entry is None:
+                    entries = None
+                    break
+                entries.append(entry)
+            if entries is None:
+                continue
+            # All sources resident: touch them (they earned their keep)
+            # and merge.
+            for entry in entries:
+                self.cache.get(entry.key)
+            source_rows = [e.rows for e in entries if len(e.rows)]
+            if source_rows:
+                stacked = np.concatenate(source_rows)
+            else:
+                stacked = entries[0].rows
+            merged = reaggregate(
+                self.schema,
+                stacked,
+                source_groupby,
+                query.groupby,
+                query.aggregates,
+                self.backend.mapper,
+            )
+            return merged, len(stacked)
+        return None
+
+    # ------------------------------------------------------------------
+    # Admission and assembly
+    # ------------------------------------------------------------------
+    def _admit(self, query: StarQuery, chunks: dict[int, np.ndarray]) -> None:
+        if not chunks:
+            return
+        benefit = self.space.chunk_benefit(query.groupby)
+        for number, rows in chunks.items():
+            pages, _ = self._work(query.groupby, number)
+            key = ChunkKey(
+                query.groupby, number, query.aggregates,
+                query.fixed_predicates,
+            )
+            self.cache.put(
+                CachedChunk(
+                    key=key, rows=rows, benefit=benefit,
+                    compute_pages=float(pages),
+                )
+            )
+        shape = (query.aggregates, query.fixed_predicates)
+        self._seen_groupbys.setdefault(shape, set()).add(query.groupby)
+
+    def _assemble(
+        self, query: StarQuery, parts: list[np.ndarray]
+    ) -> np.ndarray:
+        non_empty = [p for p in parts if len(p)]
+        if not non_empty:
+            return query.result_format(self.schema).empty()
+        rows = np.concatenate(non_empty)
+        mask = np.ones(len(rows), dtype=bool)
+        for dim, level, interval in zip(
+            self.schema.dimensions, query.groupby, query.selections
+        ):
+            if level == 0 or interval is None:
+                continue
+            column = rows[dim.name]
+            mask &= (column >= interval[0]) & (column < interval[1])
+        if mask.all():
+            return rows
+        return rows[mask]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _work(self, groupby: GroupBy, number: int) -> tuple[int, int]:
+        key = (groupby, number)
+        cached = self._chunk_work.get(key)
+        if cached is None:
+            cached = self.backend.estimate_chunk_work(groupby, [number])
+            self._chunk_work[key] = cached
+        return cached
+
+    def _account(
+        self,
+        query: StarQuery,
+        numbers: list[int],
+        present: dict[int, CachedChunk],
+        derived: dict[int, np.ndarray],
+        report: CostReport,
+        cached_tuples: int,
+        derived_tuples: int,
+        result_rows: int,
+    ) -> QueryRecord:
+        full_cost = 0.0
+        saved_cost = 0.0
+        for number in numbers:
+            pages, tuples = self._work(query.groupby, number)
+            chunk_cost = self.cost_model.backend_time(pages, tuples)
+            full_cost += chunk_cost
+            if number in present or number in derived:
+                saved_cost += chunk_cost
+        time = self.cost_model.time(
+            report, tuples_from_cache=cached_tuples + derived_tuples
+        )
+        return QueryRecord(
+            time=time,
+            full_cost=full_cost,
+            saved_cost=saved_cost,
+            chunks_total=len(numbers),
+            chunks_hit=len(present),
+            chunks_derived=len(derived),
+            pages_read=report.pages_read,
+            result_rows=result_rows,
+        )

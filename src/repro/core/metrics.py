@@ -1,0 +1,147 @@
+"""Performance metrics: per-query records, CSR, and summaries.
+
+The paper evaluates caching schemes with two metrics (Section 6.1.3):
+
+1. the average execution time of the **last 100 queries** of a stream
+   (steady-state behaviour after warm-up), and
+2. the **Cost Saving Ratio** [SSV]::
+
+       CSR = sum_i(c_i * h_i) / sum_i(c_i * r_i)
+
+   the fraction of total query *cost* saved by the cache — preferred over
+   plain hit ratio because OLAP query costs vary by orders of magnitude
+   with the level of aggregation.
+
+For chunk-based caching a query can be a *partial* hit, so the natural
+generalization used here charges each query its cost-to-compute estimate
+``full_cost`` and credits ``saved_cost`` for the fraction served from the
+cache; with whole-query hits/misses this reduces exactly to the [SSV]
+formula.  Both the estimates (deterministic, buffer-independent) and the
+measured simulated times (including buffer-pool effects) are recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["QueryRecord", "StreamMetrics"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Outcome of one query through a cache manager.
+
+    Attributes:
+        time: Modelled execution time actually incurred (cost units).
+        full_cost: Modelled cost had the cache been empty.
+        saved_cost: Portion of ``full_cost`` served from the cache.
+        chunks_total: Chunks the query decomposed into (1 for query-level
+            caching).
+        chunks_hit: Chunks served from the cache.
+        chunks_derived: Chunks derived by middle-tier aggregation of other
+            cached chunks (the future-work extension; 0 otherwise).
+        pages_read: Physical backend pages read.
+        result_rows: Rows returned to the client.
+    """
+
+    time: float
+    full_cost: float
+    saved_cost: float
+    chunks_total: int
+    chunks_hit: int
+    chunks_derived: int = 0
+    pages_read: int = 0
+    result_rows: int = 0
+
+    @property
+    def is_full_hit(self) -> bool:
+        """Whether the query never touched the backend."""
+        return self.chunks_hit + self.chunks_derived >= self.chunks_total
+
+
+class StreamMetrics:
+    """Accumulates per-query records and derives the paper's metrics."""
+
+    def __init__(self) -> None:
+        self._records: list[QueryRecord] = []
+
+    def record(self, record: QueryRecord) -> None:
+        """Append one query outcome."""
+        if record.full_cost < 0 or record.time < 0:
+            raise ExperimentError("costs must be non-negative")
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[QueryRecord]:
+        """All records in arrival order."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    # The paper's metrics
+    # ------------------------------------------------------------------
+    def cost_saving_ratio(self) -> float:
+        """CSR over the whole stream (0.0 for an empty stream)."""
+        total = sum(r.full_cost for r in self._records)
+        if total == 0:
+            return 0.0
+        saved = sum(r.saved_cost for r in self._records)
+        return saved / total
+
+    def mean_time_last(self, n: int = 100) -> float:
+        """Mean modelled execution time of the last ``n`` queries."""
+        if n < 1:
+            raise ExperimentError(f"n must be >= 1, got {n}")
+        tail = self._records[-n:]
+        if not tail:
+            return 0.0
+        return sum(r.time for r in tail) / len(tail)
+
+    def mean_time(self) -> float:
+        """Mean modelled execution time over the whole stream."""
+        if not self._records:
+            return 0.0
+        return sum(r.time for r in self._records) / len(self._records)
+
+    def total_time(self) -> float:
+        """Total modelled execution time."""
+        return sum(r.time for r in self._records)
+
+    # ------------------------------------------------------------------
+    # Secondary statistics
+    # ------------------------------------------------------------------
+    def chunk_hit_ratio(self) -> float:
+        """Chunks served from cache over chunks requested."""
+        total = sum(r.chunks_total for r in self._records)
+        if not total:
+            return 0.0
+        hit = sum(r.chunks_hit + r.chunks_derived for r in self._records)
+        return hit / total
+
+    def full_hit_ratio(self) -> float:
+        """Queries answered without touching the backend."""
+        if not self._records:
+            return 0.0
+        hits = sum(1 for r in self._records if r.is_full_hit)
+        return hits / len(self._records)
+
+    def total_pages_read(self) -> int:
+        """Total physical backend pages read."""
+        return sum(r.pages_read for r in self._records)
+
+    def summary(self) -> dict[str, float]:
+        """All headline numbers in one dictionary (for reports)."""
+        return {
+            "queries": float(len(self._records)),
+            "csr": self.cost_saving_ratio(),
+            "mean_time": self.mean_time(),
+            "mean_time_last_100": self.mean_time_last(100),
+            "chunk_hit_ratio": self.chunk_hit_ratio(),
+            "full_hit_ratio": self.full_hit_ratio(),
+            "pages_read": float(self.total_pages_read()),
+        }

@@ -1,0 +1,314 @@
+"""Query-level caching — the baseline scheme of Section 6.1.4.
+
+:class:`QueryCacheManager` caches *entire query results* and answers a new
+query from the cache only when some cached query **contains** it
+(:func:`repro.query.containment.query_contains`).  Misses are evaluated at
+the backend through its bitmap access path (the paper builds a bitmap
+index on the fact table for exactly this purpose) and the whole result is
+admitted to the cache.
+
+Replacement is benefit-based like the chunk scheme's ("the replacement
+policy is benefit based, as described for chunks"): an entry's weight is
+the estimated backend cost of recomputing it, run through the same
+benefit-weighted CLOCK.  This isolates the experiment's variable — the
+*unit* of caching — from the replacement policy.
+
+The two structural drawbacks the paper attributes to this scheme emerge
+naturally here:
+
+- **no partial reuse** — a query overlapping but not contained in cached
+  results recomputes everything; and
+- **redundant storage** — overlapping cached results store shared regions
+  multiple times, shrinking the effective cache (measured by
+  :meth:`QueryCacheManager.redundancy_ratio`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cost import CostModel
+from repro.backend.engine import BackendEngine
+from repro.backend.plans import CostReport
+from repro.core.chunk import CachedQuery
+from repro.core.manager import Answer
+from repro.core.metrics import QueryRecord, StreamMetrics
+from repro.core.replacement import ReplacementPolicy, make_policy
+from repro.exceptions import CacheError
+from repro.query.containment import query_contains
+from repro.query.model import StarQuery
+from repro.query.predicates import selection_cardinality, selection_intersect
+from repro.schema.star import StarSchema
+
+__all__ = ["QueryCacheManager"]
+
+
+class QueryCacheManager:
+    """Answers star queries from a whole-query-result cache.
+
+    Args:
+        schema: The star schema.
+        backend: A loaded backend engine (any organization; misses use the
+            bitmap path when available, else a scan).
+        capacity_bytes: Cache budget.
+        cost_model: Converts physical work into modelled time.
+        policy: Replacement policy instance or name (default: the same
+            benefit-weighted CLOCK the chunk scheme uses).
+        miss_path: Backend access path on a miss (``"auto"`` picks bitmap
+            when selections exist).
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        backend: BackendEngine,
+        capacity_bytes: int,
+        cost_model: CostModel | None = None,
+        policy: ReplacementPolicy | str = "benefit",
+        miss_path: str = "auto",
+    ) -> None:
+        if capacity_bytes < 0:
+            raise CacheError(f"negative capacity {capacity_bytes}")
+        self.schema = schema
+        self.backend = backend
+        self.capacity_bytes = capacity_bytes
+        self.cost_model = cost_model or CostModel()
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.miss_path = miss_path
+        self.metrics = StreamMetrics()
+        self._entries: dict[tuple, CachedQuery] = {}
+        self._by_shape: dict[tuple, list[tuple]] = {}
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        return self._used_bytes
+
+    def redundancy_ratio(self) -> float:
+        """Stored cells over distinct cells across cached results.
+
+        1.0 means no overlap; higher values quantify the redundant storage
+        of overlapping query results (cells are counted in selection
+        space, pairwise via inclusion–exclusion is avoided by exact
+        enumeration per shape, which is fine at experiment scale).
+        """
+        stored = 0
+        distinct = 0
+        for shape, keys in self._by_shape.items():
+            entries = [self._entries[k] for k in keys if k in self._entries]
+            if not entries:
+                continue
+            domain_sizes = [
+                dim.cardinality(level) if level > 0 else 1
+                for dim, level in zip(
+                    self.schema.dimensions, entries[0].query.groupby
+                )
+            ]
+            cells: set[tuple] = set()
+            for entry in entries:
+                count = selection_cardinality(
+                    entry.query.selections, domain_sizes
+                )
+                stored += count
+                cells.update(
+                    self._cell_ids(entry.query.selections, domain_sizes)
+                )
+            distinct += len(cells)
+        if distinct == 0:
+            return 1.0
+        return stored / distinct
+
+    @staticmethod
+    def _cell_ids(selections, domain_sizes) -> set[tuple]:
+        spans = []
+        for interval, size in zip(selections, domain_sizes):
+            if interval is None:
+                spans.append(range(size))
+            else:
+                spans.append(range(interval[0], interval[1]))
+        cells = {()}
+        for span in spans:
+            cells = {cell + (i,) for cell in cells for i in span}
+        return cells
+
+    # ------------------------------------------------------------------
+    # Invalidation after base-table updates
+    # ------------------------------------------------------------------
+    def invalidate_base_chunks(self, base_numbers: list[int]) -> int:
+        """Drop cached query results whose region covers updated data.
+
+        A cached result is stale iff its leaf-level selection region
+        intersects any updated base chunk's cell block.
+
+        Returns:
+            Number of entries invalidated.
+        """
+        if not base_numbers:
+            return 0
+        base_grid = (
+            self.backend.space.base_grid
+            if self.backend.chunked_file is not None
+            else None
+        )
+        if base_grid is None:
+            # Without chunk geometry the safe answer is "drop everything".
+            removed = len(self._entries)
+            for key in list(self._entries):
+                self._drop(key)
+            return removed
+        blocks = []
+        for number in base_numbers:
+            ranges = base_grid.cell_ranges(number)
+            blocks.append(
+                tuple((r.lo, r.hi) for r in ranges if r is not None)
+            )
+        removed = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            try:
+                region = entry.query.leaf_selection(self.schema)
+            except Exception:
+                region = (None,) * self.schema.num_dimensions
+            for block in blocks:
+                if all(
+                    interval is None
+                    or (interval[0] < hi and lo < interval[1])
+                    for interval, (lo, hi) in zip(region, block)
+                ):
+                    self._drop(key)
+                    removed += 1
+                    break
+        return removed
+
+    def _drop(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self._used_bytes -= entry.size_bytes
+        self.policy.remove(key)
+        keys = self._by_shape.get(entry.query.cache_compatible_key())
+        if keys is not None and key in keys:
+            keys.remove(key)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def answer(self, query: StarQuery) -> Answer:
+        """Answer a query, reusing and updating the query cache."""
+        full_cost = self._estimate_full_cost(query)
+        hit = self._find_containing(query)
+        if hit is not None:
+            self.policy.on_access(hit.query.exact_key())
+            rows = self._filter(hit.rows, query)
+            time = self.cost_model.time(
+                CostReport(access_path="cache"),
+                tuples_from_cache=hit.num_rows,
+            )
+            record = QueryRecord(
+                time=time,
+                full_cost=full_cost,
+                saved_cost=full_cost,
+                chunks_total=1,
+                chunks_hit=1,
+                pages_read=0,
+                result_rows=len(rows),
+            )
+            self.metrics.record(record)
+            return Answer(rows=rows, record=record)
+
+        rows, report = self.backend.answer(query, self.miss_path)
+        self._admit(query, rows, benefit=full_cost)
+        time = self.cost_model.time(report)
+        record = QueryRecord(
+            time=time,
+            full_cost=full_cost,
+            saved_cost=0.0,
+            chunks_total=1,
+            chunks_hit=0,
+            pages_read=report.pages_read,
+            result_rows=len(rows),
+        )
+        self.metrics.record(record)
+        return Answer(rows=rows, record=record)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find_containing(self, query: StarQuery) -> CachedQuery | None:
+        shape = query.cache_compatible_key()
+        for key in self._by_shape.get(shape, ()):  # insertion order
+            entry = self._entries.get(key)
+            if entry is not None and query_contains(entry.query, query):
+                return entry
+        return None
+
+    def _filter(self, rows: np.ndarray, query: StarQuery) -> np.ndarray:
+        if len(rows) == 0:
+            return rows
+        mask = np.ones(len(rows), dtype=bool)
+        for dim, level, interval in zip(
+            self.schema.dimensions, query.groupby, query.selections
+        ):
+            if level == 0 or interval is None:
+                continue
+            column = rows[dim.name]
+            mask &= (column >= interval[0]) & (column < interval[1])
+        if mask.all():
+            return rows.copy()
+        return rows[mask]
+
+    def _estimate_full_cost(self, query: StarQuery) -> float:
+        """Modelled cost of computing the query at the backend (cold)."""
+        if self.backend.chunked_file is not None:
+            grid = self.backend.space.grid(query.groupby)
+            numbers = grid.chunk_numbers_for_selection(query.selections)
+            pages, tuples = self.backend.estimate_chunk_work(
+                query.groupby, numbers
+            )
+            return self.cost_model.backend_time(pages, tuples)
+        pages = self.backend.estimate_bitmap_pages(query)
+        return self.cost_model.backend_time(pages)
+
+    def _admit(
+        self, query: StarQuery, rows: np.ndarray, benefit: float
+    ) -> None:
+        entry = CachedQuery(query=query, rows=rows, benefit=benefit)
+        if entry.size_bytes > self.capacity_bytes:
+            return
+        key = query.exact_key()
+        if key in self._entries:
+            self._used_bytes -= self._entries[key].size_bytes
+            self._entries[key] = entry
+            self._used_bytes += entry.size_bytes
+            self.policy.on_access(key)
+            return
+        while self._used_bytes + entry.size_bytes > self.capacity_bytes:
+            self._evict_one(benefit)
+        self._entries[key] = entry
+        self._used_bytes += entry.size_bytes
+        shape = query.cache_compatible_key()
+        self._by_shape.setdefault(shape, []).append(key)
+        self.policy.on_insert(key, benefit)
+
+    def _evict_one(self, incoming_benefit: float) -> None:
+        victim_key = self.policy.victim(incoming_benefit)
+        victim = self._entries.pop(victim_key, None)
+        if victim is None:
+            raise CacheError(
+                "policy evicted unknown query key (state diverged)"
+            )
+        self._used_bytes -= victim.size_bytes
+        shape = victim.query.cache_compatible_key()
+        keys = self._by_shape.get(shape)
+        if keys is not None:
+            try:
+                keys.remove(victim_key)
+            except ValueError:
+                pass

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A star schema, dimension, or hierarchy definition is invalid."""
+
+
+class UnknownMemberError(SchemaError, KeyError):
+    """A dimension member (value or ordinal) does not exist at a level."""
+
+
+class ChunkingError(ReproError):
+    """Chunk ranges or chunk numbering were used inconsistently."""
+
+
+class StorageError(ReproError):
+    """Base class for failures in the simulated storage engine."""
+
+
+class PageError(StorageError):
+    """A page id is out of range or a page payload is malformed."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a pin request (all frames pinned)."""
+
+
+class FileFormatError(StorageError):
+    """A stored file (heap/fact/chunked) is structurally inconsistent."""
+
+
+class IndexError_(StorageError):
+    """A B-tree or bitmap index was queried or built incorrectly.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A star query is malformed or incompatible with the schema."""
+
+
+class SQLParseError(QueryError):
+    """The mini-SQL parser rejected a statement."""
+
+
+class CacheError(ReproError):
+    """The chunk or query cache was configured or used incorrectly."""
+
+
+class BackendError(ReproError):
+    """The backend engine could not evaluate a request."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run failed."""

@@ -1,0 +1,43 @@
+"""Reproduction harness for the paper's evaluation section (Section 6).
+
+One module per table/figure; see :mod:`repro.experiments.registry` for the
+index and ``DESIGN.md`` §4 for the experiment-to-module map.
+"""
+
+from repro.experiments.configs import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    Scale,
+    build_paper_schema,
+    cube_size_bytes,
+)
+from repro.experiments.harness import (
+    System,
+    build_system,
+    get_system,
+    make_chunk_manager,
+    make_mix_stream,
+    make_query_manager,
+    reset_backend,
+    run_stream,
+)
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = [
+    "Scale",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "SMOKE_SCALE",
+    "build_paper_schema",
+    "cube_size_bytes",
+    "System",
+    "build_system",
+    "get_system",
+    "make_chunk_manager",
+    "make_query_manager",
+    "make_mix_stream",
+    "reset_backend",
+    "run_stream",
+    "ExperimentResult",
+]

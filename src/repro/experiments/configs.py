@@ -1,0 +1,138 @@
+"""Paper constants and experiment configuration.
+
+Section 6.1.1 of the paper fixes the evaluation setup; the constants here
+mirror it:
+
+- **Table 1** — four dimensions with hierarchy sizes 3/2/3/2 and the
+  distinct-value counts in :data:`TABLE1_CARDINALITIES` (rows are levels,
+  most aggregated first; level numbers grow toward detail);
+- 500 000 base tuples of 20 bytes, a 300 MB cube, a 30 MB cache (10 % of
+  the cube) and an 8 MB backend buffer pool;
+- streams of 1500 queries; metrics over the last 100.
+
+The default :class:`Scale` shrinks tuple and query counts so the whole
+suite runs in minutes in pure Python while keeping every *ratio* of the
+setup (cache = 10 % of cube, buffer pool ≈ 10 % of the fact file);
+``PAPER_SCALE`` restores the full figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ExperimentError
+from repro.schema.builder import build_star_schema
+from repro.schema.star import StarSchema
+from repro.storage.record import groupby_record_format
+
+__all__ = [
+    "TABLE1_CARDINALITIES",
+    "TABLE1_HIERARCHY_SIZES",
+    "TABLE2_MIXES",
+    "Scale",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "SMOKE_SCALE",
+    "build_paper_schema",
+    "cube_size_bytes",
+]
+
+#: Table 1 — distinct values per level (most aggregated level first).
+TABLE1_CARDINALITIES: tuple[tuple[int, ...], ...] = (
+    (25, 50, 100),  # D0, hierarchy size 3
+    (25, 50),       # D1, hierarchy size 2
+    (5, 25, 50),    # D2, hierarchy size 3
+    (10, 50),       # D3, hierarchy size 2
+)
+
+#: Table 1 — hierarchy sizes per dimension.
+TABLE1_HIERARCHY_SIZES: tuple[int, ...] = tuple(
+    len(c) for c in TABLE1_CARDINALITIES
+)
+
+#: Table 2 — locality parameters (probability of Proximity / Random).
+TABLE2_MIXES: tuple[tuple[str, float, float], ...] = (
+    ("Random", 0.0, 1.0),
+    ("EQPR", 0.5, 0.5),
+    ("Proximity", 0.8, 0.2),
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale: dataset, stream and budget sizes.
+
+    Attributes:
+        num_tuples: Base fact-table tuples.
+        num_queries: Queries per stream.
+        tail_queries: Window of the mean-execution-time metric.
+        chunk_ratio: Chunk-range / dimension-range ratio (Section 5.1).
+        cache_fraction_of_cube: Cache budget as a fraction of the cube
+            size in bytes (paper: 30 MB of 300 MB = 0.1).
+        buffer_fraction_of_fact: Backend buffer pool as a fraction of the
+            fact file's pages.
+        page_size: Disk page size in bytes.
+        seed: Base RNG seed for data and streams.
+    """
+
+    num_tuples: int = 100_000
+    num_queries: int = 1000
+    tail_queries: int = 100
+    chunk_ratio: float = 0.2
+    cache_fraction_of_cube: float = 0.1
+    buffer_fraction_of_fact: float = 0.1
+    page_size: int = 4096
+    seed: int = 1998
+
+    def __post_init__(self) -> None:
+        if self.num_tuples < 1 or self.num_queries < 1:
+            raise ExperimentError("scale sizes must be positive")
+        if not 0 < self.chunk_ratio <= 1:
+            raise ExperimentError("chunk_ratio must be in (0, 1]")
+        if not 0 < self.cache_fraction_of_cube <= 1:
+            raise ExperimentError("cache fraction must be in (0, 1]")
+
+    def with_overrides(self, **kwargs: object) -> "Scale":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Fast scale for CI and benchmarks (minutes for the whole suite).
+DEFAULT_SCALE = Scale()
+
+#: The paper's full configuration (Section 6.1.1).
+PAPER_SCALE = Scale(num_tuples=500_000, num_queries=1500)
+
+#: Tiny scale for unit tests (seconds).
+SMOKE_SCALE = Scale(num_tuples=20_000, num_queries=60)
+
+
+def build_paper_schema(measure_names: tuple[str, ...] = ("sales",)) -> StarSchema:
+    """The Table 1 star schema: 4 dimensions, hierarchy sizes 3/2/3/2."""
+    return build_star_schema(
+        TABLE1_CARDINALITIES,
+        measure_names=measure_names,
+        name="table1",
+    )
+
+
+def cube_size_bytes(schema: StarSchema, num_tuples: int | None = None) -> int:
+    """Size of the fully materialized cube in bytes.
+
+    Sum over every group-by of its result cardinality times its result
+    row size — the quantity the paper's "300 MB cube" refers to.  A
+    group-by can never hold more rows than the base table has tuples, so
+    when ``num_tuples`` is given each group-by's cardinality is capped by
+    it (this is what makes the paper's 500 000-tuple base table yield a
+    300 MB rather than multi-GB cube).
+    """
+    if num_tuples is not None and num_tuples < 0:
+        raise ExperimentError(f"negative num_tuples {num_tuples}")
+    total = 0
+    for groupby in schema.all_groupbys():
+        fmt = groupby_record_format(schema, groupby)
+        rows = schema.groupby_cardinality(groupby)
+        if num_tuples is not None:
+            rows = min(rows, num_tuples)
+        total += rows * fmt.record_size
+    return total

@@ -1,0 +1,103 @@
+"""Section 4.2 analysis — Feller's occupancy model vs measurement.
+
+Validates the paper's analytical explanation of the bitmap speedup: on a
+randomly ordered file, a selection qualifying ``n`` tuples should touch
+``f(n, P)`` of the ``P`` data pages; on a chunked file the candidate set
+shrinks to the pages of the intersected chunks.  We measure the *data*
+pages actually touched (positions -> distinct pages, excluding index
+pages) and compare against the closed forms of
+:mod:`repro.analysis.probability`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.probability import (
+    expected_pages_chunked,
+    expected_pages_random,
+)
+from repro.experiments.fig14 import (
+    SELECTION_WIDTHS,
+    BitmapSetup,
+    build_bitmap_setup,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.storage.chunkedfile import tuple_chunk_numbers
+
+__all__ = ["run"]
+
+
+def run(
+    setup: BitmapSetup | None = None,
+    queries_per_width: int = 8,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Compare measured data-page counts against the Feller model."""
+    setup = setup or build_bitmap_setup()
+    rng = np.random.default_rng(seed)
+    domain = setup.schema.dimensions[0].leaf_cardinality
+    random_file = setup.random_engine.fact_file
+    chunked_file = setup.chunked_engine.chunked_file
+    assert random_file is not None and chunked_file is not None
+    stored_random = random_file.read_all()
+    stored_chunked = chunked_file.read_all()
+    total_pages = random_file.num_pages
+
+    result = ExperimentResult(
+        experiment_id="feller",
+        title="Sec 4.2: Feller occupancy model vs measured data pages",
+        columns=[
+            "width", "tuples",
+            "measured_random", "model_random",
+            "measured_chunked", "model_chunked",
+        ],
+        expectation=(
+            "measured random-file pages track f(n, P); chunked-file pages "
+            "track the chunk-capped model and sit far below"
+        ),
+        notes=f"P={total_pages} data pages",
+    )
+
+    base_grid = setup.chunked_engine.space.base_grid
+    chunks_a = base_grid.shape[0]
+    pages_per_chunk = total_pages / base_grid.num_chunks
+
+    for width in SELECTION_WIDTHS:
+        measured_r, measured_c, tuples_total = 0.0, 0.0, 0.0
+        starts = rng.integers(0, domain - width + 1, queries_per_width)
+        for start in starts:
+            lo, hi = int(start), int(start) + width
+            mask_r = (stored_random["A"] >= lo) & (stored_random["A"] < hi)
+            mask_c = (stored_chunked["A"] >= lo) & (stored_chunked["A"] < hi)
+            measured_r += random_file.count_pages_for_positions(
+                np.flatnonzero(mask_r)
+            )
+            measured_c += chunked_file.fact_file.count_pages_for_positions(
+                np.flatnonzero(mask_c)
+            )
+            tuples_total += int(mask_r.sum())
+        n = queries_per_width
+        mean_tuples = tuples_total / n
+        # Chunk footprint of the selection: the A-chunks it intersects
+        # times all B-chunks (no restriction on B).
+        selected_chunks = (width / domain) * chunks_a + 1
+        selected_chunks = min(chunks_a, selected_chunks) * base_grid.shape[1]
+        result.add(
+            width=width,
+            tuples=mean_tuples,
+            measured_random=measured_r / n,
+            model_random=expected_pages_random(mean_tuples, total_pages),
+            measured_chunked=measured_c / n,
+            model_chunked=expected_pages_chunked(
+                mean_tuples,
+                total_pages,
+                selected_chunks=selected_chunks,
+                pages_per_chunk=pages_per_chunk,
+            ),
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

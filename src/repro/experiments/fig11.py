@@ -1,0 +1,56 @@
+"""Figure 11 — effect of cache size on chunk caching (EQPR stream).
+
+Sweeps the chunk cache budget over fractions of the cube size.  The
+paper's shape: CSR rises and mean execution time falls monotonically as
+the cache grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import DEFAULT_SCALE, Scale
+from repro.experiments.harness import (
+    get_system,
+    make_chunk_manager,
+    make_mix_stream,
+    run_stream,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.workload.generator import EQPR
+
+__all__ = ["run", "CACHE_FRACTIONS"]
+
+#: Cache budgets swept, as fractions of the cube size (paper: 30 MB of a
+#: 300 MB cube is the 0.1 point).
+CACHE_FRACTIONS = (0.01, 0.025, 0.05, 0.1, 0.2)
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Reproduce Figure 11 at the given scale."""
+    system = get_system(scale)
+    stream = make_mix_stream(system, EQPR)
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Figure 11: Effect of Cache Size (EQPR, chunk caching)",
+        columns=[
+            "cache_fraction", "cache_bytes", "csr",
+            "mean_time_last", "chunk_hit_ratio",
+        ],
+        expectation="CSR rises and execution time falls as the cache grows",
+        notes=f"cube size {system.cube_bytes} bytes",
+    )
+    for fraction in CACHE_FRACTIONS:
+        cache_bytes = int(system.cube_bytes * fraction)
+        manager = make_chunk_manager(system, cache_bytes=cache_bytes)
+        metrics = run_stream(manager, stream)
+        result.add(
+            cache_fraction=fraction,
+            cache_bytes=cache_bytes,
+            csr=metrics.cost_saving_ratio(),
+            mean_time_last=metrics.mean_time_last(scale.tail_queries),
+            chunk_hit_ratio=metrics.chunk_hit_ratio(),
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,28 @@
+"""OLAP star-schema data model: hierarchies, dimensions, measures.
+
+See Section 2.1 of the paper.  The public surface:
+
+- :class:`~repro.schema.hierarchy.Level`, :class:`~repro.schema.hierarchy.Hierarchy`
+- :class:`~repro.schema.dimension.Dimension`, :class:`~repro.schema.dimension.DomainIndex`
+- :class:`~repro.schema.star.Measure`, :class:`~repro.schema.star.StarSchema`
+- :func:`~repro.schema.builder.build_dimension`,
+  :func:`~repro.schema.builder.build_star_schema`
+"""
+
+from repro.schema.builder import build_dimension, build_star_schema
+from repro.schema.dimension import Dimension, DomainIndex
+from repro.schema.hierarchy import Hierarchy, Level, even_child_starts
+from repro.schema.star import GroupBy, Measure, StarSchema
+
+__all__ = [
+    "Level",
+    "Hierarchy",
+    "even_child_starts",
+    "Dimension",
+    "DomainIndex",
+    "Measure",
+    "StarSchema",
+    "GroupBy",
+    "build_dimension",
+    "build_star_schema",
+]

@@ -1,0 +1,140 @@
+"""Builders for synthetic dimensions and schemas.
+
+The paper evaluates on a randomly generated 4-dimensional dataset whose
+hierarchy shape is given by Table 1 (reproduced in
+:data:`repro.experiments.configs.TABLE1_CARDINALITIES`).  These helpers turn
+such cardinality lists into fully wired :class:`~repro.schema.dimension.Dimension`
+objects, with either an even fanout or a seeded random fanout, and assemble
+them into a :class:`~repro.schema.star.StarSchema`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import SchemaError
+from repro.schema.dimension import Dimension
+from repro.schema.hierarchy import Hierarchy, Level, even_child_starts
+from repro.schema.star import Measure, StarSchema
+
+__all__ = [
+    "build_dimension",
+    "random_child_starts",
+    "build_star_schema",
+]
+
+
+def build_dimension(
+    name: str,
+    cardinalities: Sequence[int],
+    level_names: Sequence[str] | None = None,
+    fanout: str = "even",
+    seed: int | None = None,
+) -> Dimension:
+    """Build a dimension from per-level cardinalities.
+
+    Args:
+        name: Dimension name.
+        cardinalities: Members per level, most aggregated first (the layout
+            of the paper's Table 1 columns).
+        level_names: Optional level names; defaults to ``L1``, ``L2``...
+        fanout: ``"even"`` for an even child distribution or ``"random"``
+            for a seeded random one (every parent keeps >= 1 child).
+        seed: Seed for the random fanout; ignored for ``"even"``.
+
+    Returns:
+        A :class:`Dimension` with synthetic member values.
+    """
+    if not cardinalities:
+        raise SchemaError("cardinalities must be non-empty")
+    if level_names is None:
+        level_names = [f"L{i}" for i in range(1, len(cardinalities) + 1)]
+    if len(level_names) != len(cardinalities):
+        raise SchemaError(
+            f"{len(level_names)} level names for {len(cardinalities)} levels"
+        )
+    levels = [
+        Level(number=i, name=level_name, cardinality=card)
+        for i, (level_name, card) in enumerate(
+            zip(level_names, cardinalities), start=1
+        )
+    ]
+    if fanout == "even":
+        child_starts = [
+            even_child_starts(p, c)
+            for p, c in zip(cardinalities, cardinalities[1:])
+        ]
+    elif fanout == "random":
+        rng = random.Random(seed)
+        child_starts = [
+            random_child_starts(p, c, rng)
+            for p, c in zip(cardinalities, cardinalities[1:])
+        ]
+    else:
+        raise SchemaError(f"unknown fanout {fanout!r}; use 'even' or 'random'")
+    hierarchy = Hierarchy(levels, child_starts)
+    return Dimension(name, hierarchy)
+
+
+def random_child_starts(
+    parents: int, children: int, rng: random.Random
+) -> tuple[int, ...]:
+    """A random child-starts table giving every parent at least one child.
+
+    Chooses ``parents - 1`` distinct cut points among the ``children - 1``
+    interior gaps, so block sizes are uniformly random subject to the
+    at-least-one-child constraint.
+    """
+    if children < parents:
+        raise SchemaError(
+            f"cannot give {parents} parents at least one child each "
+            f"from {children} children"
+        )
+    if parents == 1:
+        return (0, children)
+    cuts = sorted(rng.sample(range(1, children), parents - 1))
+    return (0, *cuts, children)
+
+
+def build_star_schema(
+    dimension_cardinalities: Sequence[Sequence[int]],
+    measure_names: Sequence[str] = ("value",),
+    dimension_names: Sequence[str] | None = None,
+    fanout: str = "even",
+    seed: int | None = None,
+    name: str = "synthetic",
+) -> StarSchema:
+    """Build a full star schema from a list of cardinality lists.
+
+    Args:
+        dimension_cardinalities: One cardinality list per dimension, each
+            most-aggregated-level first (one row of the paper's Table 1 is
+            one column here).
+        measure_names: Names of the (float, sum-aggregated) measures.
+        dimension_names: Optional names; defaults to ``D0``, ``D1``...
+        fanout: Passed through to :func:`build_dimension`.
+        seed: Base seed; dimension ``i`` uses ``seed + i`` so random fanouts
+            differ between dimensions yet stay reproducible.
+        name: Schema name.
+    """
+    if dimension_names is None:
+        dimension_names = [f"D{i}" for i in range(len(dimension_cardinalities))]
+    if len(dimension_names) != len(dimension_cardinalities):
+        raise SchemaError(
+            f"{len(dimension_names)} names for "
+            f"{len(dimension_cardinalities)} dimensions"
+        )
+    dimensions = [
+        build_dimension(
+            dim_name,
+            cards,
+            fanout=fanout,
+            seed=None if seed is None else seed + i,
+        )
+        for i, (dim_name, cards) in enumerate(
+            zip(dimension_names, dimension_cardinalities)
+        )
+    ]
+    measures = [Measure(m) for m in measure_names]
+    return StarSchema(dimensions, measures, name=name)

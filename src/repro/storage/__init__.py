@@ -1,0 +1,42 @@
+"""Simulated relational storage engine (the paper's PARADISE substitute).
+
+Page-addressed disk with exact I/O accounting, buffer pool, heap/fact
+files, B+-tree, bitmap indexes, and the paper's chunked file organization.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.storage.bitmap import BitmapIndex, combine_and
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool, BufferPoolStats
+from repro.storage.chunkedfile import ChunkedFile, tuple_chunk_numbers
+from repro.storage.dimtable import DimensionTable
+from repro.storage.disk import DiskStats, IOTracker, SimulatedDisk
+from repro.storage.factfile import FactFile
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PackedPage, SlottedPage
+from repro.storage.record import (
+    RecordFormat,
+    fact_record_format,
+    groupby_record_format,
+)
+
+__all__ = [
+    "SimulatedDisk",
+    "DiskStats",
+    "IOTracker",
+    "BufferPool",
+    "BufferPoolStats",
+    "PackedPage",
+    "SlottedPage",
+    "RecordFormat",
+    "fact_record_format",
+    "groupby_record_format",
+    "HeapFile",
+    "DimensionTable",
+    "FactFile",
+    "BTree",
+    "BitmapIndex",
+    "combine_and",
+    "ChunkedFile",
+    "tuple_chunk_numbers",
+]

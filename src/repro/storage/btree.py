@@ -1,0 +1,414 @@
+"""A page-based B+-tree over the simulated disk.
+
+The paper's chunked file uses a B-tree as its *chunk index*: one entry per
+chunk mapping the chunk number to the chunk's position in the fact file
+(Section 5.3).  This module implements a genuine B+-tree whose nodes are
+disk pages, so index traversals cost real (simulated) I/O:
+
+- integer keys, fixed-arity integer tuple values;
+- bottom-up **bulk load** from sorted items (how chunk indexes are built);
+- **search**, **range scan** over linked leaves, and **insert** with node
+  splits (the "extra space for updates" the paper mentions).
+
+Node layout (little endian)::
+
+    header:  [is_leaf: u8] [count: u16] [next_leaf: i64]
+    leaf:    [keys: i64 x count] [values: i64 x count*arity]
+    internal:[keys: i64 x count] [children: i64 x (count+1)]
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import IndexError_
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+__all__ = ["BTree"]
+
+_HEADER = struct.Struct("<BHq")
+_INT = struct.Struct("<q")
+
+
+class _Node:
+    """In-memory image of one B+-tree page."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, page_id: int, is_leaf: bool) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys: list[int] = []
+        self.values: list[tuple[int, ...]] = []  # leaves only
+        self.children: list[int] = []  # internal only
+        self.next_leaf = -1
+
+
+class BTree:
+    """A B+-tree index from integer keys to fixed-arity integer tuples.
+
+    Args:
+        disk: Backing disk for node pages.
+        value_arity: Number of i64 components per value (chunk indexes use
+            2: start position and record count).
+        buffer_pool: Optional pool node reads go through.
+        fill_factor: Target node occupancy for bulk load, in ``(0, 1]``.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        value_arity: int = 2,
+        buffer_pool: BufferPool | None = None,
+        fill_factor: float = 1.0,
+    ) -> None:
+        if value_arity < 1:
+            raise IndexError_(f"value arity must be >= 1, got {value_arity}")
+        if not 0 < fill_factor <= 1:
+            raise IndexError_(f"fill factor must be in (0, 1], got {fill_factor}")
+        self.disk = disk
+        self.buffer_pool = buffer_pool
+        self.value_arity = value_arity
+        self.fill_factor = fill_factor
+        body = disk.page_size - _HEADER.size
+        self.leaf_capacity = body // (8 + 8 * value_arity)
+        self.internal_capacity = (body - 8) // 16  # k keys + (k+1) children
+        if self.leaf_capacity < 2 or self.internal_capacity < 2:
+            raise IndexError_(
+                f"page size {disk.page_size} too small for a B-tree node"
+            )
+        self._root_id = -1
+        self._height = 0
+        self._num_keys = 0
+        # Decoded-node cache: avoids re-parsing a page's payload on every
+        # traversal.  I/O accounting is unaffected — the page is still
+        # requested from the buffer pool / disk before the cache is
+        # consulted — and writes refresh the cached image.
+        self._decoded: dict[int, _Node] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree, 1 for a lone leaf)."""
+        return self._height
+
+    @property
+    def root_page_id(self) -> int:
+        """Disk page id of the root node (-1 when empty)."""
+        return self._root_id
+
+    # ------------------------------------------------------------------
+    # Node I/O
+    # ------------------------------------------------------------------
+    def _read_node(self, page_id: int) -> _Node:
+        # The page is always fetched first so the buffer pool and disk
+        # counters see every logical node access; only the *parsing* is
+        # cached.
+        if self.buffer_pool is not None:
+            payload = self.buffer_pool.get_page(page_id)
+        else:
+            payload = self.disk.read_page(page_id)
+        cached = self._decoded.get(page_id)
+        if cached is not None:
+            return cached
+        node = self._decode_node(page_id, payload)
+        self._decoded[page_id] = node
+        return node
+
+    def _decode_node(self, page_id: int, payload: bytes) -> _Node:
+        is_leaf, count, next_leaf = _HEADER.unpack_from(payload)
+        node = _Node(page_id, bool(is_leaf))
+        node.next_leaf = next_leaf
+        offset = _HEADER.size
+        node.keys = np.frombuffer(
+            payload, dtype="<i8", count=count, offset=offset
+        ).tolist()
+        offset += 8 * count
+        if node.is_leaf:
+            flat = np.frombuffer(
+                payload,
+                dtype="<i8",
+                count=count * self.value_arity,
+                offset=offset,
+            )
+            node.values = [
+                tuple(row)
+                for row in flat.reshape(count, self.value_arity).tolist()
+            ]
+        else:
+            node.children = np.frombuffer(
+                payload, dtype="<i8", count=count + 1, offset=offset
+            ).tolist()
+        return node
+
+    def _write_node(self, node: _Node) -> None:
+        parts = [_HEADER.pack(int(node.is_leaf), len(node.keys), node.next_leaf)]
+        parts.extend(_INT.pack(key) for key in node.keys)
+        if node.is_leaf:
+            for value in node.values:
+                parts.extend(_INT.pack(component) for component in value)
+        else:
+            parts.extend(_INT.pack(child) for child in node.children)
+        payload = b"".join(parts)
+        if self.buffer_pool is not None:
+            self.buffer_pool.put_page(node.page_id, payload)
+        else:
+            self.disk.write_page(node.page_id, payload)
+        self._decoded[node.page_id] = node
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        return _Node(self.disk.allocate(), is_leaf)
+
+    # ------------------------------------------------------------------
+    # Bulk load
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Sequence[tuple[int, tuple[int, ...]]]) -> None:
+        """Build the tree bottom-up from sorted, unique ``(key, value)`` pairs.
+
+        Raises:
+            IndexError_: If the tree is non-empty, items are unsorted or
+                contain duplicates, or a value has the wrong arity.
+        """
+        if self._root_id != -1:
+            raise IndexError_("bulk_load requires an empty tree")
+        items = list(items)
+        if not items:
+            return
+        for (k1, _), (k2, _) in zip(items, items[1:]):
+            if k2 <= k1:
+                raise IndexError_(
+                    f"bulk_load keys must be strictly increasing "
+                    f"({k1} then {k2})"
+                )
+        for _, value in items:
+            if len(value) != self.value_arity:
+                raise IndexError_(
+                    f"value {value} has arity {len(value)}, "
+                    f"expected {self.value_arity}"
+                )
+        per_leaf = max(2, int(self.leaf_capacity * self.fill_factor))
+        leaves: list[_Node] = []
+        for start in range(0, len(items), per_leaf):
+            node = self._new_node(is_leaf=True)
+            for key, value in items[start:start + per_leaf]:
+                node.keys.append(key)
+                node.values.append(tuple(value))
+            leaves.append(node)
+        for node, nxt in zip(leaves, leaves[1:]):
+            node.next_leaf = nxt.page_id
+        for node in leaves:
+            self._write_node(node)
+
+        level = leaves
+        self._height = 1
+        per_internal = max(2, int(self.internal_capacity * self.fill_factor))
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), per_internal + 1):
+                group = level[start:start + per_internal + 1]
+                parent = self._new_node(is_leaf=False)
+                parent.children = [child.page_id for child in group]
+                parent.keys = [self._subtree_min(child) for child in group[1:]]
+                self._write_node(parent)
+                parents.append(parent)
+            # Degenerate tail: a parent with a single child is legal here
+            # (keys empty); searches just pass through it.
+            level = parents
+            self._height += 1
+        self._root_id = level[0].page_id
+        self._num_keys = len(items)
+
+    def _subtree_min(self, node: _Node) -> int:
+        while not node.is_leaf:
+            node = self._read_node(node.children[0])
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: int) -> tuple[int, ...] | None:
+        """Value stored under ``key``, or None."""
+        if self._root_id == -1:
+            return None
+        node = self._read_node(self._root_id)
+        while not node.is_leaf:
+            node = self._read_node(node.children[bisect_right(node.keys, key)])
+        pos = bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node.values[pos]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def search_many(
+        self, keys: Sequence[int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Look up many sorted keys with one leaf visit per distinct leaf.
+
+        Equivalent to ``{k: v for k in keys if (v := search(k))}`` but
+        descends once for the first key and then follows the leaf chain,
+        so a batch touching ``m`` leaves costs ``height + m - 1`` node
+        reads instead of ``height * len(keys)``.
+
+        Raises:
+            IndexError_: If ``keys`` is not sorted ascending.
+        """
+        result: dict[int, tuple[int, ...]] = {}
+        if self._root_id == -1 or not keys:
+            return result
+        previous = None
+        node: _Node | None = None
+        for key in keys:
+            if previous is not None and key < previous:
+                raise IndexError_("search_many keys must be sorted ascending")
+            previous = key
+            if node is None or (node.keys and key > node.keys[-1]):
+                node = self._descend_to_leaf(key, node)
+                if node is None:
+                    return result
+            pos = bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                result[key] = node.values[pos]
+        return result
+
+    def _descend_to_leaf(self, key: int, start: "_Node | None") -> "_Node | None":
+        """Leaf that may hold ``key``: follow the chain from ``start`` if
+        close, else descend from the root."""
+        if start is not None and start.next_leaf != -1:
+            # Peek one leaf ahead before paying a full root descent.
+            nxt = self._read_node(start.next_leaf)
+            if nxt.keys and key <= nxt.keys[-1]:
+                return nxt
+        node = self._read_node(self._root_id)
+        while not node.is_leaf:
+            node = self._read_node(node.children[bisect_right(node.keys, key)])
+        while node.keys and key > node.keys[-1] and node.next_leaf != -1:
+            node = self._read_node(node.next_leaf)
+        return node
+
+    def range_scan(
+        self, lo: int, hi: int
+    ) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """All ``(key, value)`` pairs with ``lo <= key < hi``, ascending."""
+        if self._root_id == -1 or hi <= lo:
+            return
+        node = self._read_node(self._root_id)
+        while not node.is_leaf:
+            node = self._read_node(node.children[bisect_right(node.keys, lo)])
+        while True:
+            for pos in range(bisect_left(node.keys, lo), len(node.keys)):
+                if node.keys[pos] >= hi:
+                    return
+                yield node.keys[pos], node.values[pos]
+            if node.next_leaf == -1:
+                return
+            node = self._read_node(node.next_leaf)
+            lo = node.keys[0] if node.keys else lo
+
+    def items(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """All entries in key order."""
+        if self._root_id == -1:
+            return
+        yield from self.range_scan(self._leftmost_key(), 2**62)
+
+    def _leftmost_key(self) -> int:
+        node = self._read_node(self._root_id)
+        while not node.is_leaf:
+            node = self._read_node(node.children[0])
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: tuple[int, ...]) -> None:
+        """Insert or overwrite one entry, splitting full nodes as needed."""
+        if len(value) != self.value_arity:
+            raise IndexError_(
+                f"value {value} has arity {len(value)}, "
+                f"expected {self.value_arity}"
+            )
+        value = tuple(value)
+        if self._root_id == -1:
+            root = self._new_node(is_leaf=True)
+            root.keys.append(key)
+            root.values.append(value)
+            self._write_node(root)
+            self._root_id = root.page_id
+            self._height = 1
+            self._num_keys = 1
+            return
+        split = self._insert_into(self._read_node(self._root_id), key, value)
+        if split is not None:
+            separator, right_id = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.children = [self._root_id, right_id]
+            new_root.keys = [separator]
+            self._write_node(new_root)
+            self._root_id = new_root.page_id
+            self._height += 1
+
+    def _insert_into(
+        self, node: _Node, key: int, value: tuple[int, ...]
+    ) -> tuple[int, int] | None:
+        """Insert under ``node``; returns ``(separator, new_page)`` on split."""
+        if node.is_leaf:
+            pos = bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.values[pos] = value  # overwrite
+                self._write_node(node)
+                return None
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+            self._num_keys += 1
+            if len(node.keys) <= self.leaf_capacity:
+                self._write_node(node)
+                return None
+            return self._split_leaf(node)
+        pos = bisect_right(node.keys, key)
+        child = self._read_node(node.children[pos])
+        split = self._insert_into(child, key, value)
+        if split is None:
+            return None
+        separator, right_id = split
+        node.keys.insert(pos, separator)
+        node.children.insert(pos + 1, right_id)
+        if len(node.keys) <= self.internal_capacity:
+            self._write_node(node)
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> tuple[int, int]:
+        mid = len(node.keys) // 2
+        right = self._new_node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right.page_id
+        self._write_node(right)
+        self._write_node(node)
+        return right.keys[0], right.page_id
+
+    def _split_internal(self, node: _Node) -> tuple[int, int]:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = self._new_node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._write_node(right)
+        self._write_node(node)
+        return separator, right.page_id

@@ -1,0 +1,261 @@
+"""The chunked file organization (Section 4 of the paper).
+
+A chunked file stores relational tuples *clustered by base-level chunk
+number*: all tuples of chunk 0 first, then chunk 1, and so on.  A B+-tree
+*chunk index* maps each (non-empty) chunk number to its position and length
+in the underlying fact file, so one chunk can be fetched with cost
+proportional to the chunk's size rather than the table's.
+
+The file keeps both of the paper's interfaces:
+
+- the **relational interface** (:meth:`scan`, :meth:`read_all`) — it is
+  still an ordinary table of tuples; and
+- the **chunk interface** (:meth:`read_chunk`, :meth:`read_chunks`) — direct
+  access to one chunk through the chunk index.
+
+Clustering is achieved at bulk-load time, exactly as in the paper's
+PARADISE implementation: tuples are sorted by chunk number and loaded into
+a :class:`~repro.storage.factfile.FactFile`, then the B-tree is bulk-built
+with one entry per non-empty chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.chunks.grid import ChunkGrid, ChunkSpace
+from repro.exceptions import FileFormatError
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.factfile import FactFile
+from repro.storage.record import RecordFormat
+
+__all__ = ["tuple_chunk_numbers", "ChunkedFile"]
+
+
+def tuple_chunk_numbers(
+    grid: ChunkGrid, records: np.ndarray, field_names: Sequence[str]
+) -> np.ndarray:
+    """Vectorized chunk number of every record under ``grid``.
+
+    Args:
+        grid: The chunk grid the records belong to (dimension levels must
+            match the ordinals stored in the records).
+        records: Structured array with one ordinal column per dimension.
+        field_names: Column name per grid dimension, in grid order.
+
+    Returns:
+        ``int64`` array of row-major chunk numbers, one per record.
+    """
+    if len(field_names) != len(grid.shape):
+        raise FileFormatError(
+            f"{len(field_names)} field names for a grid of arity "
+            f"{len(grid.shape)}"
+        )
+    numbers = np.zeros(len(records), dtype=np.int64)
+    for chunking, level, stride, name in zip(
+        grid.chunkings, grid.groupby, grid.strides, field_names
+    ):
+        if level == 0:
+            continue
+        starts = np.asarray(chunking.range_starts(level), dtype=np.int64)
+        ordinals = records[name].astype(np.int64, copy=False)
+        if len(ordinals) and (
+            ordinals.min() < 0
+            or ordinals.max() >= chunking.dimension.cardinality(level)
+        ):
+            raise FileFormatError(
+                f"ordinals in column {name!r} out of range for level {level}"
+            )
+        indices = np.searchsorted(starts, ordinals, side="right") - 1
+        numbers += indices * stride
+    return numbers
+
+
+class ChunkedFile:
+    """A relation clustered by chunk number with a B-tree chunk index.
+
+    Usually holds the base fact table (clustered by the base grid), but
+    the paper notes that "even statically precomputed aggregate tables
+    can be organized on a chunk basis" — pass ``groupby`` to cluster an
+    aggregate table by its own group-by's grid instead.
+
+    Args:
+        disk: Backing disk.
+        record_format: Record layout — dimension ordinal columns (named
+            after the dimensions retained by ``groupby``) plus value
+            columns.
+        space: Shared chunk geometry.
+        buffer_pool: Optional pool all reads (data and index) go through.
+        groupby: Level of aggregation the stored rows are at; defaults to
+            the base group-by (leaf level everywhere).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        record_format: RecordFormat,
+        space: ChunkSpace,
+        buffer_pool: BufferPool | None = None,
+        groupby: Sequence[int] | None = None,
+    ) -> None:
+        self.disk = disk
+        self.space = space
+        self.record_format = record_format
+        self.buffer_pool = buffer_pool
+        self.groupby = space.schema.validate_groupby(
+            groupby if groupby is not None else space.schema.base_groupby
+        )
+        self.fact_file = FactFile(disk, record_format, buffer_pool)
+        self.chunk_index = BTree(
+            disk, value_arity=2, buffer_pool=buffer_pool
+        )
+        # Shadow copy of the chunk index used by cost *estimators* so they
+        # can consult extents without incurring (or rolling back) B-tree
+        # I/O; the data path always goes through the real index.
+        self._extents: dict[int, tuple[int, int]] = {}
+        self._loaded = False
+
+    @property
+    def grid(self) -> ChunkGrid:
+        """The chunk grid that defines this file's clustering."""
+        return self.space.grid(self.groupby)
+
+    @property
+    def dimension_fields(self) -> tuple[str, ...]:
+        """Record columns holding the dimension ordinals, in grid order."""
+        return tuple(dim.name for dim in self.space.schema.dimensions)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, records: np.ndarray) -> None:
+        """Sort records by chunk number, load them, build the chunk index."""
+        if self._loaded:
+            raise FileFormatError("chunked file is already loaded")
+        if records.dtype != self.record_format.dtype:
+            raise FileFormatError(
+                f"array dtype {records.dtype} does not match file format "
+                f"{self.record_format.dtype}"
+            )
+        numbers = tuple_chunk_numbers(
+            self.grid, records, self.dimension_fields
+        )
+        order = np.argsort(numbers, kind="stable")
+        sorted_records = records[order]
+        sorted_numbers = numbers[order]
+        self.fact_file.bulk_load(sorted_records)
+        # One chunk-index entry per non-empty chunk: (start, count).
+        present, starts = np.unique(sorted_numbers, return_index=True)
+        counts = np.diff(np.append(starts, len(sorted_numbers)))
+        items = [
+            (int(number), (int(start), int(count)))
+            for number, start, count in zip(present, starts, counts)
+        ]
+        self.chunk_index.bulk_load(items)
+        self._extents = dict(items)
+        self._loaded = True
+
+    @property
+    def num_records(self) -> int:
+        """Total records in the file."""
+        return self.fact_file.num_records
+
+    @property
+    def num_pages(self) -> int:
+        """Data pages (excluding chunk-index pages)."""
+        return self.fact_file.num_pages
+
+    @property
+    def num_nonempty_chunks(self) -> int:
+        """Chunks that hold at least one tuple."""
+        return len(self.chunk_index)
+
+    # ------------------------------------------------------------------
+    # Chunk interface
+    # ------------------------------------------------------------------
+    def chunk_extent(self, number: int) -> tuple[int, int] | None:
+        """``(start_position, count)`` of a chunk, or None if it is empty.
+
+        Goes through the chunk index, costing (simulated) I/O per node on
+        the root-to-leaf path.
+        """
+        self._require_loaded()
+        return self.chunk_index.search(number)
+
+    def chunk_extent_estimate(self, number: int) -> tuple[int, int] | None:
+        """Like :meth:`chunk_extent` but free of simulated I/O.
+
+        For cost estimation only — uses the in-memory shadow of the chunk
+        index instead of traversing the B-tree.
+        """
+        self._require_loaded()
+        return self._extents.get(number)
+
+    def read_chunk(self, number: int) -> np.ndarray:
+        """All tuples of one chunk (empty array for an empty chunk)."""
+        extent = self.chunk_extent(number)
+        if extent is None:
+            return self.record_format.empty()
+        start, count = extent
+        return self.fact_file.read_range(start, count)
+
+    def read_chunks(self, numbers: Sequence[int]) -> np.ndarray:
+        """Tuples of several chunks, concatenated in chunk-number order.
+
+        ``numbers`` must be sorted ascending (the order every chunk
+        enumeration in this library produces).  The chunk index is probed
+        with one batched traversal and extents that are adjacent in the
+        file are merged into single range reads, so boundary pages shared
+        by adjacent chunks are read once.
+        """
+        self._require_loaded()
+        if not len(numbers):
+            return self.record_format.empty()
+        extents = self.chunk_index.search_many(list(numbers))
+        if not extents:
+            return self.record_format.empty()
+        # Extents arrive keyed by chunk number; chunk order == file order,
+        # so sorting by start and merging adjacency is safe.
+        runs: list[list[int]] = []
+        for start, count in sorted(extents.values()):
+            if runs and runs[-1][0] + runs[-1][1] == start:
+                runs[-1][1] += count
+            else:
+                runs.append([start, count])
+        parts = [
+            self.fact_file.read_range(start, count) for start, count in runs
+        ]
+        return np.concatenate(parts) if parts else self.record_format.empty()
+
+    def pages_for_chunk(self, number: int) -> int:
+        """Data pages one chunk spans (0 for an empty chunk)."""
+        extent = self.chunk_extent(number)
+        if extent is None:
+            return 0
+        return self.fact_file.pages_for_range(*extent)
+
+    # ------------------------------------------------------------------
+    # Relational interface
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[np.ndarray]:
+        """Full relational scan, one structured array per page."""
+        self._require_loaded()
+        return self.fact_file.scan()
+
+    def read_all(self) -> np.ndarray:
+        """The whole table as one structured array (chunk order)."""
+        self._require_loaded()
+        return self.fact_file.read_all()
+
+    def read_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Positional fetch (used by bitmap-driven selections)."""
+        self._require_loaded()
+        return self.fact_file.read_positions(positions)
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise FileFormatError("chunked file has not been loaded")

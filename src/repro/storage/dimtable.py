@@ -1,0 +1,164 @@
+"""Relational storage of dimension tables.
+
+A star schema stores one *dimension table* per dimension (Section 2.1):
+one row per leaf member carrying the member's value at every hierarchy
+level (``sname, scity, sstate`` ...).  Rows are variable length (member
+values are strings), so they live on :class:`~repro.storage.page.SlottedPage`
+pages — the second page format of the storage engine.
+
+The chunk machinery itself never reads these tables (the in-memory
+:class:`~repro.schema.dimension.DomainIndex` already maps values to
+ordinals); they exist so the backend holds the *complete* star schema
+relationally, and so value lookups can be served — and costed — from
+storage when the domain index is treated as cold.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from typing import Iterator
+
+from repro.exceptions import FileFormatError
+from repro.schema.dimension import Dimension
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import SlottedPage
+
+__all__ = ["DimensionTable"]
+
+_ORDINAL = struct.Struct("<i")
+_LENGTH = struct.Struct("<H")
+
+
+def _encode_row(ordinal: int, values: tuple[str, ...]) -> bytes:
+    parts = [_ORDINAL.pack(ordinal)]
+    for value in values:
+        data = value.encode("utf-8")
+        if len(data) > 0xFFFF:
+            raise FileFormatError(
+                f"member value of {len(data)} bytes is too long"
+            )
+        parts.append(_LENGTH.pack(len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def _decode_row(payload: bytes, num_levels: int) -> tuple[int, tuple[str, ...]]:
+    (ordinal,) = _ORDINAL.unpack_from(payload)
+    pos = _ORDINAL.size
+    values = []
+    for _ in range(num_levels):
+        (length,) = _LENGTH.unpack_from(payload, pos)
+        pos += _LENGTH.size
+        values.append(payload[pos:pos + length].decode("utf-8"))
+        pos += length
+    return ordinal, tuple(values)
+
+
+class DimensionTable:
+    """One dimension's members stored on slotted pages.
+
+    Row layout: ``(leaf_ordinal, value at level 1, ..., value at leaf)``
+    — i.e. each leaf member is stored with all of its ancestors' values,
+    the classic denormalized star-schema dimension table.
+
+    Use :meth:`build` to materialize a table from a
+    :class:`~repro.schema.dimension.Dimension`.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        dimension: Dimension,
+        buffer_pool: BufferPool | None = None,
+    ) -> None:
+        self.disk = disk
+        self.dimension = dimension
+        self.buffer_pool = buffer_pool
+        self.codec = SlottedPage(disk.page_size)
+        # Page directory: (page id, first leaf ordinal on the page).
+        self._pages: list[tuple[int, int]] = []
+        self._num_rows = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        disk: SimulatedDisk,
+        dimension: Dimension,
+        buffer_pool: BufferPool | None = None,
+    ) -> "DimensionTable":
+        """Materialize the dimension's members into a new table."""
+        table = cls(disk, dimension, buffer_pool)
+        leaf = dimension.leaf_level
+        buf = table.codec.empty()
+        first_on_page = 0
+        for ordinal in range(dimension.leaf_cardinality):
+            values = tuple(
+                str(
+                    dimension.value_of(
+                        level,
+                        dimension.ancestor_ordinal(leaf, ordinal, level),
+                    )
+                )
+                for level in range(1, leaf + 1)
+            )
+            row = _encode_row(ordinal, values)
+            if table.codec.free_space(buf) < len(row):
+                table._flush_page(buf, first_on_page)
+                buf = table.codec.empty()
+                first_on_page = ordinal
+            table.codec.append(buf, row)
+            table._num_rows += 1
+        if table.codec.num_records(buf):
+            table._flush_page(buf, first_on_page)
+        return table
+
+    def _flush_page(self, buf: bytearray, first_ordinal: int) -> None:
+        page_id = self.disk.allocate()
+        self.disk.write_page(page_id, bytes(buf))
+        self._pages.append((page_id, first_ordinal))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Stored member rows (== leaf cardinality after build)."""
+        return self._num_rows
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied by the table."""
+        return len(self._pages)
+
+    def _read(self, page_id: int) -> bytes:
+        if self.buffer_pool is not None:
+            return self.buffer_pool.get_page(page_id)
+        return self.disk.read_page(page_id)
+
+    def scan(self) -> Iterator[tuple[int, tuple[str, ...]]]:
+        """All rows in leaf-ordinal order (reads every page)."""
+        levels = self.dimension.num_levels
+        for page_id, _first in self._pages:
+            payload = self._read(page_id)
+            for slot in range(self.codec.num_records(payload)):
+                yield _decode_row(self.codec.read(payload, slot), levels)
+
+    def lookup(self, leaf_ordinal: int) -> tuple[str, ...]:
+        """The full ancestor-value row of one leaf member (one page read)."""
+        if not 0 <= leaf_ordinal < self._num_rows:
+            raise FileFormatError(
+                f"ordinal {leaf_ordinal} out of range 0..{self._num_rows - 1}"
+            )
+        firsts = [first for _pid, first in self._pages]
+        index = bisect_right(firsts, leaf_ordinal) - 1
+        page_id, first = self._pages[index]
+        payload = self._read(page_id)
+        row = self.codec.read(payload, leaf_ordinal - first)
+        ordinal, values = _decode_row(row, self.dimension.num_levels)
+        if ordinal != leaf_ordinal:
+            raise FileFormatError(
+                f"directory corruption: found row {ordinal} while looking "
+                f"up {leaf_ordinal}"
+            )
+        return values

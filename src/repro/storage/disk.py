@@ -1,0 +1,145 @@
+"""A simulated disk: page-addressed storage with exact I/O accounting.
+
+The paper's performance results are driven by *which pages get read* (chunk
+miss cost proportional to chunk size; multidimensional clustering cutting
+bitmap-driven I/O).  :class:`SimulatedDisk` reproduces exactly that: a flat
+array of fixed-size pages with counters for every read, write and
+allocation.  Experiments measure cost as a function of these counters via
+:class:`~repro.analysis.cost.CostModel` instead of wall-clock time, which
+makes runs deterministic and hardware-independent (see DESIGN.md §2).
+
+All file types (:mod:`repro.storage.heapfile`, :mod:`repro.storage.factfile`,
+:mod:`repro.storage.chunkedfile`) and indexes (:mod:`repro.storage.btree`,
+:mod:`repro.storage.bitmap`) allocate their pages from one shared disk, so a
+single counter captures the whole backend's I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PageError
+
+__all__ = ["DiskStats", "SimulatedDisk", "IOTracker"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O counters of a :class:`SimulatedDisk`."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    def copy(self) -> "DiskStats":
+        """An independent snapshot of the counters."""
+        return DiskStats(self.reads, self.writes, self.allocations)
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """Counter increments since an ``earlier`` snapshot."""
+        return DiskStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            allocations=self.allocations - earlier.allocations,
+        )
+
+
+class SimulatedDisk:
+    """Fixed-size pages addressed by integer page id.
+
+    Args:
+        page_size: Bytes per page (default 4096).
+
+    Pages are allocated in order and never freed (the experiments build
+    files once and then only read).  Reading an unwritten page returns a
+    zero-filled page, like a freshly formatted device.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 64:
+            raise PageError(f"page size must be >= 64 bytes, got {page_size}")
+        self.page_size = page_size
+        self._pages: list[bytes | None] = []
+        self.stats = DiskStats()
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    def allocate(self, count: int = 1) -> int:
+        """Allocate ``count`` consecutive pages; returns the first page id."""
+        if count < 1:
+            raise PageError(f"cannot allocate {count} pages")
+        first = len(self._pages)
+        self._pages.extend([None] * count)
+        self.stats.allocations += count
+        return first
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page (counted as one I/O)."""
+        self._check(page_id)
+        self.stats.reads += 1
+        data = self._pages[page_id]
+        if data is None:
+            return bytes(self.page_size)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page (counted as one I/O).
+
+        ``data`` may be shorter than the page size (it is implicitly
+        zero-padded) but never longer.
+        """
+        self._check(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        self.stats.writes += 1
+        self._pages[page_id] = bytes(data)
+
+    def reset_stats(self) -> None:
+        """Zero all I/O counters (allocation history is kept)."""
+        self.stats = DiskStats()
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise PageError(
+                f"page id {page_id} out of range 0..{len(self._pages) - 1}"
+            )
+
+
+class IOTracker:
+    """Context manager measuring disk I/O across a code block.
+
+    Example:
+        >>> disk = SimulatedDisk()
+        >>> disk.allocate(1)
+        0
+        >>> with IOTracker(disk) as io:
+        ...     _ = disk.read_page(0)
+        >>> io.reads
+        1
+    """
+
+    def __init__(self, disk: SimulatedDisk) -> None:
+        self._disk = disk
+        self._before: DiskStats | None = None
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def __enter__(self) -> "IOTracker":
+        self._before = self._disk.stats.copy()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._before is not None
+        delta = self._disk.stats.delta(self._before)
+        self.reads = delta.reads
+        self.writes = delta.writes
+        self.allocations = delta.allocations

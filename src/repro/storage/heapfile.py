@@ -1,0 +1,174 @@
+"""Unordered heap files of fixed-length records.
+
+:class:`HeapFile` is the baseline "randomly ordered file" of the paper's
+bitmap experiment (Figure 14): records are stored in arrival order with no
+clustering.  It shares the :class:`~repro.storage.page.PackedPage` layout
+with :class:`~repro.storage.factfile.FactFile` so that the *only* difference
+between the two organizations in the experiments is record order — exactly
+the variable the paper isolates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import FileFormatError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import PackedPage
+from repro.storage.record import RecordFormat
+
+__all__ = ["HeapFile"]
+
+
+class HeapFile:
+    """An append-only unordered file of fixed-length records.
+
+    Args:
+        disk: Backing disk (pages are allocated from it).
+        record_format: Layout of every record.
+        buffer_pool: Optional pool reads go through; when None, reads hit
+            the disk directly.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        record_format: RecordFormat,
+        buffer_pool: BufferPool | None = None,
+    ) -> None:
+        self.disk = disk
+        self.record_format = record_format
+        self.buffer_pool = buffer_pool
+        self.codec = PackedPage(record_format, disk.page_size)
+        self._page_ids: list[int] = []
+        self._num_records = 0
+        # Decoded-page cache: pages are immutable after bulk load, so the
+        # structured-array image of each page is parsed once.  I/O
+        # accounting is unaffected — the raw page is still requested from
+        # the buffer pool / disk on every logical access.
+        self._decoded: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        """Total records in the file."""
+        return self._num_records
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied by the file."""
+        return len(self._page_ids)
+
+    @property
+    def records_per_page(self) -> int:
+        """Page capacity in records (all pages but the last are full)."""
+        return self.codec.capacity
+
+    @property
+    def page_ids(self) -> tuple[int, ...]:
+        """Disk page ids in file order."""
+        return tuple(self._page_ids)
+
+    def page_of_record(self, position: int) -> int:
+        """File-relative page index holding global record ``position``."""
+        if not 0 <= position < self._num_records:
+            raise FileFormatError(
+                f"record position {position} out of range "
+                f"0..{self._num_records - 1}"
+            )
+        return position // self.codec.capacity
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, records: np.ndarray) -> None:
+        """Append a structured array of records, filling pages densely."""
+        if records.dtype != self.record_format.dtype:
+            raise FileFormatError(
+                f"array dtype {records.dtype} does not match file format "
+                f"{self.record_format.dtype}"
+            )
+        capacity = self.codec.capacity
+        for start in range(0, len(records), capacity):
+            batch = records[start:start + capacity]
+            page_id = self.disk.allocate()
+            self.disk.write_page(page_id, self.codec.encode(batch))
+            self._page_ids.append(page_id)
+        self._num_records += len(records)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read(self, page_id: int) -> bytes:
+        if self.buffer_pool is not None:
+            return self.buffer_pool.get_page(page_id)
+        return self.disk.read_page(page_id)
+
+    def read_file_page(self, index: int) -> np.ndarray:
+        """Decode the ``index``-th page of the file.
+
+        The returned array is a shared read-only image; callers must copy
+        before mutating.
+        """
+        if not 0 <= index < len(self._page_ids):
+            raise FileFormatError(
+                f"file page {index} out of range 0..{len(self._page_ids) - 1}"
+            )
+        payload = self._read(self._page_ids[index])
+        records = self._decoded.get(index)
+        if records is None:
+            records = self.codec.decode(payload)
+            records.flags.writeable = False
+            self._decoded[index] = records
+        return records
+
+    def scan(self) -> Iterator[np.ndarray]:
+        """Full scan, one structured array per page."""
+        for index in range(len(self._page_ids)):
+            yield self.read_file_page(index)
+
+    def read_all(self) -> np.ndarray:
+        """The whole file as one structured array."""
+        pages = list(self.scan())
+        if not pages:
+            return self.record_format.empty()
+        return np.concatenate(pages)
+
+    def read_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Fetch records by global position (ascending order required).
+
+        Reads each distinct page exactly once — the *skipped sequential
+        access* pattern of the paper's fact file.  The number of physical
+        I/Os therefore equals the number of distinct pages touched, which
+        is the quantity the bitmap experiment measures.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if len(positions) == 0:
+            return self.record_format.empty()
+        if np.any(positions[1:] < positions[:-1]):
+            raise FileFormatError("positions must be sorted ascending")
+        if positions[0] < 0 or positions[-1] >= self._num_records:
+            raise FileFormatError(
+                f"positions out of range 0..{self._num_records - 1}"
+            )
+        capacity = self.codec.capacity
+        page_indexes = positions // capacity
+        offsets = positions % capacity
+        chunks: list[np.ndarray] = []
+        for page_index in np.unique(page_indexes):
+            page_records = self.read_file_page(int(page_index))
+            mask = page_indexes == page_index
+            chunks.append(page_records[offsets[mask]])
+        return np.concatenate(chunks)
+
+    def count_pages_for_positions(self, positions: np.ndarray) -> int:
+        """Distinct pages a position set would touch, without reading."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if len(positions) == 0:
+            return 0
+        return int(len(np.unique(positions // self.codec.capacity)))

@@ -1,0 +1,151 @@
+"""Page codecs: packed fixed-length pages and slotted pages.
+
+Two on-page layouts are provided:
+
+- :class:`PackedPage` — the layout of the paper's *fact file* [RJZN97]:
+  fixed-length records stored back to back after a 4-byte record count.
+  There is no slot array, so the number of records per page is maximal and
+  deterministic, which is what makes chunk -> page-range arithmetic exact.
+
+- :class:`SlottedPage` — the classic variable-length layout (slot directory
+  growing from the back).  Used for dimension tables and B-tree nodes whose
+  entries are not fixed length.
+
+Both codecs are pure functions over ``bytes``; persistence and I/O counting
+live in :class:`~repro.storage.disk.SimulatedDisk`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import PageError
+from repro.storage.record import RecordFormat
+
+__all__ = ["PackedPage", "SlottedPage"]
+
+_COUNT = struct.Struct("<I")
+
+
+class PackedPage:
+    """Codec for pages of back-to-back fixed-length records.
+
+    Layout: ``[record_count: u32][record 0][record 1]...`` with zero padding
+    at the end.  All methods are static-style helpers bound to a record
+    format and page size.
+    """
+
+    HEADER_SIZE = _COUNT.size
+
+    def __init__(self, record_format: RecordFormat, page_size: int) -> None:
+        self.record_format = record_format
+        self.page_size = page_size
+        self.capacity = record_format.records_per_page(
+            page_size, header_size=self.HEADER_SIZE
+        )
+
+    def encode(self, records: np.ndarray) -> bytes:
+        """Serialize up to ``capacity`` records into one page payload."""
+        if len(records) > self.capacity:
+            raise PageError(
+                f"{len(records)} records exceed page capacity {self.capacity}"
+            )
+        body = self.record_format.pack(records)
+        return _COUNT.pack(len(records)) + body
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Deserialize a page payload into a structured array."""
+        if len(payload) < self.HEADER_SIZE:
+            raise PageError("page payload shorter than its header")
+        (count,) = _COUNT.unpack_from(payload)
+        if count > self.capacity:
+            raise PageError(
+                f"page claims {count} records, capacity is {self.capacity}"
+            )
+        return self.record_format.unpack(payload[self.HEADER_SIZE:], count)
+
+    def count(self, payload: bytes) -> int:
+        """Record count of a page payload without decoding the records."""
+        if len(payload) < self.HEADER_SIZE:
+            raise PageError("page payload shorter than its header")
+        (count,) = _COUNT.unpack_from(payload)
+        return count
+
+
+class SlottedPage:
+    """Codec for pages of variable-length records with a slot directory.
+
+    Layout::
+
+        [num_slots: u32][free_offset: u32][record data ...→][...← slots]
+
+    Each slot is ``(offset: u32, length: u32)`` stored from the page end
+    backwards.  Deletion is not needed by this library, so the codec only
+    supports append-and-read, which keeps it simple and fully testable.
+    """
+
+    HEADER = struct.Struct("<II")
+    SLOT = struct.Struct("<II")
+
+    def __init__(self, page_size: int) -> None:
+        if page_size < self.HEADER.size + self.SLOT.size + 1:
+            raise PageError(f"page size {page_size} too small for slotted page")
+        self.page_size = page_size
+
+    def empty(self) -> bytearray:
+        """A fresh empty page buffer."""
+        buf = bytearray(self.page_size)
+        self.HEADER.pack_into(buf, 0, 0, self.HEADER.size)
+        return buf
+
+    def free_space(self, buf: bytes | bytearray) -> int:
+        """Bytes available for one more record (including its slot)."""
+        num_slots, free_offset = self.HEADER.unpack_from(buf)
+        slots_start = self.page_size - num_slots * self.SLOT.size
+        return max(0, slots_start - free_offset - self.SLOT.size)
+
+    def append(self, buf: bytearray, record: bytes) -> int:
+        """Append ``record``; returns its slot index.
+
+        Raises:
+            PageError: If the record (plus slot) does not fit.
+        """
+        if self.free_space(buf) < len(record):
+            raise PageError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.free_space(buf)} free)"
+            )
+        num_slots, free_offset = self.HEADER.unpack_from(buf)
+        buf[free_offset:free_offset + len(record)] = record
+        slot_pos = self.page_size - (num_slots + 1) * self.SLOT.size
+        self.SLOT.pack_into(buf, slot_pos, free_offset, len(record))
+        self.HEADER.pack_into(buf, 0, num_slots + 1, free_offset + len(record))
+        return num_slots
+
+    def num_records(self, buf: bytes | bytearray) -> int:
+        """Number of records on the page."""
+        num_slots, _ = self.HEADER.unpack_from(buf)
+        return num_slots
+
+    def read(self, buf: bytes | bytearray, slot: int) -> bytes:
+        """Record bytes at ``slot``."""
+        num_slots, _ = self.HEADER.unpack_from(buf)
+        if not 0 <= slot < num_slots:
+            raise PageError(f"slot {slot} out of range 0..{num_slots - 1}")
+        slot_pos = self.page_size - (slot + 1) * self.SLOT.size
+        offset, length = self.SLOT.unpack_from(buf, slot_pos)
+        return bytes(buf[offset:offset + length])
+
+    def records(self, buf: bytes | bytearray) -> list[bytes]:
+        """All records on the page, in slot order."""
+        return [self.read(buf, slot) for slot in range(self.num_records(buf))]
+
+    def build(self, records: Sequence[bytes]) -> bytearray:
+        """A page holding exactly ``records`` (must all fit)."""
+        buf = self.empty()
+        for record in records:
+            self.append(buf, record)
+        return buf

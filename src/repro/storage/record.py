@@ -1,0 +1,164 @@
+"""Fixed-length record formats with a numpy bridge.
+
+The fact table of a star schema has a rigid layout: one integer foreign key
+per dimension plus one numeric column per measure.  :class:`RecordFormat`
+describes such a layout once and converts between three representations:
+
+- Python tuples (convenient in tests and examples),
+- packed bytes (what pages store), and
+- numpy structured arrays (what the aggregation operators consume).
+
+Packing many records is a single ``ndarray.tobytes`` call and unpacking is
+a single ``np.frombuffer`` call, so the simulated backend stays fast enough
+to run the paper's full 500 000-tuple experiments in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import FileFormatError
+from repro.schema.star import StarSchema
+
+__all__ = ["RecordFormat", "fact_record_format", "groupby_record_format"]
+
+
+class RecordFormat:
+    """A fixed-length record layout.
+
+    Args:
+        fields: ``(name, dtype)`` pairs; dtypes are numpy scalar dtype
+            strings such as ``"i4"`` or ``"f8"``.  Field names must be
+            unique and non-empty.
+    """
+
+    def __init__(self, fields: Sequence[tuple[str, str]]) -> None:
+        if not fields:
+            raise FileFormatError("a record format needs at least one field")
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names) or not all(names):
+            raise FileFormatError(f"field names must be unique and non-empty: {names}")
+        self.fields: tuple[tuple[str, str], ...] = tuple(fields)
+        self.dtype = np.dtype([(name, dt) for name, dt in self.fields])
+        self.record_size: int = self.dtype.itemsize
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Field names in layout order."""
+        return self.dtype.names  # type: ignore[return-value]
+
+    def records_per_page(self, page_size: int, header_size: int = 0) -> int:
+        """How many records fit in one page after ``header_size`` bytes."""
+        usable = page_size - header_size
+        count = usable // self.record_size
+        if count < 1:
+            raise FileFormatError(
+                f"record of {self.record_size} bytes does not fit in a "
+                f"{page_size}-byte page with a {header_size}-byte header"
+            )
+        return count
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def empty(self, count: int = 0) -> np.ndarray:
+        """An empty (or zeroed) structured array of this format."""
+        return np.zeros(count, dtype=self.dtype)
+
+    def from_tuples(self, rows: Sequence[tuple]) -> np.ndarray:
+        """Build a structured array from Python tuples."""
+        return np.array([tuple(row) for row in rows], dtype=self.dtype)
+
+    def to_tuples(self, records: np.ndarray) -> list[tuple]:
+        """Convert a structured array back to plain Python tuples."""
+        return [tuple(rec.item()) for rec in records]
+
+    def pack(self, records: np.ndarray) -> bytes:
+        """Serialize a structured array to packed bytes."""
+        if records.dtype != self.dtype:
+            raise FileFormatError(
+                f"array dtype {records.dtype} does not match format "
+                f"{self.dtype}"
+            )
+        return records.tobytes()
+
+    def unpack(self, payload: bytes, count: int | None = None) -> np.ndarray:
+        """Deserialize packed bytes into a structured array.
+
+        Args:
+            payload: Bytes produced by :meth:`pack`, possibly followed by
+                padding.
+            count: Number of records to read; defaults to as many whole
+                records as the payload holds.
+        """
+        if count is None:
+            count = len(payload) // self.record_size
+        needed = count * self.record_size
+        if needed > len(payload):
+            raise FileFormatError(
+                f"payload of {len(payload)} bytes holds fewer than "
+                f"{count} records of {self.record_size} bytes"
+            )
+        array = np.frombuffer(payload[:needed], dtype=self.dtype)
+        # Copy so the result does not alias the (immutable) page buffer.
+        return array.copy()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RecordFormat) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{d}" for n, d in self.fields)
+        return f"RecordFormat({parts})"
+
+
+def fact_record_format(schema: StarSchema, key_dtype: str = "i4") -> RecordFormat:
+    """The record format of a schema's base fact table.
+
+    One ``key_dtype`` foreign-key column per dimension (holding the
+    leaf-level ordinal) followed by one column per measure.
+    """
+    fields = [(dim.name, key_dtype) for dim in schema.dimensions]
+    fields.extend((m.name, m.dtype) for m in schema.measures)
+    return RecordFormat(fields)
+
+
+def groupby_record_format(
+    schema: StarSchema,
+    groupby: Sequence[int],
+    aggregates: Sequence[tuple[str, str]] | None = None,
+    key_dtype: str = "i4",
+) -> RecordFormat:
+    """The record format of an aggregated (group-by) result.
+
+    One ordinal column per *retained* dimension (level > 0), named after the
+    dimension, followed by one column per aggregate output.
+
+    Args:
+        schema: The star schema.
+        groupby: Level per dimension; level 0 dimensions are dropped.
+        aggregates: ``(measure_name, aggregate)`` pairs; defaults to each
+            measure with its default aggregate.  Output columns are named
+            ``"<agg>_<measure>"``; ``avg`` additionally implies a hidden
+            ``count`` column is NOT added here — averages are finalized by
+            the aggregation operator (see :mod:`repro.backend.aggregate`).
+    """
+    groupby = schema.validate_groupby(groupby)
+    fields = [
+        (dim.name, key_dtype)
+        for dim, level in zip(schema.dimensions, groupby)
+        if level > 0
+    ]
+    if aggregates is None:
+        aggregates = [(m.name, m.default_aggregate) for m in schema.measures]
+    for measure_name, aggregate in aggregates:
+        measure = schema.measure(measure_name)
+        dtype = "i8" if aggregate == "count" else measure.dtype
+        if aggregate == "avg":
+            dtype = "f8"
+        fields.append((f"{aggregate}_{measure_name}", dtype))
+    return RecordFormat(fields)

@@ -1,0 +1,32 @@
+"""Experiment inputs: synthetic data and locality-tunable query streams."""
+
+from repro.workload.data import generate_dense_table, generate_fact_table
+from repro.workload.generator import (
+    EQPR,
+    PROXIMITY,
+    Q60,
+    Q80,
+    Q100,
+    RANDOM,
+    SESSION,
+    LocalityMix,
+    QueryGenerator,
+)
+from repro.workload.stream import QueryStream, interleave_streams, make_stream
+
+__all__ = [
+    "generate_fact_table",
+    "generate_dense_table",
+    "LocalityMix",
+    "QueryGenerator",
+    "RANDOM",
+    "EQPR",
+    "PROXIMITY",
+    "Q60",
+    "Q80",
+    "Q100",
+    "SESSION",
+    "QueryStream",
+    "make_stream",
+    "interleave_streams",
+]

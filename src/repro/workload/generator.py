@@ -1,0 +1,324 @@
+"""The OLAP query-stream generator (Section 6.1.2).
+
+The paper drives its experiments with a generator producing three query
+classes and mixing them with tunable probabilities:
+
+- **random** queries — uniformly placed group-bys and range selections;
+- **hot-region** queries — confined to a designated region holding 20 % of
+  the cube (streams Q60/Q80/Q100 send 60/80/100 % of queries there);
+- **proximity** queries — same level of aggregation as the previous query
+  but with the selection shifted to adjacent members, modelling the
+  hierarchical locality of drill-down/roll-up sessions.
+
+Beyond the paper's three classes, the generator also produces **drill**
+queries — explicit drill-down/roll-up steps whose selection follows the
+hierarchy — to model the analyst sessions of Section 2.2 (used by the
+prefetch ablation).
+
+Mixes are given as a :class:`LocalityMix`; the paper's Table 2 presets
+(``RANDOM``, ``EQPR``, ``PROXIMITY``), hot-region presets (``Q60``,
+``Q80``, ``Q100``) and the session preset (``SESSION``) are module
+constants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ExperimentError
+from repro.query.model import StarQuery
+from repro.query.predicates import Interval
+from repro.schema.star import StarSchema
+
+__all__ = [
+    "LocalityMix",
+    "RANDOM",
+    "EQPR",
+    "PROXIMITY",
+    "Q60",
+    "Q80",
+    "Q100",
+    "SESSION",
+    "QueryGenerator",
+]
+
+
+@dataclass(frozen=True)
+class LocalityMix:
+    """Probabilities of the query classes in a stream.
+
+    Attributes:
+        proximity: Probability the next query is adjacent to the previous
+            one (Table 2's "Proximity" column).
+        hot: Probability the next query targets the hot region (the
+            Q60/Q80/Q100 knob).
+        drill: Probability the next query is a drill-down/roll-up step
+            from the previous one (session-style hierarchical locality;
+            an extension beyond Table 2).  The remainder is fully random.
+        name: Label used in reports.
+    """
+
+    proximity: float = 0.0
+    hot: float = 0.0
+    drill: float = 0.0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for p in (self.proximity, self.hot, self.drill):
+            if not 0 <= p <= 1:
+                raise ExperimentError("mix probabilities must be in [0, 1]")
+        total = self.proximity + self.hot + self.drill
+        if total > 1:
+            raise ExperimentError(
+                f"mix probabilities sum to {total} > 1"
+            )
+
+    @property
+    def random(self) -> float:
+        """Probability of a fully random query."""
+        return 1.0 - self.proximity - self.hot - self.drill
+
+
+#: Table 2 presets.
+RANDOM = LocalityMix(proximity=0.0, hot=0.0, name="Random")
+EQPR = LocalityMix(proximity=0.5, hot=0.0, name="EQPR")
+PROXIMITY = LocalityMix(proximity=0.8, hot=0.0, name="Proximity")
+
+#: Hot-region presets (Section 6.1.2: N % of queries access 20 % of the cube).
+Q60 = LocalityMix(proximity=0.0, hot=0.6, name="Q60")
+Q80 = LocalityMix(proximity=0.0, hot=0.8, name="Q80")
+Q100 = LocalityMix(proximity=0.0, hot=1.0, name="Q100")
+
+#: Session-style preset: analyst drill-down/roll-up plus sideways moves
+#: (Section 2.2's locality narrative; used by the prefetch ablation).
+SESSION = LocalityMix(proximity=0.3, drill=0.5, name="Session")
+
+
+class QueryGenerator:
+    """Seeded generator of star-query streams with tunable locality.
+
+    Args:
+        schema: The star schema queried.
+        seed: RNG seed (streams are fully reproducible).
+        hot_fraction: Fraction of the cube covered by the hot region
+            (0.2 in the paper); realized as one leaf interval per
+            dimension with per-dimension fraction
+            ``hot_fraction ** (1 / num_dimensions)``.
+        select_probability: Probability each grouped dimension carries a
+            range selection (hot queries always select, so they actually
+            land in the region).
+        width_fractions: ``(min, max)`` of a selection's width as a
+            fraction of the level's domain.
+        max_grouped_dims: At most this many dimensions appear in a
+            GROUP BY (default: min(3, num_dimensions) — typical OLAP
+            queries group by a few dimensions).
+        aggregates: Aggregate list for all queries; defaults to each
+            measure's default aggregate so the whole stream shares one
+            cache-compatibility shape per group-by, as in the paper.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        seed: int = 0,
+        hot_fraction: float = 0.2,
+        select_probability: float = 0.75,
+        width_fractions: tuple[float, float] = (0.05, 0.4),
+        max_grouped_dims: int | None = None,
+        aggregates: Sequence[tuple[str, str]] | None = None,
+    ) -> None:
+        if not 0 < hot_fraction <= 1:
+            raise ExperimentError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        if not 0 <= select_probability <= 1:
+            raise ExperimentError("select_probability must be in [0, 1]")
+        lo, hi = width_fractions
+        if not 0 < lo <= hi <= 1:
+            raise ExperimentError(
+                f"width_fractions must satisfy 0 < min <= max <= 1, "
+                f"got {width_fractions}"
+            )
+        self.schema = schema
+        self.rng = random.Random(seed)
+        self.select_probability = select_probability
+        self.width_fractions = width_fractions
+        if max_grouped_dims is None:
+            max_grouped_dims = min(3, schema.num_dimensions)
+        if max_grouped_dims < 1:
+            raise ExperimentError("max_grouped_dims must be >= 1")
+        self.max_grouped_dims = min(max_grouped_dims, schema.num_dimensions)
+        self.aggregates = (
+            tuple(aggregates)
+            if aggregates is not None
+            else tuple(
+                (m.name, m.default_aggregate) for m in schema.measures
+            )
+        )
+        self.hot_leaf_intervals = self._place_hot_region(hot_fraction)
+        self._previous: StarQuery | None = None
+
+    # ------------------------------------------------------------------
+    # Hot region placement
+    # ------------------------------------------------------------------
+    def _place_hot_region(self, hot_fraction: float) -> list[tuple[int, int]]:
+        per_dim = hot_fraction ** (1.0 / self.schema.num_dimensions)
+        intervals = []
+        for dim in self.schema.dimensions:
+            domain = dim.leaf_cardinality
+            width = max(1, round(per_dim * domain))
+            start = self.rng.randrange(0, domain - width + 1)
+            intervals.append((start, start + width))
+        return intervals
+
+    # ------------------------------------------------------------------
+    # Query classes
+    # ------------------------------------------------------------------
+    def random_query(self, hot: bool = False) -> StarQuery:
+        """A fresh query; confined to the hot region when ``hot``."""
+        num_grouped = self.rng.randint(1, self.max_grouped_dims)
+        grouped = self.rng.sample(range(self.schema.num_dimensions), num_grouped)
+        groupby = [0] * self.schema.num_dimensions
+        selections: list[Interval] = [None] * self.schema.num_dimensions
+        for pos in grouped:
+            dim = self.schema.dimensions[pos]
+            level = self.rng.randint(1, dim.leaf_level)
+            groupby[pos] = level
+            select = hot or self.rng.random() < self.select_probability
+            if select:
+                selections[pos] = self._random_interval(pos, level, hot)
+        query = StarQuery.build(
+            self.schema, groupby, selections, self.aggregates
+        )
+        self._previous = query
+        return query
+
+    def _random_interval(self, pos: int, level: int, hot: bool) -> Interval:
+        dim = self.schema.dimensions[pos]
+        domain: tuple[int, int]
+        if hot:
+            contained = dim.hierarchy.contained_interval(
+                level, self.hot_leaf_intervals[pos]
+            )
+            if contained is None:
+                # The hot region is narrower than one member at this level;
+                # fall back to the member covering the region's start.
+                leaf_lo = self.hot_leaf_intervals[pos][0]
+                member = dim.hierarchy.ancestor_ordinal(
+                    dim.leaf_level, leaf_lo, level
+                )
+                return (member, member + 1)
+            domain = contained
+        else:
+            domain = (0, dim.cardinality(level))
+        lo_f, hi_f = self.width_fractions
+        span = domain[1] - domain[0]
+        width_fraction = self.rng.uniform(lo_f, hi_f)
+        width = max(1, min(span, round(width_fraction * span)))
+        start = self.rng.randrange(domain[0], domain[1] - width + 1)
+        return (start, start + width)
+
+    def proximity_query(self, previous: StarQuery | None = None) -> StarQuery:
+        """Adjacent-members variant of the previous query (Section 6.1.2).
+
+        Keeps the level of aggregation and shifts every range selection by
+        its own width toward a random side, clamped to the domain.  With no
+        previous query (or one without selections) a random query is
+        produced instead.
+        """
+        previous = previous or self._previous
+        if previous is None or all(s is None for s in previous.selections):
+            return self.random_query()
+        selections: list[Interval] = []
+        for dim, level, interval in zip(
+            self.schema.dimensions, previous.groupby, previous.selections
+        ):
+            if level == 0 or interval is None:
+                selections.append(None)
+                continue
+            lo, hi = interval
+            width = hi - lo
+            domain = dim.cardinality(level)
+            shift = width if self.rng.random() < 0.5 else -width
+            new_lo = min(max(lo + shift, 0), domain - width)
+            selections.append((new_lo, new_lo + width))
+        query = StarQuery.build(
+            self.schema, previous.groupby, selections, self.aggregates
+        )
+        self._previous = query
+        return query
+
+    def drill_query(self, previous: StarQuery | None = None) -> StarQuery:
+        """A drill-down or roll-up step from the previous query.
+
+        Models the hierarchical locality of analyst sessions (Section 2.2:
+        city -> store -> city ...): one grouped dimension moves one level
+        finer (drill down) or coarser (roll up); its selection follows the
+        hierarchy — descending maps the interval to the children's range,
+        ascending maps it to the ancestors' range.  Falls back to a random
+        query when there is no previous query or no legal move.
+        """
+        previous = previous or self._previous
+        if previous is None:
+            return self.random_query()
+        moves: list[tuple[int, int]] = []  # (dim position, new level)
+        for pos, (dim, level) in enumerate(
+            zip(self.schema.dimensions, previous.groupby)
+        ):
+            if level == 0:
+                continue
+            if level < dim.leaf_level:
+                moves.append((pos, level + 1))  # drill down
+            if level > 1:
+                moves.append((pos, level - 1))  # roll up
+        if not moves:
+            return self.random_query()
+        pos, new_level = self.rng.choice(moves)
+        dim = self.schema.dimensions[pos]
+        old_level = previous.groupby[pos]
+        groupby = list(previous.groupby)
+        groupby[pos] = new_level
+        selections = list(previous.selections)
+        interval = selections[pos]
+        if interval is not None:
+            if new_level > old_level:
+                selections[pos] = dim.map_range(
+                    old_level, interval, new_level
+                )
+            else:
+                lo = dim.ancestor_ordinal(old_level, interval[0], new_level)
+                hi = dim.ancestor_ordinal(
+                    old_level, interval[1] - 1, new_level
+                )
+                selections[pos] = (lo, hi + 1)
+        query = StarQuery.build(
+            self.schema, groupby, selections, self.aggregates
+        )
+        self._previous = query
+        return query
+
+    def hot_query(self) -> StarQuery:
+        """A query confined to the hot region."""
+        return self.random_query(hot=True)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def next_query(self, mix: LocalityMix) -> StarQuery:
+        """Draw one query according to a locality mix."""
+        draw = self.rng.random()
+        if draw < mix.proximity:
+            return self.proximity_query()
+        if draw < mix.proximity + mix.hot:
+            return self.hot_query()
+        if draw < mix.proximity + mix.hot + mix.drill:
+            return self.drill_query()
+        return self.random_query()
+
+    def stream(self, num_queries: int, mix: LocalityMix) -> list[StarQuery]:
+        """A list of ``num_queries`` queries under ``mix``."""
+        if num_queries < 0:
+            raise ExperimentError(f"negative stream length {num_queries}")
+        return [self.next_query(mix) for _ in range(num_queries)]

@@ -1,0 +1,86 @@
+"""Query stream containers.
+
+A :class:`QueryStream` bundles a generated list of queries with the mix
+that produced it, so experiment reports can label results by stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.query.model import StarQuery
+from repro.schema.star import StarSchema
+from repro.workload.generator import LocalityMix, QueryGenerator
+
+__all__ = ["QueryStream", "make_stream", "interleave_streams"]
+
+
+@dataclass(frozen=True)
+class QueryStream:
+    """An immutable, labelled sequence of queries.
+
+    Attributes:
+        name: Stream label (usually the mix name: ``"EQPR"`` ...).
+        queries: The queries in arrival order.
+        mix: The locality mix that produced the stream, if any.
+        seed: The generator seed, for reproducibility records.
+    """
+
+    name: str
+    queries: tuple[StarQuery, ...]
+    mix: LocalityMix | None = None
+    seed: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[StarQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> StarQuery:
+        return self.queries[index]
+
+
+def make_stream(
+    schema: StarSchema,
+    mix: LocalityMix,
+    num_queries: int,
+    seed: int = 0,
+    **generator_kwargs: object,
+) -> QueryStream:
+    """Generate a labelled stream for a schema under a locality mix.
+
+    Any extra keyword arguments are forwarded to
+    :class:`~repro.workload.generator.QueryGenerator`.
+    """
+    if num_queries < 1:
+        raise ExperimentError(f"stream needs at least one query")
+    generator = QueryGenerator(schema, seed=seed, **generator_kwargs)  # type: ignore[arg-type]
+    queries = tuple(generator.stream(num_queries, mix))
+    return QueryStream(name=mix.name, queries=queries, mix=mix, seed=seed)
+
+
+def interleave_streams(
+    name: str, streams: Sequence[QueryStream]
+) -> QueryStream:
+    """Round-robin interleaving of several users' streams.
+
+    The paper notes that "queries may be issued from multiple query
+    streams originating from multiple users" (Section 1); a shared
+    middle-tier cache then serves them all.  Streams of different
+    lengths are drained round-robin until every stream is exhausted.
+    """
+    if not streams:
+        raise ExperimentError("interleave_streams needs at least one stream")
+    queries: list[StarQuery] = []
+    cursors = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        for index, stream in enumerate(streams):
+            if cursors[index] < len(stream):
+                queries.append(stream[cursors[index]])
+                cursors[index] += 1
+                remaining -= 1
+    return QueryStream(name=name, queries=tuple(queries))

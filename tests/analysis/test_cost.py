@@ -1,0 +1,54 @@
+"""Tests for repro.analysis.cost — the simulated cost model."""
+
+import pytest
+
+from repro.analysis.cost import CostModel
+from repro.backend.plans import CostReport
+from repro.exceptions import ExperimentError
+
+
+class TestCostModel:
+    def test_linear_combination(self):
+        model = CostModel(
+            io_page_cost=2.0, cpu_tuple_cost=0.1, cache_tuple_cost=0.01
+        )
+        report = CostReport(pages_read=5, tuples_scanned=30)
+        assert model.time(report) == pytest.approx(2.0 * 5 + 0.1 * 30)
+        assert model.time(report, tuples_from_cache=100) == pytest.approx(
+            2.0 * 5 + 0.1 * 30 + 0.01 * 100
+        )
+
+    def test_backend_time(self):
+        model = CostModel(io_page_cost=1.0, cpu_tuple_cost=0.5)
+        assert model.backend_time(4, 10) == pytest.approx(9.0)
+        assert model.backend_time(4) == pytest.approx(4.0)
+
+    def test_defaults_make_io_dominant(self):
+        """A page I/O costs far more than touching one tuple."""
+        model = CostModel()
+        assert model.io_page_cost > 100 * model.cpu_tuple_cost
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ExperimentError):
+            CostModel(io_page_cost=-1)
+        with pytest.raises(ExperimentError):
+            CostModel(cpu_tuple_cost=-0.1)
+        with pytest.raises(ExperimentError):
+            CostModel(cache_tuple_cost=-0.1)
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.io_page_cost = 5.0  # type: ignore[misc]
+
+
+class TestConstantSensitivity:
+    """The paper's conclusions are ratios; they must survive reasonable
+    changes to the cost constants (DESIGN.md §2)."""
+
+    def test_scheme_ordering_invariant_to_io_cost(self):
+        chunk_report = CostReport(pages_read=50, tuples_scanned=5_000)
+        query_report = CostReport(pages_read=150, tuples_scanned=15_000)
+        for io_cost in (0.5, 1.0, 4.0):
+            model = CostModel(io_page_cost=io_cost)
+            assert model.time(chunk_report) < model.time(query_report)

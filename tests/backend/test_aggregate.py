@@ -1,0 +1,175 @@
+"""Tests for repro.backend.aggregate against a brute-force reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.aggregate import LevelMapper, aggregate_records, reaggregate
+from repro.exceptions import BackendError
+from repro.schema.builder import build_star_schema
+from repro.workload.data import generate_fact_table
+from tests.conftest import brute_force_aggregate, canon_rows
+
+
+@pytest.fixture()
+def mapper(small_schema):
+    return LevelMapper(small_schema)
+
+
+class TestLevelMapper:
+    def test_identity(self, small_schema, mapper):
+        table = mapper.table(0, 2, 2)
+        assert np.array_equal(table, np.arange(10))
+
+    def test_one_step(self, small_schema, mapper):
+        d0 = small_schema.dimensions[0]
+        table = mapper.table(0, 2, 1)
+        for leaf in range(10):
+            assert table[leaf] == d0.ancestor_ordinal(2, leaf, 1)
+
+    def test_memoized(self, mapper):
+        assert mapper.table(0, 2, 1) is mapper.table(0, 2, 1)
+
+    def test_upward_only(self, mapper):
+        with pytest.raises(BackendError):
+            mapper.table(0, 1, 2)
+
+    def test_multi_step(self):
+        schema = build_star_schema([[2, 4, 16]])
+        mapper = LevelMapper(schema)
+        dim = schema.dimensions[0]
+        table = mapper.table(0, 3, 1)
+        for leaf in range(16):
+            assert table[leaf] == dim.ancestor_ordinal(3, leaf, 1)
+
+
+class TestAggregateRecords:
+    @pytest.mark.parametrize("groupby", [(2, 2), (1, 1), (1, 0), (0, 2), (0, 0)])
+    def test_matches_brute_force(self, small_schema, small_records, mapper, groupby):
+        aggregates = [("v", "sum"), ("v", "count")]
+        rows = aggregate_records(
+            small_schema, small_records, groupby, aggregates, mapper
+        )
+        assert canon_rows(rows) == brute_force_aggregate(
+            small_schema, small_records, groupby, aggregates
+        )
+
+    @pytest.mark.parametrize("agg", ["min", "max", "avg"])
+    def test_other_aggregates(self, small_schema, small_records, mapper, agg):
+        rows = aggregate_records(
+            small_schema, small_records, (1, 1), [("v", agg)], mapper
+        )
+        assert canon_rows(rows) == brute_force_aggregate(
+            small_schema, small_records, (1, 1), [("v", agg)]
+        )
+
+    def test_selection_filter(self, small_schema, small_records, mapper):
+        selection = ((1, 3), None)
+        rows = aggregate_records(
+            small_schema,
+            small_records,
+            (1, 1),
+            [("v", "sum")],
+            mapper,
+            selection=selection,
+        )
+        assert canon_rows(rows) == brute_force_aggregate(
+            small_schema, small_records, (1, 1), [("v", "sum")],
+            selections=selection,
+        )
+        assert np.all((rows["D0"] >= 1) & (rows["D0"] < 3))
+
+    def test_empty_input(self, small_schema, mapper):
+        from repro.storage.record import fact_record_format
+
+        empty = fact_record_format(small_schema).empty()
+        rows = aggregate_records(
+            small_schema, empty, (1, 1), [("v", "sum")], mapper
+        )
+        assert len(rows) == 0
+
+    def test_finer_record_groupby_rejected(self, small_schema, small_records, mapper):
+        with pytest.raises(BackendError):
+            aggregate_records(
+                small_schema,
+                small_records,
+                (2, 2),
+                [("v", "sum")],
+                mapper,
+                record_groupby=(1, 1),
+            )
+
+    def test_output_sorted_by_group_key(self, small_schema, small_records, mapper):
+        rows = aggregate_records(
+            small_schema, small_records, (1, 1), [("v", "sum")], mapper
+        )
+        keys = rows["D0"].astype(np.int64) * 4 + rows["D1"]
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestReaggregate:
+    def test_matches_direct_aggregation(self, small_schema, small_records, mapper):
+        aggregates = [("v", "sum"), ("v", "count"), ("v", "min")]
+        fine = aggregate_records(
+            small_schema, small_records, (2, 1), aggregates, mapper
+        )
+        merged = reaggregate(
+            small_schema, fine, (2, 1), (1, 0), aggregates, mapper
+        )
+        direct = aggregate_records(
+            small_schema, small_records, (1, 0), aggregates, mapper
+        )
+        assert canon_rows(merged) == canon_rows(direct)
+
+    def test_avg_rejected(self, small_schema, small_records, mapper):
+        fine = aggregate_records(
+            small_schema, small_records, (2, 2), [("v", "avg")], mapper
+        )
+        with pytest.raises(BackendError):
+            reaggregate(
+                small_schema, fine, (2, 2), (1, 1), [("v", "avg")], mapper
+            )
+
+    def test_coarser_source_rejected(self, small_schema, small_records, mapper):
+        coarse = aggregate_records(
+            small_schema, small_records, (1, 1), [("v", "sum")], mapper
+        )
+        with pytest.raises(BackendError):
+            reaggregate(
+                small_schema, coarse, (1, 1), (2, 2), [("v", "sum")], mapper
+            )
+
+    def test_with_selection(self, small_schema, small_records, mapper):
+        aggregates = [("v", "sum")]
+        fine = aggregate_records(
+            small_schema, small_records, (2, 2), aggregates, mapper
+        )
+        merged = reaggregate(
+            small_schema, fine, (2, 2), (1, 1), aggregates, mapper,
+            selection=((0, 2), None),
+        )
+        direct = aggregate_records(
+            small_schema, small_records, (1, 1), aggregates, mapper,
+            selection=((0, 2), None),
+        )
+        assert canon_rows(merged) == canon_rows(direct)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(0, 150),
+    seed=st.integers(0, 99),
+    level0=st.integers(0, 2),
+    level1=st.integers(0, 2),
+)
+def test_aggregation_matches_brute_force_property(n, seed, level0, level1):
+    schema = build_star_schema([[3, 9], [2, 6]], measure_names=("v",))
+    records = generate_fact_table(schema, n, seed=seed)
+    mapper = LevelMapper(schema)
+    aggregates = [("v", "sum"), ("v", "count")]
+    rows = aggregate_records(
+        schema, records, (level0, level1), aggregates, mapper
+    )
+    assert canon_rows(rows) == brute_force_aggregate(
+        schema, records, (level0, level1), aggregates
+    )

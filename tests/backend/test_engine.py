@@ -1,0 +1,206 @@
+"""Tests for repro.backend.engine — access paths, chunk interface, costs."""
+
+import numpy as np
+import pytest
+
+from repro.backend.engine import BackendEngine
+from repro.chunks.grid import ChunkSpace
+from repro.exceptions import BackendError
+from repro.query.model import StarQuery
+from repro.schema.builder import build_star_schema
+from repro.workload.data import generate_fact_table
+from tests.conftest import brute_force_aggregate, canon_rows
+
+
+class TestConstruction:
+    def test_build_resets_counters(self, small_schema, small_records):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine.build(
+            small_schema, space, small_records, page_size=1024
+        )
+        assert engine.disk.stats.reads == 0
+        assert engine.num_records == len(small_records)
+        assert engine.num_data_pages > 0
+        assert space.base_tuples == len(small_records)
+
+    def test_unknown_organization_rejected(self, small_schema):
+        space = ChunkSpace(small_schema, 0.25)
+        with pytest.raises(BackendError):
+            BackendEngine(small_schema, space, organization="columnar")
+
+    def test_double_load_rejected(self, small_schema, small_records):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine.build(small_schema, space, small_records)
+        with pytest.raises(BackendError):
+            engine.load(small_records)
+
+    def test_unloaded_access_rejected(self, small_schema):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine(small_schema, space)
+        with pytest.raises(BackendError):
+            engine.answer(StarQuery.build(small_schema, (1, 1)))
+
+    def test_wrong_dtype_rejected(self, small_schema):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine(small_schema, space)
+        with pytest.raises(BackendError):
+            engine.load(np.zeros(2, dtype=[("x", "i8")]))
+
+    def test_random_organization_has_no_chunk_interface(
+        self, small_schema, small_records
+    ):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine.build(
+            small_schema, space, small_records, organization="random"
+        )
+        with pytest.raises(BackendError):
+            engine.compute_chunks((1, 1), [0], [("v", "sum")])
+        with pytest.raises(BackendError):
+            engine.estimate_chunk_work((1, 1), [0])
+
+
+class TestAccessPathsAgree:
+    @pytest.mark.parametrize(
+        "groupby,selections",
+        [
+            ((1, 1), {"D0": (1, 4)}),
+            ((2, 1), {"D0": (2, 8), "D1": (0, 3)}),
+            ((1, 0), {"D0": (0, 3)}),
+            ((2, 2), None),
+            ((0, 1), None),
+        ],
+    )
+    def test_three_paths_same_answer(
+        self, small_schema, fresh_small_engine, groupby, selections
+    ):
+        query = StarQuery.build(small_schema, groupby, selections)
+        scan_rows, _ = fresh_small_engine.answer(query, "scan")
+        bitmap_rows, _ = fresh_small_engine.answer(query, "bitmap")
+        chunk_rows, _ = fresh_small_engine.answer(query, "chunk")
+        assert canon_rows(scan_rows) == canon_rows(bitmap_rows)
+        assert canon_rows(scan_rows) == canon_rows(chunk_rows)
+
+    def test_matches_brute_force(self, small_schema, fresh_small_engine,
+                                 small_records):
+        query = StarQuery.build(small_schema, (1, 2), {"D1": (2, 6)})
+        rows, _ = fresh_small_engine.answer(query, "chunk")
+        assert canon_rows(rows) == brute_force_aggregate(
+            small_schema,
+            small_records,
+            (1, 2),
+            list(query.aggregates),
+            selections=query.selections,
+        )
+
+    def test_auto_path_selection(self, small_schema, fresh_small_engine):
+        with_selection = StarQuery.build(small_schema, (1, 1), {"D0": (0, 2)})
+        _, report = fresh_small_engine.answer(with_selection)
+        assert report.access_path == "bitmap"
+        no_selection = StarQuery.build(small_schema, (1, 1))
+        _, report = fresh_small_engine.answer(no_selection)
+        assert report.access_path == "scan"
+
+    def test_unknown_path_rejected(self, small_schema, fresh_small_engine):
+        query = StarQuery.build(small_schema, (1, 1))
+        with pytest.raises(BackendError):
+            fresh_small_engine.answer(query, "quantum")
+
+
+class TestComputeChunks:
+    def test_chunks_cover_grid(self, small_schema, fresh_small_engine):
+        space = fresh_small_engine.space
+        groupby = (1, 1)
+        grid = space.grid(groupby)
+        numbers = list(range(grid.num_chunks))
+        chunks, report = fresh_small_engine.compute_chunks(
+            groupby, numbers, [("v", "sum"), ("v", "count")]
+        )
+        assert set(chunks) == set(numbers)
+        total = int(sum(c["count_v"].sum() for c in chunks.values()))
+        assert total == fresh_small_engine.num_records
+        assert report.chunks_computed == len(numbers)
+        assert report.pages_read > 0
+
+    def test_rows_stay_inside_chunk(self, small_schema, fresh_small_engine):
+        space = fresh_small_engine.space
+        groupby = (2, 1)
+        grid = space.grid(groupby)
+        chunks, _ = fresh_small_engine.compute_chunks(
+            groupby, [0, 3], [("v", "sum")]
+        )
+        for number, rows in chunks.items():
+            ranges = grid.cell_ranges(number)
+            for rng, name in zip(ranges, ("D0", "D1")):
+                if rng is None or not len(rows):
+                    continue
+                assert np.all((rows[name] >= rng.lo) & (rows[name] < rng.hi))
+
+    def test_shared_base_chunks_read_once(self, small_schema, fresh_small_engine):
+        """Two sibling chunks sharing base chunks cost less than twice one."""
+        groupby = (1, 0)
+        fresh_small_engine.buffer_pool.flush()
+        _, single = fresh_small_engine.compute_chunks(
+            groupby, [0], [("v", "sum")]
+        )
+        fresh_small_engine.buffer_pool.flush()
+        _, double = fresh_small_engine.compute_chunks(
+            groupby, [0, 1], [("v", "sum")]
+        )
+        assert double.pages_read < 2 * single.pages_read + 4
+
+
+class TestEstimates:
+    def test_estimate_has_no_io_side_effect(self, fresh_small_engine):
+        before = fresh_small_engine.disk.stats.copy()
+        fresh_small_engine.estimate_chunk_work((1, 1), [0, 1, 2])
+        after = fresh_small_engine.disk.stats
+        assert after.reads == before.reads
+        assert after.writes == before.writes
+
+    def test_estimate_total_tuples(self, fresh_small_engine):
+        grid = fresh_small_engine.space.grid((1, 1))
+        _, tuples = fresh_small_engine.estimate_chunk_work(
+            (1, 1), list(range(grid.num_chunks))
+        )
+        assert tuples == fresh_small_engine.num_records
+
+    def test_estimate_pages_positive(self, fresh_small_engine):
+        pages = fresh_small_engine.estimate_chunk_pages((1, 1), [0])
+        assert pages > 0
+
+    def test_bitmap_estimate_reasonable(self, small_schema, fresh_small_engine):
+        query = StarQuery.build(small_schema, (2, 2), {"D0": (0, 3)})
+        estimate = fresh_small_engine.estimate_bitmap_pages(query)
+        assert 0 < estimate <= (
+            fresh_small_engine.num_data_pages
+            + sum(b.num_pages for b in fresh_small_engine.bitmaps.values())
+        )
+
+
+class TestExplain:
+    def test_bitmap_plan(self, small_schema, fresh_small_engine):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 2)})
+        plan = fresh_small_engine.explain(query)
+        assert plan["access_path"] == "bitmap"
+        assert plan["chunks"]["source"] == "base"
+        assert plan["chunks"]["count"] > 0
+        assert plan["estimated_bitmap_pages"] > 0
+
+    def test_scan_plan(self, small_schema, fresh_small_engine):
+        query = StarQuery.build(small_schema, (1, 1))
+        plan = fresh_small_engine.explain(query)
+        assert plan["access_path"] == "scan"
+        assert plan["scan_pages"] == fresh_small_engine.num_data_pages
+
+    def test_materialized_source_reported(self, small_schema, fresh_small_engine):
+        fresh_small_engine.materialize((1, 1))
+        query = StarQuery.build(small_schema, (1, 0), {"D0": (0, 2)})
+        plan = fresh_small_engine.explain(query, "chunk")
+        assert plan["chunks"]["source"] == "materialized(1, 1)"
+
+    def test_explain_does_no_io(self, small_schema, fresh_small_engine):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 2)})
+        before = fresh_small_engine.disk.stats.copy()
+        fresh_small_engine.explain(query)
+        after = fresh_small_engine.disk.stats
+        assert after.reads == before.reads

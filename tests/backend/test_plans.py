@@ -1,0 +1,62 @@
+"""Tests for repro.backend.plans — cost reports."""
+
+from repro.backend.plans import CostReport, measure_cost
+from repro.storage.disk import SimulatedDisk
+
+
+class TestCostReport:
+    def test_addition(self):
+        a = CostReport(pages_read=2, tuples_scanned=10, access_path="chunk")
+        b = CostReport(pages_read=3, result_tuples=4, access_path="scan")
+        c = a + b
+        assert c.pages_read == 5
+        assert c.tuples_scanned == 10
+        assert c.result_tuples == 4
+        assert c.access_path == "chunk+scan"
+
+    def test_merge_in_place(self):
+        a = CostReport(pages_read=1, access_path="chunk")
+        a.merge(CostReport(pages_read=2, chunks_computed=3))
+        assert a.pages_read == 3
+        assert a.chunks_computed == 3
+        assert a.access_path == "chunk"
+
+    def test_defaults_zero(self):
+        r = CostReport()
+        assert r.pages_read == 0
+        assert r.pages_written == 0
+        assert r.access_path == ""
+
+
+class TestMeasureCost:
+    def test_captures_io_delta(self):
+        disk = SimulatedDisk(page_size=64)
+        pid = disk.allocate()
+        disk.write_page(pid, b"x")
+        with measure_cost(disk, access_path="scan") as report:
+            disk.read_page(pid)
+            disk.read_page(pid)
+            disk.write_page(pid, b"y")
+        assert report.pages_read == 2
+        assert report.pages_written == 1
+        assert report.access_path == "scan"
+
+    def test_accumulates_into_prefilled_report(self):
+        disk = SimulatedDisk(page_size=64)
+        pid = disk.allocate()
+        ctx = measure_cost(disk)
+        with ctx as report:
+            report.tuples_scanned += 7
+            disk.read_page(pid)
+        assert report.pages_read == 1
+        assert report.tuples_scanned == 7
+
+    def test_nested_blocks_independent(self):
+        disk = SimulatedDisk(page_size=64)
+        pid = disk.allocate()
+        with measure_cost(disk) as outer:
+            disk.read_page(pid)
+            with measure_cost(disk) as inner:
+                disk.read_page(pid)
+        assert inner.pages_read == 1
+        assert outer.pages_read == 2

@@ -1,0 +1,209 @@
+"""Tests for repro.chunks.ranges — the CreateChunkRanges algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunks.ranges import (
+    ChunkRange,
+    DimensionChunking,
+    create_chunk_ranges,
+    desired_sizes_for_ratio,
+    uniform_division,
+)
+from repro.exceptions import ChunkingError
+from repro.schema.builder import build_dimension
+
+
+class TestChunkRange:
+    def test_len_and_contains(self):
+        r = ChunkRange(2, 5)
+        assert len(r) == 3
+        assert 2 in r and 4 in r
+        assert 5 not in r and 1 not in r
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ChunkingError):
+            ChunkRange(3, 3)
+        with pytest.raises(ChunkingError):
+            ChunkRange(-1, 2)
+
+
+class TestUniformDivision:
+    def test_exact(self):
+        ranges = uniform_division(0, 6, 2)
+        assert [(r.lo, r.hi) for r in ranges] == [(0, 2), (2, 4), (4, 6)]
+
+    def test_remainder_last(self):
+        ranges = uniform_division(0, 7, 3)
+        assert [(r.lo, r.hi) for r in ranges] == [(0, 3), (3, 6), (6, 7)]
+
+    def test_offset_start(self):
+        ranges = uniform_division(4, 8, 2)
+        assert [(r.lo, r.hi) for r in ranges] == [(4, 6), (6, 8)]
+
+    def test_bad_inputs(self):
+        with pytest.raises(ChunkingError):
+            uniform_division(0, 4, 0)
+        with pytest.raises(ChunkingError):
+            uniform_division(4, 4, 1)
+
+
+class TestDesiredSizes:
+    def test_proportional(self):
+        dim = build_dimension("d", [10, 100])
+        sizes = desired_sizes_for_ratio(dim, 0.1)
+        assert sizes == {1: 1, 2: 10}
+
+    def test_clamped_to_at_least_one(self):
+        dim = build_dimension("d", [3, 9])
+        sizes = desired_sizes_for_ratio(dim, 0.01)
+        assert sizes == {1: 1, 2: 1}
+
+    def test_bad_ratio(self):
+        dim = build_dimension("d", [3])
+        with pytest.raises(ChunkingError):
+            desired_sizes_for_ratio(dim, 0.0)
+        with pytest.raises(ChunkingError):
+            desired_sizes_for_ratio(dim, 1.5)
+
+
+class TestCreateChunkRanges:
+    def test_figure6_style(self):
+        """Ranges at level l+1 are generated within each level-l range."""
+        dim = build_dimension("d", [4, 12])
+        ranges = create_chunk_ranges(dim, {1: 2, 2: 3})
+        assert [(r.lo, r.hi) for r in ranges[1]] == [(0, 2), (2, 4)]
+        # Each level-1 range maps to 6 leaf values, divided in 3s.
+        assert [(r.lo, r.hi) for r in ranges[2]] == [
+            (0, 3), (3, 6), (6, 9), (9, 12),
+        ]
+
+    def test_hierarchy_constrains_ranges(self):
+        """A range never straddles a parent-range boundary (Figure 5 bug)."""
+        dim = build_dimension("d", [3, 7], fanout="even")
+        # Level-2 desired size 5 exceeds some parents' child blocks, so the
+        # actual ranges shrink to the blocks.
+        ranges = create_chunk_ranges(dim, {1: 1, 2: 5})
+        level1_bounds = {r.lo for r in ranges[1]} | {r.hi for r in ranges[1]}
+        leaf_bounds = set()
+        for parent in ranges[1]:
+            lo, hi = dim.map_range(1, (parent.lo, parent.hi), 2)
+            leaf_bounds.update((lo, hi))
+        for r in ranges[2]:
+            # No leaf range may cross a parent boundary.
+            for bound in leaf_bounds:
+                assert not (r.lo < bound < r.hi)
+
+    def test_missing_level_size_rejected(self):
+        dim = build_dimension("d", [2, 4])
+        with pytest.raises(ChunkingError):
+            create_chunk_ranges(dim, {1: 1})
+
+    def test_unknown_level_rejected(self):
+        dim = build_dimension("d", [2])
+        with pytest.raises(ChunkingError):
+            create_chunk_ranges(dim, {1: 1, 2: 1})
+
+    def test_sequence_sizes_accepted(self):
+        dim = build_dimension("d", [2, 4])
+        ranges = create_chunk_ranges(dim, [1, 2])
+        assert len(ranges[1]) == 2
+        assert len(ranges[2]) == 2
+
+
+class TestDimensionChunking:
+    @pytest.fixture()
+    def chunking(self):
+        dim = build_dimension("d", [4, 12, 24])
+        return DimensionChunking(dim, {1: 2, 2: 3, 3: 4})
+
+    def test_counts(self, chunking):
+        assert chunking.num_chunks(0) == 1
+        assert chunking.num_chunks(1) == 2
+        assert chunking.num_chunks(2) == 4
+
+    def test_range_at_and_bounds(self, chunking):
+        assert chunking.range_at(1, 0) == ChunkRange(0, 2)
+        with pytest.raises(ChunkingError):
+            chunking.range_at(1, 2)
+
+    def test_chunk_index_of(self, chunking):
+        starts = chunking.range_starts(2)
+        for ordinal in range(12):
+            index = chunking.chunk_index_of(2, ordinal)
+            r = chunking.range_at(2, index)
+            assert ordinal in r
+        with pytest.raises(ChunkingError):
+            chunking.chunk_index_of(2, 12)
+
+    def test_chunk_span_for_interval(self, chunking):
+        lo, hi = chunking.chunk_span_for_interval(2, (2, 7))
+        covered_lo = chunking.range_at(2, lo).lo
+        covered_hi = chunking.range_at(2, hi - 1).hi
+        assert covered_lo <= 2 and covered_hi >= 7
+        with pytest.raises(ChunkingError):
+            chunking.chunk_span_for_interval(2, (5, 5))
+
+    def test_child_span(self, chunking):
+        assert chunking.child_span(0, 0) == (0, chunking.num_chunks(1))
+        lo, hi = chunking.child_span(1, 0)
+        parent = chunking.range_at(1, 0)
+        mapped = chunking.dimension.map_range(1, (parent.lo, parent.hi), 2)
+        assert chunking.range_at(2, lo).lo == mapped[0]
+        assert chunking.range_at(2, hi - 1).hi == mapped[1]
+        with pytest.raises(ChunkingError):
+            chunking.child_span(3, 0)
+
+    def test_descend_span_identity(self, chunking):
+        assert chunking.descend_span(2, 3, 2) == (3, 4)
+        assert chunking.descend_span(0, 0, 0) == (0, 1)
+
+    def test_leaf_span_covers_parent_exactly(self, chunking):
+        for index in range(chunking.num_chunks(1)):
+            parent = chunking.range_at(1, index)
+            leaf_interval = chunking.dimension.map_range(
+                1, (parent.lo, parent.hi), 3
+            )
+            lo, hi = chunking.leaf_span(1, index)
+            assert chunking.range_at(3, lo).lo == leaf_interval[0]
+            assert chunking.range_at(3, hi - 1).hi == leaf_interval[1]
+
+    def test_unknown_level_rejected(self, chunking):
+        with pytest.raises(ChunkingError):
+            chunking.ranges(4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_closure_property_on_random_hierarchies(data):
+    """CreateChunkRanges output always satisfies the closure property.
+
+    For every level and range, the range maps to whole ranges one level
+    down (DimensionChunking validates this at construction), and the
+    ranges at each level exactly tile the domain.
+    """
+    depth = data.draw(st.integers(1, 4))
+    cards = [data.draw(st.integers(1, 8))]
+    for _ in range(depth - 1):
+        cards.append(cards[-1] * data.draw(st.integers(1, 4)))
+    seed = data.draw(st.integers(0, 999))
+    dim = build_dimension("d", cards, fanout="random", seed=seed)
+    sizes = {
+        level: data.draw(st.integers(1, max(1, cards[level - 1])))
+        for level in range(1, depth + 1)
+    }
+    chunking = DimensionChunking(dim, sizes)  # validates closure internally
+    for level in range(1, depth + 1):
+        ranges = chunking.ranges(level)
+        # Exact tiling of the domain.
+        assert ranges[0].lo == 0
+        assert ranges[-1].hi == cards[level - 1]
+        for a, b in zip(ranges, ranges[1:]):
+            assert a.hi == b.lo
+    # descend_span tiles the leaf level when applied to all top ranges.
+    leaf = depth
+    covered = []
+    for index in range(chunking.num_chunks(1)):
+        lo, hi = chunking.descend_span(1, index, leaf)
+        covered.extend(range(lo, hi))
+    assert covered == list(range(chunking.num_chunks(leaf)))

@@ -1,0 +1,154 @@
+"""Tests for repro.core.cache and repro.core.chunk."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import ChunkCache
+from repro.core.chunk import (
+    CachedChunk,
+    CachedQuery,
+    ChunkKey,
+    entry_size_bytes,
+)
+from repro.exceptions import CacheError
+
+
+def make_chunk(number=0, rows=4, benefit=1.0, groupby=(1, 1)):
+    data = np.zeros(rows, dtype=[("D0", "i4"), ("sum_v", "f8")])
+    key = ChunkKey(groupby, number, (("v", "sum"),))
+    return CachedChunk(key=key, rows=data, benefit=benefit)
+
+
+class TestChunkKey:
+    def test_compatible_key_excludes_number(self):
+        a = ChunkKey((1, 1), 0, (("v", "sum"),))
+        b = ChunkKey((1, 1), 7, (("v", "sum"),))
+        assert a.compatible_key() == b.compatible_key()
+        assert a != b
+
+    def test_hashable(self):
+        key = ChunkKey((1, 0), 3, (("v", "sum"),), frozenset({"p"}))
+        assert key in {key}
+
+
+class TestEntrySize:
+    def test_includes_overhead(self):
+        chunk = make_chunk(rows=0)
+        assert chunk.size_bytes == entry_size_bytes(chunk.rows)
+        assert chunk.size_bytes > 0  # empty chunks still cost something
+
+    def test_grows_with_rows(self):
+        assert make_chunk(rows=10).size_bytes > make_chunk(rows=1).size_bytes
+
+    def test_cached_query_size(self, small_schema):
+        from repro.query.model import StarQuery
+
+        query = StarQuery.build(small_schema, (1, 1))
+        entry = CachedQuery(
+            query=query, rows=np.zeros(3, dtype="f8"), benefit=2.0
+        )
+        assert entry.size_bytes == entry_size_bytes(entry.rows)
+        assert entry.num_rows == 3
+
+
+class TestChunkCache:
+    def test_get_miss_then_hit(self):
+        cache = ChunkCache(10_000)
+        chunk = make_chunk()
+        assert cache.get(chunk.key) is None
+        cache.put(chunk)
+        assert cache.get(chunk.key) is chunk
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_peek_does_not_touch_stats(self):
+        cache = ChunkCache(10_000)
+        chunk = make_chunk()
+        cache.put(chunk)
+        cache.peek(chunk.key)
+        assert cache.stats.lookups == 0
+
+    def test_budget_respected(self):
+        cache = ChunkCache(1_000)
+        for number in range(100):
+            cache.put(make_chunk(number=number, rows=8))
+            assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.stats.evictions > 0
+
+    def test_oversized_entry_rejected(self):
+        cache = ChunkCache(100)
+        assert not cache.put(make_chunk(rows=1000))
+        assert cache.stats.rejected == 1
+        assert len(cache) == 0
+
+    def test_reinsert_refreshes(self):
+        cache = ChunkCache(10_000)
+        cache.put(make_chunk(number=1, rows=2))
+        bigger = make_chunk(number=1, rows=6)
+        cache.put(bigger)
+        assert len(cache) == 1
+        assert cache.peek(bigger.key).num_rows == 6
+        assert cache.used_bytes == bigger.size_bytes
+
+    def test_invalidate(self):
+        cache = ChunkCache(10_000)
+        chunk = make_chunk()
+        cache.put(chunk)
+        assert cache.invalidate(chunk.key)
+        assert not cache.invalidate(chunk.key)
+        assert cache.used_bytes == 0
+        assert len(cache.policy) == 0
+
+    def test_clear(self):
+        cache = ChunkCache(10_000)
+        for number in range(5):
+            cache.put(make_chunk(number=number))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_keys_snapshot(self):
+        cache = ChunkCache(10_000)
+        chunk = make_chunk()
+        cache.put(chunk)
+        assert cache.keys() == [chunk.key]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            ChunkCache(-1)
+
+    def test_policy_by_name(self):
+        for name in ("lru", "clock", "benefit"):
+            cache = ChunkCache(1000, name)
+            cache.put(make_chunk())
+            assert len(cache) == 1
+
+    def test_hit_ratio(self):
+        cache = ChunkCache(10_000)
+        chunk = make_chunk()
+        cache.put(chunk)
+        cache.get(chunk.key)
+        cache.get(ChunkKey((1, 1), 99, (("v", "sum"),)))
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(100, 5000),
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 40)), max_size=80
+    ),
+    policy=st.sampled_from(["lru", "clock", "benefit"]),
+)
+def test_cache_invariants_under_churn(capacity, ops, policy):
+    """used_bytes tracks entries exactly and never exceeds the budget."""
+    cache = ChunkCache(capacity, policy)
+    for number, rows in ops:
+        cache.put(make_chunk(number=number, rows=rows, benefit=number + 0.5))
+        assert cache.used_bytes <= capacity
+        expected = sum(
+            cache.peek(key).size_bytes for key in cache.keys()
+        )
+        assert cache.used_bytes == expected
+        assert len(cache.policy) == len(cache)

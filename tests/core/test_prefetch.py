@@ -1,0 +1,132 @@
+"""Tests for the aggressive-prefetch extension (Section 7 future work)."""
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.chunk import ChunkKey
+from repro.core.manager import ChunkCacheManager
+from repro.query.model import StarQuery
+from repro.workload.generator import SESSION, QueryGenerator
+from tests.conftest import canon_rows
+
+
+@pytest.fixture()
+def prefetching_manager(small_schema, fresh_small_engine):
+    return ChunkCacheManager(
+        small_schema,
+        fresh_small_engine.space,
+        fresh_small_engine,
+        ChunkCache(4_000_000),
+        prefetch_drilldown=True,
+    )
+
+
+class TestPrefetchGroupby:
+    def test_one_level_finer_everywhere(self, prefetching_manager):
+        assert prefetching_manager._prefetch_groupby((1, 1)) == (2, 2)
+        assert prefetching_manager._prefetch_groupby((1, 0)) == (2, 0)
+
+    def test_leaf_level_unchanged(self, prefetching_manager):
+        assert prefetching_manager._prefetch_groupby((2, 2)) is None
+        assert prefetching_manager._prefetch_groupby((2, 1)) == (2, 2)
+
+
+class TestPrefetchBehaviour:
+    def test_answers_stay_correct(self, small_schema, prefetching_manager):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        answer = prefetching_manager.answer(query)
+        expected, _ = prefetching_manager.backend.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+    def test_finer_chunks_cached(self, small_schema, prefetching_manager):
+        query = StarQuery.build(small_schema, (1, 1))
+        prefetching_manager.answer(query)
+        finer_keys = [
+            key for key in prefetching_manager.cache.keys()
+            if key.groupby == (2, 2)
+        ]
+        assert finer_keys, "prefetch should cache detail-level chunks"
+
+    def test_drilldown_hits_after_prefetch(self, small_schema, prefetching_manager):
+        """The whole point: a subsequent drill-down is served in-tier."""
+        coarse = StarQuery.build(small_schema, (1, 1), {"D0": (0, 2)})
+        prefetching_manager.answer(coarse)
+        drill = StarQuery.build(small_schema, (2, 1), {"D0": (0, 4)})
+        answer = prefetching_manager.answer(drill)
+        assert answer.record.pages_read == 0, (
+            "drill-down should not touch the backend after prefetch"
+        )
+        expected, _ = prefetching_manager.backend.answer(drill, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+    def test_leaf_level_query_falls_back(self, small_schema, prefetching_manager):
+        """No finer level exists: the direct path is used and correct."""
+        query = StarQuery.build(small_schema, (2, 2), {"D0": (0, 4)})
+        answer = prefetching_manager.answer(query)
+        expected, _ = prefetching_manager.backend.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+    def test_avg_falls_back(self, small_schema, prefetching_manager):
+        query = StarQuery.build(
+            small_schema, (1, 1), aggregates=[("v", "avg")]
+        )
+        answer = prefetching_manager.answer(query)
+        expected, _ = prefetching_manager.backend.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+        finer = [
+            key for key in prefetching_manager.cache.keys()
+            if key.groupby == (2, 2)
+        ]
+        assert not finer
+
+    def test_io_not_inflated(self, small_schema, fresh_small_engine):
+        """Prefetching reads the same base chunks as the direct path."""
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+
+        direct = ChunkCacheManager(
+            small_schema, fresh_small_engine.space, fresh_small_engine,
+            ChunkCache(4_000_000),
+        )
+        fresh_small_engine.buffer_pool.flush()
+        a = direct.answer(query)
+
+        prefetching = ChunkCacheManager(
+            small_schema, fresh_small_engine.space, fresh_small_engine,
+            ChunkCache(4_000_000), prefetch_drilldown=True,
+        )
+        fresh_small_engine.buffer_pool.flush()
+        b = prefetching.answer(query)
+        assert b.record.pages_read <= a.record.pages_read + 2
+
+    def test_session_stream_correct_and_cheaper(
+        self, paper_schema, paper_engine
+    ):
+        """On a drill-down heavy stream, prefetching cuts backend I/O."""
+        generator = QueryGenerator(paper_schema, seed=13)
+        stream = generator.stream(60, SESSION)
+
+        baseline = ChunkCacheManager(
+            paper_schema, paper_engine.space, paper_engine,
+            ChunkCache(6_000_000),
+        )
+        paper_engine.buffer_pool.flush()
+        paper_engine.disk.reset_stats()
+        for query in stream:
+            baseline.answer(query)
+
+        prefetching = ChunkCacheManager(
+            paper_schema, paper_engine.space, paper_engine,
+            ChunkCache(6_000_000), prefetch_drilldown=True,
+        )
+        paper_engine.buffer_pool.flush()
+        paper_engine.disk.reset_stats()
+        for index, query in enumerate(stream):
+            answer = prefetching.answer(query)
+            if index % 10 == 0:
+                expected, _ = paper_engine.answer(query, "scan")
+                assert canon_rows(answer.rows) == canon_rows(expected)
+
+        assert (
+            prefetching.metrics.total_pages_read()
+            < baseline.metrics.total_pages_read()
+        )

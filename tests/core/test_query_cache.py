@@ -1,0 +1,115 @@
+"""Tests for repro.core.query_cache — the containment baseline."""
+
+import pytest
+
+from repro.core.query_cache import QueryCacheManager
+from repro.exceptions import CacheError
+from repro.query.model import StarQuery
+from tests.conftest import canon_rows
+
+
+@pytest.fixture()
+def manager(small_schema, fresh_small_engine):
+    return QueryCacheManager(
+        small_schema, fresh_small_engine, capacity_bytes=2_000_000
+    )
+
+
+def q(schema, groupby=(1, 1), selections=None, **kwargs):
+    return StarQuery.build(schema, groupby, selections, **kwargs)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "groupby,selections",
+        [
+            ((1, 1), {"D0": (1, 4)}),
+            ((2, 2), {"D0": (3, 9)}),
+            ((1, 0), None),
+        ],
+    )
+    def test_matches_backend(self, small_schema, manager, groupby, selections):
+        query = q(small_schema, groupby, selections)
+        answer = manager.answer(query)
+        expected, _ = manager.backend.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+    def test_contained_hit_is_filtered_correctly(self, small_schema, manager):
+        manager.answer(q(small_schema, (2, 2), {"D0": (0, 8)}))
+        inner = q(small_schema, (2, 2), {"D0": (2, 5), "D1": (1, 4)})
+        answer = manager.answer(inner)
+        assert answer.record.chunks_hit == 1
+        expected, _ = manager.backend.answer(inner, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+
+class TestCachingSemantics:
+    def test_exact_repeat_hits(self, small_schema, manager):
+        query = q(small_schema, (1, 1), {"D0": (0, 3)})
+        assert manager.answer(query).record.chunks_hit == 0
+        hit = manager.answer(query)
+        assert hit.record.chunks_hit == 1
+        assert hit.record.pages_read == 0
+        assert hit.record.saved_cost == pytest.approx(hit.record.full_cost)
+
+    def test_overlap_without_containment_misses(self, small_schema, manager):
+        manager.answer(q(small_schema, (2, 2), {"D0": (0, 5)}))
+        answer = manager.answer(q(small_schema, (2, 2), {"D0": (3, 8)}))
+        assert answer.record.chunks_hit == 0
+
+    def test_different_groupby_misses(self, small_schema, manager):
+        manager.answer(q(small_schema, (2, 2)))
+        assert manager.answer(q(small_schema, (1, 1))).record.chunks_hit == 0
+
+    def test_aggregate_superset_serves_subset(self, small_schema, manager):
+        manager.answer(
+            q(small_schema, (1, 1),
+              aggregates=[("v", "sum"), ("v", "count")])
+        )
+        answer = manager.answer(
+            q(small_schema, (1, 1), aggregates=[("v", "sum"), ("v", "count")])
+        )
+        assert answer.record.chunks_hit == 1
+
+    def test_capacity_respected(self, small_schema, fresh_small_engine):
+        manager = QueryCacheManager(
+            small_schema, fresh_small_engine, capacity_bytes=3_000
+        )
+        for lo in range(0, 8):
+            manager.answer(q(small_schema, (2, 2), {"D0": (lo, lo + 2)}))
+            assert manager.used_bytes <= 3_000
+
+    def test_zero_capacity_never_caches(self, small_schema, fresh_small_engine):
+        manager = QueryCacheManager(
+            small_schema, fresh_small_engine, capacity_bytes=0
+        )
+        query = q(small_schema, (1, 1), {"D0": (0, 2)})
+        manager.answer(query)
+        assert manager.answer(query).record.chunks_hit == 0
+        assert len(manager) == 0
+
+    def test_negative_capacity_rejected(self, small_schema, fresh_small_engine):
+        with pytest.raises(CacheError):
+            QueryCacheManager(small_schema, fresh_small_engine, -1)
+
+
+class TestRedundancy:
+    def test_no_entries_is_one(self, manager):
+        assert manager.redundancy_ratio() == 1.0
+
+    def test_disjoint_entries_no_redundancy(self, small_schema, manager):
+        manager.answer(q(small_schema, (1, 1), {"D0": (0, 2)}))
+        manager.answer(q(small_schema, (1, 1), {"D0": (3, 5)}))
+        assert manager.redundancy_ratio() == pytest.approx(1.0)
+
+    def test_overlapping_entries_counted(self, small_schema, manager):
+        manager.answer(q(small_schema, (1, 1), {"D0": (0, 3)}))
+        manager.answer(q(small_schema, (1, 1), {"D0": (2, 5)}))
+        # 3 + 3 cells stored over 5 distinct (per remaining dim span).
+        assert manager.redundancy_ratio() == pytest.approx(6 / 5)
+
+    def test_metrics_accumulate(self, small_schema, manager):
+        manager.answer(q(small_schema, (1, 1)))
+        manager.answer(q(small_schema, (1, 1)))
+        assert len(manager.metrics) == 2
+        assert 0 < manager.metrics.cost_saving_ratio() <= 1

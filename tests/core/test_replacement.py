@@ -1,0 +1,155 @@
+"""Tests for repro.core.replacement — LRU, CLOCK, Benefit-CLOCK."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.replacement import (
+    BenefitClockPolicy,
+    ClockPolicy,
+    LRUPolicy,
+    make_policy,
+)
+from repro.exceptions import CacheError
+
+
+class TestMakePolicy:
+    def test_known(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("clock"), ClockPolicy)
+        assert isinstance(make_policy("benefit"), BenefitClockPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(CacheError):
+            make_policy("mru")
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1.0)
+        policy.on_access("a")
+        assert policy.victim(1.0) == "b"
+        assert policy.victim(1.0) == "c"
+        assert policy.victim(1.0) == "a"
+
+    def test_empty_victim_rejected(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().victim(1.0)
+
+    def test_duplicate_insert_rejected(self):
+        policy = LRUPolicy()
+        policy.on_insert("a", 1.0)
+        with pytest.raises(CacheError):
+            policy.on_insert("a", 1.0)
+
+    def test_remove(self):
+        policy = LRUPolicy()
+        policy.on_insert("a", 1.0)
+        policy.on_insert("b", 1.0)
+        policy.remove("a")
+        assert len(policy) == 1
+        assert policy.victim(1.0) == "b"
+
+    def test_remove_absent_is_noop(self):
+        LRUPolicy().remove("zz")
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        for key in "abc":
+            policy.on_insert(key, 1.0)
+        # All referenced: first sweep clears bits, second evicts 'a'.
+        assert policy.victim(1.0) == "a"
+        # 'b' had its bit cleared during the sweep.
+        policy.on_access("b")
+        assert policy.victim(1.0) == "c"
+
+    def test_single_entry(self):
+        policy = ClockPolicy()
+        policy.on_insert("a", 1.0)
+        assert policy.victim(1.0) == "a"
+        assert len(policy) == 0
+
+    def test_access_unknown_is_noop(self):
+        ClockPolicy().on_access("zz")
+
+    def test_remove_relinks_ring(self):
+        policy = ClockPolicy()
+        for key in "abcd":
+            policy.on_insert(key, 1.0)
+        policy.remove("b")
+        evicted = {policy.victim(1.0) for _ in range(3)}
+        assert evicted == {"a", "c", "d"}
+
+
+class TestBenefitClock:
+    def test_high_benefit_survives(self):
+        policy = BenefitClockPolicy()
+        policy.on_insert("cheap", 1.0)
+        policy.on_insert("precious", 10.0)
+        # Incoming weight 1.0: "cheap" is exhausted after one pass,
+        # "precious" survives ten.
+        assert policy.victim(1.0) == "cheap"
+        policy.on_insert("cheap2", 1.0)
+        assert policy.victim(1.0) == "cheap2"
+
+    def test_reaccess_restores_weight(self):
+        policy = BenefitClockPolicy()
+        policy.on_insert("a", 2.0)
+        policy.on_insert("b", 2.0)
+        # Drain 'a' partially, then restore it.
+        policy.victim(1.5)  # evicts whichever drains first
+        remaining = len(policy)
+        assert remaining == 1
+
+    def test_zero_incoming_weight_terminates(self):
+        policy = BenefitClockPolicy()
+        policy.on_insert("a", 5.0)
+        assert policy.victim(0.0) == "a"
+
+    def test_negative_benefit_rejected(self):
+        policy = BenefitClockPolicy()
+        with pytest.raises(CacheError):
+            policy.on_insert("a", -1.0)
+
+    def test_eviction_order_by_benefit(self):
+        policy = BenefitClockPolicy()
+        policy.on_insert("small", 1.0)
+        policy.on_insert("medium", 3.0)
+        policy.on_insert("large", 9.0)
+        order = [policy.victim(1.0) for _ in range(3)]
+        assert order == ["small", "medium", "large"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    policy_name=st.sampled_from(["lru", "clock", "benefit"]),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "access", "remove", "victim"]),
+            st.integers(0, 9),
+        ),
+        max_size=60,
+    ),
+)
+def test_policy_tracks_membership_consistently(policy_name, ops):
+    """Under arbitrary op sequences the policy's key set stays exact."""
+    policy = make_policy(policy_name)
+    members: set[int] = set()
+    for op, key in ops:
+        if op == "insert":
+            if key not in members:
+                policy.on_insert(key, float(key) + 0.5)
+                members.add(key)
+        elif op == "access":
+            policy.on_access(key)
+        elif op == "remove":
+            policy.remove(key)
+            members.discard(key)
+        elif op == "victim" and members:
+            victim = policy.victim(1.0)
+            assert victim in members
+            members.remove(victim)
+        assert len(policy) == len(members)

@@ -1,0 +1,88 @@
+"""Tests for repro.experiments.harness at smoke scale."""
+
+import pytest
+
+from repro.experiments.configs import SMOKE_SCALE
+from repro.experiments.harness import (
+    build_system,
+    get_system,
+    make_chunk_manager,
+    make_mix_stream,
+    make_query_manager,
+    reset_backend,
+    run_stream,
+)
+from repro.workload.generator import EQPR, RANDOM
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(SMOKE_SCALE)
+
+
+class TestBuildSystem:
+    def test_components(self, system):
+        assert system.schema.num_dimensions == 4
+        assert system.backend.num_records == SMOKE_SCALE.num_tuples
+        assert system.backend.organization == "chunked"
+        assert system.cache_bytes == int(
+            system.cube_bytes * SMOKE_SCALE.cache_fraction_of_cube
+        )
+
+    def test_chunk_ratio_override(self):
+        coarse = build_system(SMOKE_SCALE, chunk_ratio=0.5)
+        assert (
+            coarse.space.base_grid.num_chunks
+            < build_system(SMOKE_SCALE).space.base_grid.num_chunks
+        )
+
+    def test_get_system_memoizes(self):
+        assert get_system(SMOKE_SCALE) is get_system(SMOKE_SCALE)
+        assert get_system(SMOKE_SCALE) is not get_system(
+            SMOKE_SCALE, chunk_ratio=0.5
+        )
+
+
+class TestManagers:
+    def test_chunk_manager_uses_system_budget(self, system):
+        manager = make_chunk_manager(system)
+        assert manager.cache.capacity_bytes == system.cache_bytes
+
+    def test_budget_override(self, system):
+        manager = make_chunk_manager(system, cache_bytes=12345)
+        assert manager.cache.capacity_bytes == 12345
+
+    def test_reset_backend_clears_state(self, system):
+        system.backend.disk.stats.reads = 99
+        reset_backend(system)
+        assert system.backend.disk.stats.reads == 0
+        assert len(system.backend.buffer_pool) == 0
+
+    def test_query_manager(self, system):
+        manager = make_query_manager(system, cache_bytes=10_000)
+        assert manager.capacity_bytes == 10_000
+
+
+class TestRunStream:
+    def test_run_collects_metrics(self, system):
+        stream = make_mix_stream(system, EQPR, num_queries=15)
+        manager = make_chunk_manager(system)
+        metrics = run_stream(manager, stream)
+        assert len(metrics) == 15
+        assert metrics.mean_time() > 0
+
+    def test_verified_run_chunk_scheme(self, system):
+        """Every 5th answer cross-checked against a backend scan."""
+        stream = make_mix_stream(system, RANDOM, num_queries=10)
+        manager = make_chunk_manager(system)
+        run_stream(manager, stream, verify_every=5)
+
+    def test_verified_run_query_scheme(self, system):
+        stream = make_mix_stream(system, RANDOM, num_queries=10)
+        manager = make_query_manager(system)
+        run_stream(manager, stream, verify_every=5)
+
+    def test_streams_deterministic(self, system):
+        a = make_mix_stream(system, EQPR, num_queries=5)
+        b = make_mix_stream(system, EQPR, num_queries=5)
+        assert a.queries == b.queries

@@ -1,0 +1,85 @@
+"""Smoke tests for the experiment registry: every experiment runs and
+produces the paper's expected *shape* at SMOKE scale where feasible."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import registry
+from repro.experiments.configs import SMOKE_SCALE
+from repro.experiments.fig14 import build_bitmap_setup
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(registry.EXPERIMENTS) == {
+            "table1", "table2", "fig9", "fig10", "csr_sim",
+            "fig11", "fig12", "fig13", "fig14", "feller", "multiuser",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            registry.run_experiment("fig99")
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        result = registry.run_experiment("table1")
+        assert result.notes == "matches the paper exactly"
+        assert len(result.rows) == 3
+
+    def test_table2_mixes(self):
+        result = registry.run_experiment("table2", SMOKE_SCALE)
+        assert result.column("Stream") == ["Random", "EQPR", "Proximity"]
+        realized = result.column("realized_proximity")
+        # Random stream has no proximity; Proximity stream is mostly so.
+        assert realized[0] < 0.1
+        assert realized[2] > 0.5
+
+
+@pytest.mark.slow
+class TestFigureShapes:
+    """Each figure's headline shape, at smoke scale."""
+
+    def test_fig9_chunk_beats_query_with_locality(self):
+        result = registry.run_experiment("fig9", SMOKE_SCALE)
+        by_key = {
+            (row["stream"], row["scheme"]): row for row in result.rows
+        }
+        # At the highest-locality stream the chunk scheme must win on CSR.
+        assert (
+            by_key[("Proximity", "chunk")]["csr"]
+            > by_key[("Proximity", "query")]["csr"]
+        )
+        assert (
+            by_key[("Proximity", "chunk")]["mean_time_last"]
+            < by_key[("Proximity", "query")]["mean_time_last"]
+        )
+
+    def test_fig11_csr_monotone_in_cache_size(self):
+        result = registry.run_experiment("fig11", SMOKE_SCALE)
+        csr = result.column("csr")
+        assert all(b >= a - 0.02 for a, b in zip(csr, csr[1:]))
+
+    def test_fig14_chunked_fewer_pages(self):
+        setup = build_bitmap_setup(
+            distinct_values=60, density=0.4, tuples_per_cell=2,
+            page_size=1024,
+        )
+        result = registry.EXPERIMENTS["fig14"][2](
+            setup=setup, queries_per_width=3
+        )
+        for row in result.rows:
+            assert row["pages_chunked"] < row["pages_random"]
+
+    def test_feller_model_tracks_measurement(self):
+        from repro.experiments.feller import run as run_feller
+
+        setup = build_bitmap_setup(
+            distinct_values=60, density=0.4, tuples_per_cell=2,
+            page_size=1024,
+        )
+        result = run_feller(setup=setup, queries_per_width=3)
+        for row in result.rows:
+            assert row["model_random"] == pytest.approx(
+                row["measured_random"], rel=0.35, abs=3
+            )

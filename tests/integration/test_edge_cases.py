@@ -1,0 +1,167 @@
+"""Edge cases and failure injection across the whole stack.
+
+Degenerate geometries (single-level hierarchies, single members, one
+dimension), extreme budgets (one-frame buffer pool, zero-byte cache),
+and extreme chunk ratios must all remain *correct* — performance
+pathologies are fine, wrong answers are not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.engine import BackendEngine
+from repro.chunks.grid import ChunkSpace
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.query.model import StarQuery
+from repro.schema.builder import build_star_schema
+from repro.workload.data import generate_fact_table
+from repro.workload.generator import EQPR, QueryGenerator
+from tests.conftest import canon_rows
+
+
+def build_stack(schema, num_tuples, ratio, cache_bytes=1_000_000,
+                page_size=1024, pool_pages=4, seed=3):
+    space = ChunkSpace(schema, ratio)
+    records = generate_fact_table(schema, num_tuples, seed=seed)
+    engine = BackendEngine.build(
+        schema, space, records, page_size=page_size,
+        buffer_pool_pages=pool_pages,
+    )
+    manager = ChunkCacheManager(
+        schema, space, engine, ChunkCache(cache_bytes)
+    )
+    return engine, manager
+
+
+def assert_all_queries_correct(schema, engine, manager, n=8, seed=5):
+    generator = QueryGenerator(schema, seed=seed, max_grouped_dims=2)
+    for query in generator.stream(n, EQPR):
+        answer = manager.answer(query)
+        expected, _ = engine.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected), str(query)
+
+
+class TestDegenerateSchemas:
+    def test_single_dimension(self):
+        schema = build_star_schema([[3, 9]], measure_names=("v",))
+        engine, manager = build_stack(schema, 500, 0.3)
+        assert_all_queries_correct(schema, engine, manager)
+
+    def test_single_level_hierarchies(self):
+        schema = build_star_schema([[7], [5]], measure_names=("v",))
+        engine, manager = build_stack(schema, 400, 0.4)
+        assert_all_queries_correct(schema, engine, manager)
+
+    def test_single_member_dimension(self):
+        schema = build_star_schema([[1], [6]], measure_names=("v",))
+        engine, manager = build_stack(schema, 300, 0.5)
+        query = StarQuery.build(schema, (1, 1))
+        answer = manager.answer(query)
+        expected, _ = engine.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+
+    def test_deep_skinny_hierarchy(self):
+        schema = build_star_schema([[1, 2, 4, 8, 16]], measure_names=("v",))
+        engine, manager = build_stack(schema, 400, 0.3)
+        assert_all_queries_correct(schema, engine, manager)
+
+    def test_five_dimensions(self):
+        schema = build_star_schema(
+            [[2, 4], [3], [2, 6], [4], [2, 4]], measure_names=("v",)
+        )
+        engine, manager = build_stack(schema, 600, 0.5)
+        assert_all_queries_correct(schema, engine, manager, n=5)
+
+
+class TestExtremeGeometry:
+    def test_ratio_one_single_chunk_per_level(self):
+        schema = build_star_schema([[4, 8], [3, 6]], measure_names=("v",))
+        engine, manager = build_stack(schema, 400, 1.0)
+        # With ratio 1.0, chunking degenerates toward one chunk per level
+        # block — still correct.
+        assert_all_queries_correct(schema, engine, manager)
+
+    def test_one_member_per_chunk(self):
+        schema = build_star_schema([[4, 8], [3, 6]], measure_names=("v",))
+        space = ChunkSpace(
+            schema,
+            {"D0": {1: 1, 2: 1}, "D1": {1: 1, 2: 1}},
+        )
+        records = generate_fact_table(schema, 400, seed=4)
+        engine = BackendEngine.build(
+            schema, space, records, page_size=1024
+        )
+        manager = ChunkCacheManager(
+            schema, space, engine, ChunkCache(1_000_000)
+        )
+        assert_all_queries_correct(schema, engine, manager)
+
+
+class TestExtremeBudgets:
+    def test_one_frame_buffer_pool(self):
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        engine, manager = build_stack(schema, 800, 0.3, pool_pages=1)
+        assert_all_queries_correct(schema, engine, manager)
+
+    def test_zero_byte_cache(self):
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        engine, manager = build_stack(schema, 500, 0.3, cache_bytes=0)
+        assert_all_queries_correct(schema, engine, manager)
+        assert len(manager.cache) == 0
+
+    def test_tiny_cache_with_all_extensions(self):
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        space = ChunkSpace(schema, 0.3)
+        records = generate_fact_table(schema, 500, seed=6)
+        engine = BackendEngine.build(schema, space, records, page_size=1024)
+        manager = ChunkCacheManager(
+            schema, space, engine, ChunkCache(1500),
+            aggregate_in_cache=True, prefetch_drilldown=True,
+        )
+        assert_all_queries_correct(schema, engine, manager)
+
+
+class TestEmptyAndSparseData:
+    def test_empty_fact_table(self):
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        space = ChunkSpace(schema, 0.3)
+        records = generate_fact_table(schema, 0)
+        engine = BackendEngine.build(schema, space, records, page_size=1024)
+        manager = ChunkCacheManager(
+            schema, space, engine, ChunkCache(1_000_000)
+        )
+        query = StarQuery.build(schema, (1, 1))
+        answer = manager.answer(query)
+        assert len(answer.rows) == 0
+
+    def test_single_tuple(self):
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        space = ChunkSpace(schema, 0.3)
+        records = generate_fact_table(schema, 1, seed=7)
+        engine = BackendEngine.build(schema, space, records, page_size=1024)
+        manager = ChunkCacheManager(
+            schema, space, engine, ChunkCache(1_000_000)
+        )
+        query = StarQuery.build(
+            schema, (0, 0), aggregates=[("v", "count")]
+        )
+        answer = manager.answer(query)
+        assert int(answer.rows["count_v"][0]) == 1
+
+    def test_highly_skewed_data(self):
+        """All tuples in one cell: most chunks empty, one packed."""
+        schema = build_star_schema([[3, 9], [2, 8]], measure_names=("v",))
+        space = ChunkSpace(schema, 0.3)
+        from repro.storage.record import fact_record_format
+
+        fmt = fact_record_format(schema)
+        records = fmt.empty(1000)
+        records["D0"] = 4
+        records["D1"] = 2
+        records["v"] = 1.0
+        engine = BackendEngine.build(schema, space, records, page_size=1024)
+        manager = ChunkCacheManager(
+            schema, space, engine, ChunkCache(1_000_000)
+        )
+        assert_all_queries_correct(schema, engine, manager)

@@ -1,0 +1,149 @@
+"""Full-stack integration tests.
+
+The single most important invariant of the whole system: **every query
+answered through any cache manager equals the backend's direct answer**,
+regardless of cache state, policy, stream order, or chunk geometry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.engine import BackendEngine
+from repro.chunks.grid import ChunkSpace
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.core.query_cache import QueryCacheManager
+from repro.query.model import StarQuery
+from repro.schema.builder import build_star_schema
+from repro.workload.data import generate_fact_table
+from repro.workload.generator import EQPR, PROXIMITY, QueryGenerator
+from tests.conftest import canon_rows
+
+
+@pytest.fixture(scope="module", params=["lru", "clock", "benefit"])
+def chunk_manager(request, small_schema, small_records):
+    space = ChunkSpace(small_schema, 0.25)
+    engine = BackendEngine.build(
+        small_schema, space, small_records, page_size=1024,
+        buffer_pool_pages=16,
+    )
+    return ChunkCacheManager(
+        small_schema, space, engine,
+        ChunkCache(2_500, request.param),
+    )
+
+
+class TestEveryAnswerCorrectUnderChurn:
+    def test_chunk_scheme_long_stream(self, small_schema, chunk_manager):
+        """60 queries with a tight cache (evictions!) all stay correct."""
+        generator = QueryGenerator(small_schema, seed=23)
+        for index, query in enumerate(generator.stream(60, EQPR)):
+            answer = chunk_manager.answer(query)
+            if index % 3 == 0:
+                expected, _ = chunk_manager.backend.answer(query, "scan")
+                assert canon_rows(answer.rows) == canon_rows(expected), (
+                    f"query {index}: {query}"
+                )
+        assert chunk_manager.cache.stats.evictions > 0, (
+            "test needs churn to be meaningful"
+        )
+
+    def test_query_scheme_long_stream(self, small_schema, small_records):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine.build(
+            small_schema, space, small_records, page_size=1024
+        )
+        manager = QueryCacheManager(small_schema, engine, 40_000)
+        generator = QueryGenerator(small_schema, seed=29)
+        for index, query in enumerate(generator.stream(40, PROXIMITY)):
+            answer = manager.answer(query)
+            if index % 3 == 0:
+                expected, _ = engine.answer(query, "scan")
+                assert canon_rows(answer.rows) == canon_rows(expected)
+
+
+class TestSchemesAgreeWithEachOther:
+    def test_same_stream_same_answers(self, small_schema, small_records):
+        space = ChunkSpace(small_schema, 0.25)
+        engine = BackendEngine.build(
+            small_schema, space, small_records, page_size=1024
+        )
+        chunk_mgr = ChunkCacheManager(
+            small_schema, space, engine, ChunkCache(200_000)
+        )
+        query_mgr = QueryCacheManager(small_schema, engine, 200_000)
+        generator = QueryGenerator(small_schema, seed=31)
+        for query in generator.stream(25, EQPR):
+            a = chunk_mgr.answer(query)
+            b = query_mgr.answer(query)
+            assert canon_rows(a.rows) == canon_rows(b.rows)
+
+
+class TestChunkSchemeOutperformsWithLocality:
+    def test_headline_claim(self, paper_schema, paper_records):
+        """The paper's core claim holds end to end on the Table 1 schema."""
+        space = ChunkSpace(paper_schema, 0.2)
+        engine = BackendEngine.build(
+            paper_schema, space, paper_records, buffer_pool_pages=32
+        )
+        generator = QueryGenerator(paper_schema, seed=7)
+        stream = generator.stream(120, PROXIMITY)
+        budget = 2_000_000
+
+        chunk_mgr = ChunkCacheManager(
+            paper_schema, space, engine, ChunkCache(budget)
+        )
+        for query in stream:
+            chunk_mgr.answer(query)
+
+        engine.buffer_pool.flush()
+        engine.disk.reset_stats()
+        query_mgr = QueryCacheManager(paper_schema, engine, budget)
+        for query in stream:
+            query_mgr.answer(query)
+
+        assert (
+            chunk_mgr.metrics.cost_saving_ratio()
+            > query_mgr.metrics.cost_saving_ratio()
+        )
+        assert (
+            chunk_mgr.metrics.mean_time()
+            < query_mgr.metrics.mean_time()
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_random_geometry_random_queries_always_correct(data):
+    """Random schema geometry + random query sequences stay correct."""
+    cards0 = [2, data.draw(st.integers(4, 8), label="d0")]
+    cards1 = [3, data.draw(st.integers(3, 9), label="d1")]
+    schema = build_star_schema(
+        [cards0, cards1],
+        fanout="random",
+        seed=data.draw(st.integers(0, 50), label="fanout_seed"),
+    )
+    space = ChunkSpace(
+        schema, data.draw(st.sampled_from([0.2, 0.4, 0.8]), label="ratio")
+    )
+    records = generate_fact_table(
+        schema, data.draw(st.integers(50, 400), label="n"),
+        seed=data.draw(st.integers(0, 50), label="data_seed"),
+    )
+    engine = BackendEngine.build(
+        schema, space, records, page_size=1024, buffer_pool_pages=8
+    )
+    manager = ChunkCacheManager(
+        schema, space, engine,
+        ChunkCache(data.draw(st.sampled_from([0, 5_000, 1_000_000]),
+                             label="cache")),
+    )
+    generator = QueryGenerator(
+        schema, seed=data.draw(st.integers(0, 99), label="query_seed"),
+        max_grouped_dims=2,
+    )
+    for query in generator.stream(6, EQPR):
+        answer = manager.answer(query)
+        expected, _ = engine.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)

@@ -1,0 +1,125 @@
+"""Tests for repro.storage.bitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import IndexError_
+from repro.storage.bitmap import BitmapIndex, combine_and
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture()
+def column():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 7, 500)
+
+
+@pytest.fixture()
+def index(column):
+    return BitmapIndex.build(SimulatedDisk(256), column, cardinality=7)
+
+
+class TestBuild:
+    def test_geometry(self, index):
+        assert index.num_records == 500
+        assert index.bytes_per_bitmap == 63
+        assert index.pages_per_bitmap == 1
+        assert index.num_pages == 7
+
+    def test_multi_page_bitmaps(self):
+        column = np.zeros(5000, dtype=np.int64)
+        index = BitmapIndex.build(SimulatedDisk(256), column, cardinality=2)
+        assert index.pages_per_bitmap == 3
+        assert index.num_pages == 6
+
+    def test_unbuilt_rejected(self):
+        index = BitmapIndex(SimulatedDisk(256), 10, 2)
+        with pytest.raises(IndexError_):
+            index.read_bitmap(0)
+        with pytest.raises(IndexError_):
+            _ = index.num_pages
+
+    def test_bad_construction(self):
+        with pytest.raises(IndexError_):
+            BitmapIndex(SimulatedDisk(256), 0, 1)
+        with pytest.raises(IndexError_):
+            BitmapIndex(SimulatedDisk(256), 1, 0)
+
+
+class TestRead:
+    def test_bitmap_matches_column(self, index, column):
+        for value in range(7):
+            mask = index.read_bitmap(value)
+            assert np.array_equal(mask, column == value)
+
+    def test_out_of_range_value(self, index):
+        with pytest.raises(IndexError_):
+            index.read_bitmap(7)
+        with pytest.raises(IndexError_):
+            index.read_bitmap(-1)
+
+    def test_select_range(self, index, column):
+        mask = index.select_range(2, 5)
+        assert np.array_equal(mask, (column >= 2) & (column < 5))
+
+    def test_select_values(self, index, column):
+        mask = index.select_values([0, 6])
+        assert np.array_equal(mask, (column == 0) | (column == 6))
+
+    def test_empty_selection_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.select_range(3, 3)
+        with pytest.raises(IndexError_):
+            index.select_values([])
+
+    def test_positions(self, index, column):
+        mask = index.read_bitmap(1)
+        assert np.array_equal(
+            BitmapIndex.positions(mask), np.flatnonzero(column == 1)
+        )
+
+    def test_read_costs_io(self, index):
+        index.disk.reset_stats()
+        index.select_range(0, 3)
+        assert index.disk.stats.reads == 3 * index.pages_per_bitmap
+
+    def test_pages_for_selection(self, index):
+        assert index.pages_for_selection(4) == 4 * index.pages_per_bitmap
+
+
+class TestCombineAnd:
+    def test_and(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert combine_and([a, b]).tolist() == [True, False, False]
+
+    def test_single(self):
+        a = np.array([True, False])
+        out = combine_and([a])
+        assert out.tolist() == [True, False]
+        out[0] = False  # result is a copy
+        assert a[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            combine_and([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 400),
+    cardinality=st.integers(1, 9),
+    seed=st.integers(0, 99),
+)
+def test_bitmaps_partition_records(n, cardinality, seed):
+    """Each record's bit is set in exactly one value bitmap."""
+    rng = np.random.default_rng(seed)
+    column = rng.integers(0, cardinality, n)
+    index = BitmapIndex.build(
+        SimulatedDisk(128), column, cardinality=cardinality
+    )
+    total = np.zeros(n, dtype=np.int64)
+    for value in range(cardinality):
+        total += index.read_bitmap(value).astype(np.int64)
+    assert np.array_equal(total, np.ones(n, dtype=np.int64))

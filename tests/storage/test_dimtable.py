@@ -1,0 +1,90 @@
+"""Tests for repro.storage.dimtable."""
+
+import pytest
+
+from repro.exceptions import FileFormatError
+from repro.schema.builder import build_dimension
+from repro.storage.buffer import BufferPool
+from repro.storage.dimtable import DimensionTable
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture()
+def dimension():
+    return build_dimension(
+        "store", [2, 4, 12], level_names=["state", "city", "sname"]
+    )
+
+
+class TestBuildAndScan:
+    def test_all_rows_present(self, dimension):
+        table = DimensionTable.build(SimulatedDisk(256), dimension)
+        rows = list(table.scan())
+        assert len(rows) == 12
+        assert table.num_rows == 12
+        assert [ordinal for ordinal, _ in rows] == list(range(12))
+
+    def test_rows_carry_ancestor_values(self, dimension):
+        table = DimensionTable.build(SimulatedDisk(256), dimension)
+        for ordinal, values in table.scan():
+            assert len(values) == 3
+            expected = tuple(
+                str(
+                    dimension.value_of(
+                        level,
+                        dimension.ancestor_ordinal(3, ordinal, level),
+                    )
+                )
+                for level in (1, 2, 3)
+            )
+            assert values == expected
+
+    def test_spans_multiple_pages(self, dimension):
+        table = DimensionTable.build(SimulatedDisk(128), dimension)
+        assert table.num_pages > 1
+        assert len(list(table.scan())) == 12
+
+
+class TestLookup:
+    def test_lookup_matches_scan(self, dimension):
+        table = DimensionTable.build(SimulatedDisk(128), dimension)
+        scanned = dict(table.scan())
+        for ordinal in range(12):
+            assert table.lookup(ordinal) == scanned[ordinal]
+
+    def test_lookup_costs_one_page(self, dimension):
+        disk = SimulatedDisk(128)
+        table = DimensionTable.build(disk, dimension)
+        disk.reset_stats()
+        table.lookup(7)
+        assert disk.stats.reads == 1
+
+    def test_lookup_through_pool(self, dimension):
+        disk = SimulatedDisk(128)
+        pool = BufferPool(disk, 4)
+        table = DimensionTable.build(disk, dimension, buffer_pool=pool)
+        disk.reset_stats()
+        table.lookup(3)
+        table.lookup(3)
+        assert disk.stats.reads == 1
+
+    def test_out_of_range(self, dimension):
+        table = DimensionTable.build(SimulatedDisk(256), dimension)
+        with pytest.raises(FileFormatError):
+            table.lookup(12)
+        with pytest.raises(FileFormatError):
+            table.lookup(-1)
+
+
+class TestUnicode:
+    def test_non_ascii_members(self):
+        from repro.schema.dimension import Dimension
+        from repro.schema.hierarchy import Hierarchy, Level
+
+        dim = Dimension(
+            "city",
+            Hierarchy([Level(1, "city", 3)]),
+            members={1: ["Zürich", "München", "København"]},
+        )
+        table = DimensionTable.build(SimulatedDisk(256), dim)
+        assert table.lookup(1) == ("München",)

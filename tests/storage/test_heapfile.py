@@ -1,0 +1,150 @@
+"""Tests for repro.storage.heapfile and factfile."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FileFormatError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.factfile import FactFile
+from repro.storage.heapfile import HeapFile
+from repro.storage.record import RecordFormat
+
+
+@pytest.fixture()
+def fmt():
+    return RecordFormat([("k", "i4"), ("v", "f8")])
+
+
+def make_records(fmt, n):
+    records = fmt.empty(n)
+    records["k"] = np.arange(n)
+    records["v"] = np.arange(n) * 0.5
+    return records
+
+
+class TestHeapFile:
+    def test_bulk_load_and_scan(self, fmt):
+        disk = SimulatedDisk(page_size=128)
+        heap = HeapFile(disk, fmt)
+        records = make_records(fmt, 50)
+        heap.bulk_load(records)
+        assert heap.num_records == 50
+        assert heap.records_per_page == (128 - 4) // 12
+        scanned = np.concatenate(list(heap.scan()))
+        assert np.array_equal(scanned, records)
+
+    def test_read_all_empty(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        assert len(heap.read_all()) == 0
+
+    def test_wrong_dtype_rejected(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        with pytest.raises(FileFormatError):
+            heap.bulk_load(np.zeros(3, dtype=[("z", "i8")]))
+
+    def test_page_of_record(self, fmt):
+        disk = SimulatedDisk(page_size=128)
+        heap = HeapFile(disk, fmt)
+        heap.bulk_load(make_records(fmt, 30))
+        rpp = heap.records_per_page
+        assert heap.page_of_record(0) == 0
+        assert heap.page_of_record(rpp) == 1
+        with pytest.raises(FileFormatError):
+            heap.page_of_record(30)
+
+    def test_read_positions(self, fmt):
+        disk = SimulatedDisk(page_size=128)
+        heap = HeapFile(disk, fmt)
+        records = make_records(fmt, 100)
+        heap.bulk_load(records)
+        positions = np.array([0, 5, 50, 99])
+        got = heap.read_positions(positions)
+        assert got["k"].tolist() == [0, 5, 50, 99]
+
+    def test_read_positions_empty(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        heap.bulk_load(make_records(fmt, 10))
+        assert len(heap.read_positions(np.array([], dtype=np.int64))) == 0
+
+    def test_read_positions_unsorted_rejected(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        heap.bulk_load(make_records(fmt, 10))
+        with pytest.raises(FileFormatError):
+            heap.read_positions(np.array([5, 2]))
+
+    def test_read_positions_out_of_range(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        heap.bulk_load(make_records(fmt, 10))
+        with pytest.raises(FileFormatError):
+            heap.read_positions(np.array([10]))
+
+    def test_skipped_sequential_io(self, fmt):
+        """read_positions reads each distinct page exactly once."""
+        disk = SimulatedDisk(page_size=128)
+        heap = HeapFile(disk, fmt)
+        heap.bulk_load(make_records(fmt, 100))
+        rpp = heap.records_per_page
+        disk.reset_stats()
+        positions = np.array([0, 1, 2, rpp, rpp + 1, 5 * rpp])
+        heap.read_positions(positions)
+        assert disk.stats.reads == 3
+        assert heap.count_pages_for_positions(positions) == 3
+
+    def test_reads_through_buffer_pool(self, fmt):
+        disk = SimulatedDisk(page_size=128)
+        pool = BufferPool(disk, 4)
+        heap = HeapFile(disk, fmt, buffer_pool=pool)
+        heap.bulk_load(make_records(fmt, 20))
+        disk.reset_stats()
+        heap.read_file_page(0)
+        heap.read_file_page(0)
+        assert disk.stats.reads == 1  # second read was a pool hit
+
+    def test_multiple_bulk_loads_append(self, fmt):
+        heap = HeapFile(SimulatedDisk(128), fmt)
+        heap.bulk_load(make_records(fmt, 10))
+        heap.bulk_load(make_records(fmt, 10))
+        assert heap.num_records == 20
+
+
+class TestFactFile:
+    def test_read_range(self, fmt):
+        fact = FactFile(SimulatedDisk(128), fmt)
+        records = make_records(fmt, 100)
+        fact.bulk_load(records)
+        got = fact.read_range(37, 20)
+        assert got["k"].tolist() == list(range(37, 57))
+
+    def test_read_range_empty(self, fmt):
+        fact = FactFile(SimulatedDisk(128), fmt)
+        fact.bulk_load(make_records(fmt, 10))
+        assert len(fact.read_range(3, 0)) == 0
+
+    def test_read_range_bounds(self, fmt):
+        fact = FactFile(SimulatedDisk(128), fmt)
+        fact.bulk_load(make_records(fmt, 10))
+        with pytest.raises(FileFormatError):
+            fact.read_range(5, 6)
+        with pytest.raises(FileFormatError):
+            fact.read_range(0, -1)
+
+    def test_range_io_proportional_to_span(self, fmt):
+        disk = SimulatedDisk(page_size=128)
+        fact = FactFile(disk, fmt)
+        fact.bulk_load(make_records(fmt, 200))
+        rpp = fact.records_per_page
+        disk.reset_stats()
+        fact.read_range(0, rpp)  # exactly one page
+        assert disk.stats.reads == 1
+        assert fact.pages_for_range(0, rpp) == 1
+        assert fact.pages_for_range(rpp - 1, 2) == 2
+        assert fact.pages_for_range(0, 0) == 0
+
+    def test_column(self, fmt):
+        fact = FactFile(SimulatedDisk(128), fmt)
+        records = make_records(fmt, 25)
+        fact.bulk_load(records)
+        assert np.array_equal(fact.column("k"), records["k"])
+        with pytest.raises(FileFormatError):
+            fact.column("nope")

@@ -1,0 +1,113 @@
+"""Tests for repro.storage.record."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import FileFormatError
+from repro.storage.record import (
+    RecordFormat,
+    fact_record_format,
+    groupby_record_format,
+)
+
+
+@pytest.fixture()
+def fmt():
+    return RecordFormat([("a", "i4"), ("b", "i4"), ("x", "f8")])
+
+
+class TestRecordFormat:
+    def test_size_and_names(self, fmt):
+        assert fmt.record_size == 16
+        assert fmt.field_names == ("a", "b", "x")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(FileFormatError):
+            RecordFormat([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FileFormatError):
+            RecordFormat([("a", "i4"), ("a", "f8")])
+
+    def test_records_per_page(self, fmt):
+        assert fmt.records_per_page(160) == 10
+        assert fmt.records_per_page(160, header_size=16) == 9
+
+    def test_record_too_big_for_page(self, fmt):
+        with pytest.raises(FileFormatError):
+            fmt.records_per_page(12)
+
+    def test_tuple_roundtrip(self, fmt):
+        rows = [(1, 2, 3.5), (4, 5, 6.25)]
+        array = fmt.from_tuples(rows)
+        assert fmt.to_tuples(array) == rows
+
+    def test_pack_unpack_roundtrip(self, fmt):
+        array = fmt.from_tuples([(1, 2, 3.0), (7, 8, 9.0)])
+        payload = fmt.pack(array)
+        assert len(payload) == 2 * fmt.record_size
+        back = fmt.unpack(payload)
+        assert np.array_equal(back, array)
+
+    def test_unpack_with_padding_and_count(self, fmt):
+        array = fmt.from_tuples([(1, 2, 3.0)])
+        payload = fmt.pack(array) + b"\x00" * 7
+        back = fmt.unpack(payload, count=1)
+        assert back["a"][0] == 1
+
+    def test_unpack_count_too_large(self, fmt):
+        with pytest.raises(FileFormatError):
+            fmt.unpack(b"\x00" * 8, count=1)
+
+    def test_pack_wrong_dtype_rejected(self, fmt):
+        wrong = np.zeros(1, dtype=[("a", "i8")])
+        with pytest.raises(FileFormatError):
+            fmt.pack(wrong)
+
+    def test_unpack_result_is_writable_copy(self, fmt):
+        array = fmt.from_tuples([(1, 2, 3.0)])
+        back = fmt.unpack(fmt.pack(array))
+        back["a"][0] = 99  # must not raise
+
+    def test_equality_and_hash(self, fmt):
+        same = RecordFormat([("a", "i4"), ("b", "i4"), ("x", "f8")])
+        other = RecordFormat([("a", "i8")])
+        assert fmt == same and hash(fmt) == hash(same)
+        assert fmt != other
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-(2**31), 2**31 - 1),
+                st.integers(-(2**31), 2**31 - 1),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+            ),
+            max_size=50,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        fmt = RecordFormat([("a", "i4"), ("b", "i4"), ("x", "f8")])
+        array = fmt.from_tuples(rows)
+        assert np.array_equal(fmt.unpack(fmt.pack(array)), array)
+
+
+class TestSchemaFormats:
+    def test_fact_record_format(self, small_schema):
+        fmt = fact_record_format(small_schema)
+        assert fmt.field_names == ("D0", "D1", "v")
+        assert fmt.record_size == 4 + 4 + 8
+
+    def test_groupby_format_drops_all_dims(self, small_schema):
+        fmt = groupby_record_format(small_schema, (1, 0))
+        assert fmt.field_names == ("D0", "sum_v")
+
+    def test_groupby_format_aggregate_dtypes(self, small_schema):
+        fmt = groupby_record_format(
+            small_schema,
+            (1, 1),
+            aggregates=[("v", "count"), ("v", "avg"), ("v", "min")],
+        )
+        assert fmt.dtype["count_v"] == np.dtype("i8")
+        assert fmt.dtype["avg_v"] == np.dtype("f8")
+        assert fmt.dtype["min_v"] == np.dtype("f8")

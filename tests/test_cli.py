@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table1" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "tuples" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches the paper exactly" in out
+
+    def test_run_smoke_scale(self, capsys):
+        assert main(["run", "table2", "--smoke"]) == 0
+        assert "Locality Parameters" in capsys.readouterr().out
+
+    def test_run_unknown_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2

@@ -1,0 +1,88 @@
+"""Tests for repro.workload.data."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.workload.data import generate_dense_table, generate_fact_table
+
+
+class TestGenerateFactTable:
+    def test_shape_and_ranges(self, small_schema):
+        records = generate_fact_table(small_schema, 1000, seed=1)
+        assert len(records) == 1000
+        for dim in small_schema.dimensions:
+            column = records[dim.name]
+            assert column.min() >= 0
+            assert column.max() < dim.leaf_cardinality
+        assert records["v"].min() >= 0.0
+        assert records["v"].max() < 100.0
+
+    def test_deterministic(self, small_schema):
+        a = generate_fact_table(small_schema, 100, seed=5)
+        b = generate_fact_table(small_schema, 100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self, small_schema):
+        a = generate_fact_table(small_schema, 100, seed=5)
+        b = generate_fact_table(small_schema, 100, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_zero_tuples(self, small_schema):
+        assert len(generate_fact_table(small_schema, 0)) == 0
+
+    def test_negative_rejected(self, small_schema):
+        with pytest.raises(ExperimentError):
+            generate_fact_table(small_schema, -1)
+
+    def test_measure_bounds(self, small_schema):
+        records = generate_fact_table(
+            small_schema, 100, seed=2, measure_low=5.0, measure_high=6.0
+        )
+        assert records["v"].min() >= 5.0
+        assert records["v"].max() < 6.0
+
+
+class TestGenerateDenseTable:
+    def test_density_controls_distinct_cells(self, small_schema):
+        records = generate_dense_table(small_schema, density=0.5, seed=3)
+        cells = {
+            (int(a), int(b)) for a, b in zip(records["D0"], records["D1"])
+        }
+        total = 10 * 8
+        assert len(cells) == round(0.5 * total)
+
+    def test_tuples_per_cell(self, small_schema):
+        records = generate_dense_table(
+            small_schema, density=0.25, tuples_per_cell=3, seed=3
+        )
+        total = 10 * 8
+        assert len(records) == round(0.25 * total) * 3
+
+    def test_full_density_covers_everything(self, small_schema):
+        records = generate_dense_table(small_schema, density=1.0, seed=0)
+        cells = {
+            (int(a), int(b)) for a, b in zip(records["D0"], records["D1"])
+        }
+        assert len(cells) == 80
+
+    def test_random_order(self, small_schema):
+        """The emitted order must not be clustered (it feeds heap files)."""
+        records = generate_dense_table(small_schema, density=1.0, seed=1)
+        keys = records["D0"].astype(np.int64) * 8 + records["D1"]
+        assert not np.all(np.diff(keys) >= 0)
+
+    def test_bad_density_rejected(self, small_schema):
+        with pytest.raises(ExperimentError):
+            generate_dense_table(small_schema, density=0.0)
+        with pytest.raises(ExperimentError):
+            generate_dense_table(small_schema, density=1.5)
+
+    def test_bad_tuples_per_cell_rejected(self, small_schema):
+        with pytest.raises(ExperimentError):
+            generate_dense_table(small_schema, 0.5, tuples_per_cell=0)
+
+    def test_deterministic(self, small_schema):
+        a = generate_dense_table(small_schema, 0.3, seed=4)
+        b = generate_dense_table(small_schema, 0.3, seed=4)
+        assert np.array_equal(a, b)

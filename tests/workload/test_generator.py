@@ -1,0 +1,205 @@
+"""Tests for repro.workload.generator — the locality query generator."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.workload.generator import (
+    EQPR,
+    PROXIMITY,
+    Q60,
+    Q80,
+    Q100,
+    RANDOM,
+    LocalityMix,
+    QueryGenerator,
+)
+
+
+class TestLocalityMix:
+    def test_presets_match_table2(self):
+        assert (RANDOM.proximity, RANDOM.random) == (0.0, 1.0)
+        assert (EQPR.proximity, EQPR.random) == (0.5, 0.5)
+        assert (PROXIMITY.proximity, PROXIMITY.random) == pytest.approx(
+            (0.8, 0.2)
+        )
+
+    def test_hot_presets(self):
+        assert Q60.hot == 0.6
+        assert Q80.hot == 0.8
+        assert Q100.hot == 1.0
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ExperimentError):
+            LocalityMix(proximity=1.5)
+        with pytest.raises(ExperimentError):
+            LocalityMix(proximity=0.7, hot=0.7)
+
+
+class TestRandomQuery:
+    def test_valid_queries(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=1)
+        for _ in range(200):
+            query = generator.random_query()
+            paper_schema.validate_groupby(query.groupby)
+            grouped = [level for level in query.groupby if level > 0]
+            assert 1 <= len(grouped) <= 3
+            for dim, level, interval in zip(
+                paper_schema.dimensions, query.groupby, query.selections
+            ):
+                if interval is None:
+                    continue
+                assert level > 0
+                assert 0 <= interval[0] < interval[1] <= dim.cardinality(level)
+
+    def test_deterministic(self, paper_schema):
+        a = QueryGenerator(paper_schema, seed=9).stream(20, RANDOM)
+        b = QueryGenerator(paper_schema, seed=9).stream(20, RANDOM)
+        assert a == b
+
+    def test_max_grouped_dims_respected(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=2, max_grouped_dims=1)
+        for _ in range(50):
+            query = generator.random_query()
+            assert sum(1 for level in query.groupby if level > 0) == 1
+
+
+class TestHotQueries:
+    def test_hot_selections_inside_region(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=3)
+        for _ in range(100):
+            query = generator.hot_query()
+            for pos, (dim, level, interval) in enumerate(
+                zip(paper_schema.dimensions, query.groupby, query.selections)
+            ):
+                if level == 0:
+                    continue
+                assert interval is not None, "hot queries always select"
+                hot_lo, hot_hi = generator.hot_leaf_intervals[pos]
+                leaf = dim.map_range(level, interval, dim.leaf_level)
+                # Either inside the region, or the single-member fallback.
+                inside = hot_lo <= leaf[0] and leaf[1] <= hot_hi
+                single = interval[1] - interval[0] == 1
+                assert inside or single
+
+    def test_region_size_close_to_fraction(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=4, hot_fraction=0.2)
+        fraction = 1.0
+        for dim, (lo, hi) in zip(
+            paper_schema.dimensions, generator.hot_leaf_intervals
+        ):
+            fraction *= (hi - lo) / dim.leaf_cardinality
+        assert fraction == pytest.approx(0.2, rel=0.35)
+
+
+class TestProximityQueries:
+    def test_same_groupby_shifted_selection(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=5)
+        previous = generator.random_query()
+        while all(s is None for s in previous.selections):
+            previous = generator.random_query()
+        query = generator.proximity_query(previous)
+        assert query.groupby == previous.groupby
+        for (a, b) in zip(query.selections, previous.selections):
+            if b is None:
+                assert a is None
+            else:
+                assert a is not None
+                assert (a[1] - a[0]) == (b[1] - b[0])  # width preserved
+
+    def test_no_previous_falls_back_to_random(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=6)
+        query = generator.proximity_query()
+        paper_schema.validate_groupby(query.groupby)
+
+    def test_clamped_to_domain(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=7)
+        query = generator.random_query()
+        for _ in range(50):
+            query = generator.proximity_query(query)
+            for dim, level, interval in zip(
+                paper_schema.dimensions, query.groupby, query.selections
+            ):
+                if interval is None:
+                    continue
+                assert 0 <= interval[0] < interval[1] <= dim.cardinality(level)
+
+
+class TestStreams:
+    def test_length(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=8)
+        assert len(generator.stream(37, EQPR)) == 37
+
+    def test_negative_length_rejected(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=8)
+        with pytest.raises(ExperimentError):
+            generator.stream(-1, EQPR)
+
+    def test_bad_parameters_rejected(self, paper_schema):
+        with pytest.raises(ExperimentError):
+            QueryGenerator(paper_schema, hot_fraction=0.0)
+        with pytest.raises(ExperimentError):
+            QueryGenerator(paper_schema, select_probability=1.5)
+        with pytest.raises(ExperimentError):
+            QueryGenerator(paper_schema, width_fractions=(0.5, 0.1))
+        with pytest.raises(ExperimentError):
+            QueryGenerator(paper_schema, max_grouped_dims=0)
+
+    def test_all_queries_share_aggregates(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=9)
+        stream = generator.stream(30, EQPR)
+        assert len({q.aggregates for q in stream}) == 1
+
+
+class TestDrillQueries:
+    def test_drill_changes_one_level(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=11)
+        previous = generator.random_query()
+        query = generator.drill_query(previous)
+        diffs = [
+            (a, b)
+            for a, b in zip(previous.groupby, query.groupby)
+            if a != b
+        ]
+        assert len(diffs) == 1
+        old, new = diffs[0]
+        assert abs(old - new) == 1
+        assert old > 0 and new > 0
+
+    def test_drill_selection_follows_hierarchy(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=12)
+        for _ in range(60):
+            previous = generator.random_query()
+            query = generator.drill_query(previous)
+            for dim, old_level, new_level, old_sel, new_sel in zip(
+                paper_schema.dimensions,
+                previous.groupby,
+                query.groupby,
+                previous.selections,
+                query.selections,
+            ):
+                if old_level == new_level or old_sel is None:
+                    continue
+                assert new_sel is not None
+                old_leaf = dim.map_range(old_level, old_sel, dim.leaf_level)
+                new_leaf = dim.map_range(new_level, new_sel, dim.leaf_level)
+                # The new selection covers at least the old region.
+                assert new_leaf[0] <= old_leaf[0]
+                assert new_leaf[1] >= old_leaf[1]
+
+    def test_no_previous_falls_back(self, paper_schema):
+        generator = QueryGenerator(paper_schema, seed=13)
+        query = generator.drill_query()
+        paper_schema.validate_groupby(query.groupby)
+
+    def test_session_mix_produces_valid_stream(self, paper_schema):
+        from repro.workload.generator import SESSION
+
+        generator = QueryGenerator(paper_schema, seed=14)
+        stream = generator.stream(80, SESSION)
+        assert len(stream) == 80
+        for query in stream:
+            paper_schema.validate_groupby(query.groupby)
+
+    def test_drill_mix_validation(self):
+        with pytest.raises(ExperimentError):
+            LocalityMix(proximity=0.5, drill=0.6)

@@ -1,0 +1,65 @@
+"""Tests for repro.workload.stream."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.workload.generator import EQPR
+from repro.workload.stream import QueryStream, make_stream
+
+
+class TestQueryStream:
+    def test_container_protocol(self, small_schema):
+        stream = make_stream(small_schema, EQPR, 10, seed=1)
+        assert len(stream) == 10
+        assert stream[0] is stream.queries[0]
+        assert list(iter(stream)) == list(stream.queries)
+
+    def test_labels(self, small_schema):
+        stream = make_stream(small_schema, EQPR, 5, seed=1)
+        assert stream.name == "EQPR"
+        assert stream.mix is EQPR
+        assert stream.seed == 1
+
+    def test_deterministic(self, small_schema):
+        a = make_stream(small_schema, EQPR, 10, seed=2)
+        b = make_stream(small_schema, EQPR, 10, seed=2)
+        assert a.queries == b.queries
+
+    def test_generator_kwargs_forwarded(self, small_schema):
+        stream = make_stream(
+            small_schema, EQPR, 20, seed=3, max_grouped_dims=1
+        )
+        for query in stream:
+            assert sum(1 for level in query.groupby if level > 0) == 1
+
+    def test_empty_rejected(self, small_schema):
+        with pytest.raises(ExperimentError):
+            make_stream(small_schema, EQPR, 0)
+
+
+class TestInterleave:
+    def test_round_robin_order(self, small_schema):
+        from repro.workload.stream import interleave_streams
+
+        a = make_stream(small_schema, EQPR, 3, seed=1)
+        b = make_stream(small_schema, EQPR, 3, seed=2)
+        combined = interleave_streams("both", [a, b])
+        assert len(combined) == 6
+        assert combined[0] == a[0]
+        assert combined[1] == b[0]
+        assert combined[2] == a[1]
+
+    def test_uneven_lengths_drain(self, small_schema):
+        from repro.workload.stream import interleave_streams
+
+        a = make_stream(small_schema, EQPR, 4, seed=1)
+        b = make_stream(small_schema, EQPR, 1, seed=2)
+        combined = interleave_streams("both", [a, b])
+        assert len(combined) == 5
+        assert combined[4] == a[3]
+
+    def test_empty_rejected(self):
+        from repro.workload.stream import interleave_streams
+
+        with pytest.raises(ExperimentError):
+            interleave_streams("none", [])
