@@ -97,6 +97,18 @@ def main() -> None:
         f"simulated time {answer.record.time:.1f}"
     )
 
+    # 5. Every answer carries a per-stage execution trace: which resolver
+    #    (cache / derive / prefetch / backend) served which chunks, and
+    #    what each pipeline stage cost.
+    print("\nquery 3 trace:")
+    print(f"  resolved by: {answer.trace.resolved_by}")
+    for stage in answer.trace.stages:
+        print(
+            f"  {stage.name:<16} {stage.wall_seconds * 1e6:8.1f} us  "
+            f"partitions={stage.partitions}  pages={stage.pages_read}"
+        )
+    print(f"stream totals by resolver: {manager.metrics.resolver_summary()}")
+
     stats = manager.cache.stats
     print(
         f"\ncache: {len(manager.cache)} chunks resident, "

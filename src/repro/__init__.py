@@ -12,6 +12,9 @@ chunk-based OLAP caching system:
   the chunked file organization;
 - :mod:`repro.backend` — the relational engine (chunk interface, bitmap
   and scan access paths, aggregation);
+- :mod:`repro.pipeline` — the staged query-execution pipeline (analysis,
+  resolver chain, assembly, accounting) both caching schemes run on,
+  with per-stage execution traces;
 - :mod:`repro.query` — the star-join query model and containment;
 - :mod:`repro.workload` — synthetic data and locality-tunable streams;
 - :mod:`repro.analysis` — the cost model and Feller occupancy math;
@@ -47,6 +50,11 @@ from repro.core import (
     StreamMetrics,
 )
 from repro.exceptions import ReproError
+from repro.pipeline import (
+    ExecutionTrace,
+    QueryAnswerer,
+    StagedPipeline,
+)
 from repro.query import StarQuery
 from repro.schema import (
     Dimension,
@@ -86,6 +94,9 @@ __all__ = [
     "QueryCacheManager",
     "Answer",
     "StreamMetrics",
+    "ExecutionTrace",
+    "QueryAnswerer",
+    "StagedPipeline",
     "BackendEngine",
     "parse_query",
     "SimulatedDisk",

@@ -394,6 +394,36 @@ class BackendEngine:
             ]
         return numbers
 
+    def _estimation_source(
+        self, groupby: GroupBy
+    ) -> tuple[GroupBy, ChunkedFile]:
+        """Resolve the source table chunk-work estimates read from."""
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError(
+                "the chunk interface requires the chunked organization"
+            )
+        source = self._choose_source(groupby, None)
+        if source is None:
+            return self.schema.base_groupby, self.chunked_file
+        return source
+
+    @staticmethod
+    def _source_chunk_work(
+        source_file: ChunkedFile, source_numbers: Sequence[int]
+    ) -> tuple[int, int]:
+        """Sum ``(pages, tuples)`` over the given source chunks."""
+        pages = 0
+        tuples = 0
+        for number in source_numbers:
+            extent = source_file.chunk_extent_estimate(number)
+            if extent is None:
+                continue
+            start, count = extent
+            pages += source_file.fact_file.pages_for_range(start, count)
+            tuples += count
+        return pages, tuples
+
     def estimate_chunk_work(
         self, groupby: Sequence[int], numbers: Sequence[int]
     ) -> tuple[int, int]:
@@ -405,31 +435,37 @@ class BackendEngine:
         measured I/O counters.  Used by the cache layers for benefit and
         cost-saving accounting.
         """
-        self._require_loaded()
-        if self.chunked_file is None:
-            raise BackendError(
-                "the chunk interface requires the chunked organization"
-            )
         groupby = self.schema.validate_groupby(groupby)
-        source = self._choose_source(groupby, None)
-        if source is None:
-            source_groupby: GroupBy = self.schema.base_groupby
-            source_file = self.chunked_file
-        else:
-            source_groupby, source_file = source
+        source_groupby, source_file = self._estimation_source(groupby)
         source_numbers = self._union_source_chunks(
             groupby, list(numbers), source_groupby
         )
-        pages = 0
-        tuples = 0
-        for number in source_numbers:
-            extent = source_file.chunk_extent_estimate(number)
-            if extent is None:
-                continue
-            start, count = extent
-            pages += source_file.fact_file.pages_for_range(start, count)
-            tuples += count
-        return pages, tuples
+        return self._source_chunk_work(source_file, source_numbers)
+
+    def estimate_chunk_work_batch(
+        self, groupby: Sequence[int], numbers: Sequence[int]
+    ) -> dict[int, tuple[int, int]]:
+        """Per-chunk ``(data_pages, source_tuples)`` in one backend call.
+
+        Each chunk is priced independently (a source chunk shared by two
+        targets is charged to both, exactly as one
+        :meth:`estimate_chunk_work` call per chunk would), but the source
+        table is resolved and the group-by validated only once for the
+        whole batch.  This is the probe the middle tier's
+        :class:`repro.pipeline.work.ChunkWorkEstimator` issues — at most
+        once per query — instead of one call per chunk.
+        """
+        groupby = self.schema.validate_groupby(groupby)
+        source_groupby, source_file = self._estimation_source(groupby)
+        result: dict[int, tuple[int, int]] = {}
+        for number in numbers:
+            source_numbers = self._union_source_chunks(
+                groupby, [number], source_groupby
+            )
+            result[number] = self._source_chunk_work(
+                source_file, source_numbers
+            )
+        return result
 
     def estimate_chunk_pages(
         self, groupby: Sequence[int], numbers: Sequence[int]

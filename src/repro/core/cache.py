@@ -87,6 +87,15 @@ class ChunkCache:
         """Entry lookup without touching stats or replacement state."""
         return self._entries.get(key)
 
+    def snapshot(self) -> list[tuple[ChunkKey, CachedChunk]]:
+        """Point-in-time ``(key, entry)`` pairs in insertion order.
+
+        A single pass over the table that touches neither statistics nor
+        replacement state — the building block for
+        ``describe_cache()``-style reporting.
+        """
+        return list(self._entries.items())
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -104,30 +113,27 @@ class ChunkCache:
         """Insert a chunk, evicting as needed; False if it was rejected.
 
         An entry larger than the whole budget is rejected (admission
-        control).  Re-inserting a resident key refreshes its payload.
+        control).  Re-inserting a resident key refreshes its payload: the
+        old entry is retired first, so the refresh re-enters replacement
+        state at the entry's *current* benefit, can never evict itself,
+        and an over-budget refresh leaves the key absent rather than
+        silently serving the stale payload.
         """
         size = entry.size_bytes
+        existing = self._entries.pop(entry.key, None)
+        if existing is not None:
+            self._used_bytes -= existing.size_bytes
+            self.policy.remove(entry.key)
         if size > self.capacity_bytes:
             self.stats.rejected += 1
             return False
-        existing = self._entries.get(entry.key)
-        if existing is not None:
-            self._used_bytes -= existing.size_bytes
-            self._entries[entry.key] = entry
-            self._used_bytes += size
-            self.policy.on_access(entry.key)
-            # A refreshed payload may be larger than the old one; evict
-            # until the budget holds again (possibly evicting the
-            # refreshed entry itself).
-            while self._used_bytes > self.capacity_bytes:
-                self._evict_one(entry.benefit)
-            return entry.key in self._entries
         while self._used_bytes + size > self.capacity_bytes:
             self._evict_one(entry.benefit)
         self._entries[entry.key] = entry
         self._used_bytes += size
         self.policy.on_insert(entry.key, entry.benefit)
-        self.stats.insertions += 1
+        if existing is None:
+            self.stats.insertions += 1
         return True
 
     def invalidate(self, key: ChunkKey) -> bool:
@@ -145,6 +151,11 @@ class ChunkCache:
             self.invalidate(key)
 
     def _evict_one(self, incoming_benefit: float) -> None:
+        if not self._entries:
+            raise CacheError(
+                "eviction requested but the cache holds no entries "
+                "(budget cannot be satisfied)"
+            )
         victim_key = self.policy.victim(incoming_benefit)
         victim = self._entries.pop(victim_key, None)
         if victim is None:

@@ -1,29 +1,33 @@
 """The middle-tier chunk cache manager — the paper's core contribution.
 
-:class:`ChunkCacheManager` sits between query streams and the backend
-engine and implements the full pipeline of Section 5.2:
+:class:`ChunkCacheManager` answers star queries through the staged
+pipeline of Section 5.2 (:mod:`repro.pipeline`):
 
-1. **Query analysis** — a cached chunk is reusable only when group-by,
-   aggregate list and non-group-by predicates match (conditions 1–3);
-   these three components are baked into every
-   :class:`~repro.core.chunk.ChunkKey`.
-2. **ComputeChunkNums** — the query's group-by selections become the list
+1. **Query analysis** (:class:`ChunkAnalyzer`) — a cached chunk is
+   reusable only when group-by, aggregate list and non-group-by
+   predicates match (conditions 1–3); these three components are baked
+   into every :class:`~repro.core.chunk.ChunkKey`.  Analysis also runs
+   **ComputeChunkNums**: the query's group-by selections become the list
    of chunk numbers forming its bounding envelope
-   (:meth:`~repro.chunks.grid.ChunkGrid.chunk_numbers_for_selection`).
-3. **Query splitting** — the list is partitioned into cache-resident
-   chunks (``CNumsPresent``) and missing chunks (``CNumsMissing``).
-4. **Missing-chunk computation** — missing chunks are computed by the
-   backend through the chunk interface (closure property + chunked file);
-   optionally, the middle tier first tries to *derive* a missing chunk by
-   aggregating cached chunks of a finer group-by (the paper's Section 7
-   future-work extension, off by default).
-5. **Assembly** — chunk rows are concatenated and boundary rows outside
-   the exact selection are filtered out (chunks are a bounding envelope,
-   Section 5.2.3); newly computed chunks enter the cache under the
-   benefit-weighted replacement policy.
+   (:meth:`~repro.chunks.grid.ChunkGrid.chunk_numbers_for_selection`),
+   and the recomputation work of all those chunks is memoized in one
+   batched backend probe.
+2. **Resolver chain** — *query splitting* and *missing-chunk
+   computation* are links of a chain
+   (:mod:`repro.pipeline.resolvers`): direct cache lookup, optional
+   in-cache derivation and drill-down prefetch (the Section 7
+   future-work extensions), and the terminal backend computation via the
+   chunk interface (closure property + chunked file).
+3. **Assembly** (:class:`ChunkAssembler`) — chunk rows are concatenated
+   and boundary rows outside the exact selection are filtered out
+   (chunks are a bounding envelope, Section 5.2.3).
+4. **Accounting** (:class:`ChunkAccountant`) — the answer is priced
+   through the shared :func:`repro.core.metrics.account_answer`.
 
-Every answer carries a :class:`~repro.core.metrics.QueryRecord` so streams
-accumulate the paper's CSR and mean-time metrics as they run.
+Every answer carries a :class:`~repro.core.metrics.QueryRecord` plus a
+per-stage :class:`~repro.pipeline.trace.ExecutionTrace`, so streams
+accumulate the paper's CSR and mean-time metrics *and* per-stage /
+per-resolver attribution as they run.
 """
 
 from __future__ import annotations
@@ -33,22 +37,39 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cost import CostModel
-from repro.backend.aggregate import reaggregate
 from repro.backend.engine import BackendEngine
-from repro.backend.plans import CostReport
-from repro.core.cache import ChunkCache
-from repro.core.chunk import CachedChunk, ChunkKey
-from repro.chunks.closure import source_chunk_numbers, source_spans
 from repro.chunks.grid import ChunkSpace
-from repro.core.metrics import QueryRecord, StreamMetrics
+from repro.chunks.closure import source_spans
+from repro.core.cache import ChunkCache
+from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.exceptions import CacheError
+from repro.pipeline.executor import StagedPipeline
+from repro.pipeline.resolvers import (
+    BackendChunkResolver,
+    CacheHitResolver,
+    ChunkAdmitter,
+    DerivationResolver,
+    PartitionResolver,
+    PrefetchResolver,
+)
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ChunkPlan,
+    Resolution,
+    select_exact,
+)
+from repro.pipeline.trace import ExecutionTrace
+from repro.pipeline.work import ChunkWorkEstimator
 from repro.query.model import StarQuery
 from repro.schema.star import GroupBy, StarSchema
 
-__all__ = ["Answer", "ChunkCacheManager"]
-
-#: Aggregates whose chunk partials can be merged in the middle tier.
-_DERIVABLE_AGGREGATES = {"sum", "count", "min", "max"}
+__all__ = [
+    "Answer",
+    "ChunkAnalyzer",
+    "ChunkAssembler",
+    "ChunkAccountant",
+    "ChunkCacheManager",
+]
 
 
 @dataclass
@@ -59,10 +80,94 @@ class Answer:
         rows: The query's result rows (exact — boundary tuples filtered).
         record: The accounting record also appended to the manager's
             :class:`~repro.core.metrics.StreamMetrics`.
+        trace: Per-stage instrumentation of how the answer was produced
+            (None only for answerers outside the staged pipeline).
     """
 
     rows: np.ndarray
     record: QueryRecord
+    trace: ExecutionTrace | None = None
+
+
+class ChunkAnalyzer:
+    """Analysis stage: conditions 1–3 plus ComputeChunkNums.
+
+    Also warms the work estimator for every chunk the query touches in
+    one batched backend probe, so admission and accounting downstream
+    are pure memo lookups.
+    """
+
+    def __init__(
+        self, space: ChunkSpace, estimator: ChunkWorkEstimator
+    ) -> None:
+        self.space = space
+        self.estimator = estimator
+
+    def analyze(self, query: StarQuery) -> AnalyzedQuery:
+        grid = self.space.grid(query.groupby)
+        numbers = grid.chunk_numbers_for_selection(query.selections)
+        self.estimator.ensure(query.groupby, numbers)
+        return AnalyzedQuery.from_query(query, tuple(numbers))
+
+
+class ChunkAssembler:
+    """Assembly stage: concatenate chunk rows, trim boundary rows."""
+
+    def __init__(self, schema: StarSchema) -> None:
+        self.schema = schema
+
+    def assemble(
+        self, analyzed: AnalyzedQuery, resolution: Resolution
+    ) -> np.ndarray:
+        parts = [
+            resolution.parts[number].rows
+            for number in analyzed.partitions
+        ]
+        non_empty = [p for p in parts if len(p)]
+        if not non_empty:
+            return analyzed.query.result_format(self.schema).empty()
+        rows = np.concatenate(non_empty)
+        return select_exact(self.schema, analyzed.query, rows)
+
+
+class ChunkAccountant:
+    """Accounting stage: per-chunk CSR numerators, shared pricing."""
+
+    def __init__(
+        self, cost_model: CostModel, estimator: ChunkWorkEstimator
+    ) -> None:
+        self.cost_model = cost_model
+        self.estimator = estimator
+
+    def account(
+        self,
+        analyzed: AnalyzedQuery,
+        resolution: Resolution,
+        plan: ChunkPlan,
+        result_rows: int,
+    ) -> QueryRecord:
+        work = self.estimator.ensure(
+            analyzed.groupby, analyzed.partitions
+        )
+        full_cost = 0.0
+        saved_cost = 0.0
+        for number in analyzed.partitions:
+            pages, tuples = work[number]
+            chunk_cost = self.cost_model.backend_time(pages, tuples)
+            full_cost += chunk_cost
+            if resolution.parts[number].saved:
+                saved_cost += chunk_cost
+        return account_answer(
+            self.cost_model,
+            resolution.report,
+            full_cost=full_cost,
+            saved_cost=saved_cost,
+            chunks_total=len(analyzed.partitions),
+            chunks_hit=len(plan.present),
+            chunks_derived=len(plan.derived),
+            tuples_from_cache=resolution.tuples_from_cache(),
+            result_rows=result_rows,
+        )
 
 
 class ChunkCacheManager:
@@ -112,76 +217,47 @@ class ChunkCacheManager:
         self.aggregate_in_cache = aggregate_in_cache or prefetch_drilldown
         self.prefetch_drilldown = prefetch_drilldown
         self.metrics = StreamMetrics()
-        # Memoized per-chunk recomputation work: (groupby, number) ->
-        # (pages, base_tuples).  Exact and immutable once the file is
-        # loaded, so memoization is safe.
-        self._chunk_work: dict[tuple[GroupBy, int], tuple[int, int]] = {}
-        # Group-bys ever cached per compatibility key, for derivation.
-        self._seen_groupbys: dict[tuple, set[GroupBy]] = {}
+        self.estimator = ChunkWorkEstimator(backend)
+        self.admitter = ChunkAdmitter(space, cache, self.estimator)
+        self.pipeline = StagedPipeline(
+            analyzer=ChunkAnalyzer(space, self.estimator),
+            resolvers=self._build_chain(),
+            assembler=ChunkAssembler(schema),
+            accountant=ChunkAccountant(self.cost_model, self.estimator),
+            cost_model=self.cost_model,
+        )
+
+    def _build_chain(self) -> list[PartitionResolver]:
+        """cache-hit → [derive] → [prefetch] → backend."""
+        chain: list[PartitionResolver] = [CacheHitResolver(self.cache)]
+        if self.aggregate_in_cache:
+            chain.append(
+                DerivationResolver(
+                    self.schema, self.space, self.cache,
+                    self.backend, self.admitter,
+                )
+            )
+        if self.prefetch_drilldown:
+            chain.append(
+                PrefetchResolver(
+                    self.schema, self.space, self.backend, self.admitter
+                )
+            )
+        chain.append(
+            BackendChunkResolver(self.schema, self.backend, self.admitter)
+        )
+        return chain
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def answer(self, query: StarQuery) -> Answer:
         """Answer a query, reusing and updating the chunk cache."""
-        grid = self.space.grid(query.groupby)
-        numbers = grid.chunk_numbers_for_selection(query.selections)
-
-        present: dict[int, CachedChunk] = {}
-        missing: list[int] = []
-        for number in numbers:
-            key = ChunkKey(
-                query.groupby, number, query.aggregates,
-                query.fixed_predicates,
-            )
-            entry = self.cache.get(key)
-            if entry is None:
-                missing.append(number)
-            else:
-                present[number] = entry
-
-        derived: dict[int, np.ndarray] = {}
-        derived_tuples = 0
-        if self.aggregate_in_cache and missing:
-            missing, derived, derived_tuples = self._derive_from_cache(
-                query, missing
-            )
-
-        computed: dict[int, np.ndarray] = {}
-        report = CostReport(access_path="chunk")
-        if missing:
-            prefetched = None
-            if self.prefetch_drilldown:
-                prefetched = self._compute_with_prefetch(query, missing)
-            if prefetched is not None:
-                computed, report = prefetched
-            else:
-                computed, report = self.backend.compute_chunks(
-                    query.groupby, missing, query.aggregates,
-                    leaf_filters=query.effective_dim_filters(self.schema),
-                )
-
-        self._admit(query, computed)
-        self._admit(query, derived)
-
-        parts: list[np.ndarray] = []
-        cached_tuples = 0
-        for number in numbers:
-            if number in present:
-                parts.append(present[number].rows)
-                cached_tuples += present[number].num_rows
-            elif number in derived:
-                parts.append(derived[number])
-            else:
-                parts.append(computed[number])
-        rows = self._assemble(query, parts)
-
-        record = self._account(
-            query, numbers, present, derived, report,
-            cached_tuples, derived_tuples, len(rows),
+        result = self.pipeline.execute(query)
+        self.metrics.record(result.record, result.trace)
+        return Answer(
+            rows=result.rows, record=result.record, trace=result.trace
         )
-        self.metrics.record(record)
-        return Answer(rows=rows, record=record)
 
     # ------------------------------------------------------------------
     # Observability
@@ -189,15 +265,13 @@ class ChunkCacheManager:
     def describe_cache(self) -> dict:
         """A snapshot of cache composition for debugging and reports.
 
-        Returns a dictionary with the byte usage, entry count, and a
+        Returns a dictionary with the byte usage, entry count, a
         per-group-by breakdown (resident chunks, bytes, total benefit) —
-        handy for seeing what the replacement policy is protecting.
+        handy for seeing what the replacement policy is protecting — and
+        the stream's per-stage / per-resolver trace aggregates.
         """
         per_groupby: dict[GroupBy, dict[str, float]] = {}
-        for key in self.cache.keys():
-            entry = self.cache.peek(key)
-            if entry is None:
-                continue
+        for key, entry in self.cache.snapshot():
             bucket = per_groupby.setdefault(
                 key.groupby, {"chunks": 0, "bytes": 0, "benefit": 0.0}
             )
@@ -217,6 +291,8 @@ class ChunkCacheManager:
                     reverse=True,
                 )
             ),
+            "stages": self.metrics.stage_summary(),
+            "resolved_by": self.metrics.resolver_summary(),
         }
 
     # ------------------------------------------------------------------
@@ -239,7 +315,7 @@ class ChunkCacheManager:
             return 0
         # Updated data also changes recomputation costs: drop the
         # memoized per-chunk work estimates along with the stale chunks.
-        self._chunk_work.clear()
+        self.estimator.clear()
         base_grid = self.space.base_grid
         coords = [base_grid.coords_of(number) for number in base_numbers]
         removed = 0
@@ -260,240 +336,3 @@ class ChunkCacheManager:
                     removed += 1
                     break
         return removed
-
-    # ------------------------------------------------------------------
-    # Aggressive prefetching (Section 7 extension)
-    # ------------------------------------------------------------------
-    def _prefetch_groupby(self, groupby: GroupBy) -> GroupBy | None:
-        """One level finer on every grouped dimension, or None if there is
-        no finer level anywhere (already at full detail)."""
-        finer = tuple(
-            min(level + 1, dim.leaf_level) if level > 0 else 0
-            for dim, level in zip(self.schema.dimensions, groupby)
-        )
-        return finer if finer != tuple(groupby) else None
-
-    def _compute_with_prefetch(
-        self, query: StarQuery, missing: list[int]
-    ) -> tuple[dict[int, np.ndarray], CostReport] | None:
-        """Compute missing chunks via a finer group-by and cache both.
-
-        Returns None when prefetching does not apply (non-decomposable
-        aggregates or already at full detail), in which case the caller
-        falls back to the direct computation.
-        """
-        if not all(a in _DERIVABLE_AGGREGATES for _, a in query.aggregates):
-            return None
-        finer = self._prefetch_groupby(query.groupby)
-        if finer is None:
-            return None
-        # The fine chunks tiling each missing coarse chunk.
-        fine_numbers: set[int] = set()
-        sources: dict[int, list[int]] = {}
-        for number in missing:
-            numbers = source_chunk_numbers(
-                self.space, query.groupby, number, finer
-            )
-            sources[number] = numbers
-            fine_numbers.update(numbers)
-        fine_chunks, report = self.backend.compute_chunks(
-            finer, sorted(fine_numbers), query.aggregates,
-            leaf_filters=query.effective_dim_filters(self.schema),
-        )
-        # Cache the detailed chunks (the aggressive part).
-        fine_query = StarQuery(
-            groupby=finer,
-            selections=(None,) * self.schema.num_dimensions,
-            aggregates=query.aggregates,
-            dim_filters=query.dim_filters,
-            fixed_predicates=query.fixed_predicates,
-        )
-        self._admit(fine_query, fine_chunks)
-        # Derive the requested chunks in the middle tier.
-        computed: dict[int, np.ndarray] = {}
-        for number in missing:
-            parts = [
-                fine_chunks[src] for src in sources[number]
-                if len(fine_chunks[src])
-            ]
-            if parts:
-                stacked = np.concatenate(parts)
-                report.tuples_scanned += len(stacked)
-                computed[number] = reaggregate(
-                    self.schema,
-                    stacked,
-                    finer,
-                    query.groupby,
-                    query.aggregates,
-                    self.backend.mapper,
-                )
-            else:
-                computed[number] = query.result_format(
-                    self.schema
-                ).empty()
-        return computed, report
-
-    # ------------------------------------------------------------------
-    # Derivation from finer cached chunks (Section 7 extension)
-    # ------------------------------------------------------------------
-    def _derive_from_cache(
-        self, query: StarQuery, missing: list[int]
-    ) -> tuple[list[int], dict[int, np.ndarray], int]:
-        """Try to aggregate cached finer-level chunks into missing chunks.
-
-        A missing chunk is derivable when *all* of its source chunks under
-        some finer cached group-by are resident; the closure property
-        guarantees the sources exactly tile the target.  Returns the still
-        missing numbers, the derived rows, and the source tuples consumed.
-        """
-        if not all(a in _DERIVABLE_AGGREGATES for _, a in query.aggregates):
-            return missing, {}, 0
-        shape = (query.aggregates, query.fixed_predicates)
-        candidates = [
-            groupby
-            for groupby in self._seen_groupbys.get(shape, ())
-            if groupby != query.groupby
-            and self.schema.is_rollup_of(query.groupby, groupby)
-        ]
-        if not candidates:
-            return missing, {}, 0
-        derived: dict[int, np.ndarray] = {}
-        tuples_used = 0
-        still_missing: list[int] = []
-        for number in missing:
-            outcome = self._derive_one(query, number, candidates)
-            if outcome is None:
-                still_missing.append(number)
-            else:
-                rows, source_tuples = outcome
-                derived[number] = rows
-                tuples_used += source_tuples
-        return still_missing, derived, tuples_used
-
-    def _derive_one(
-        self,
-        query: StarQuery,
-        number: int,
-        candidates: list[GroupBy],
-    ) -> tuple[np.ndarray, int] | None:
-        for source_groupby in candidates:
-            source_numbers = source_chunk_numbers(
-                self.space, query.groupby, number, source_groupby
-            )
-            entries = []
-            for source_number in source_numbers:
-                key = ChunkKey(
-                    source_groupby, source_number, query.aggregates,
-                    query.fixed_predicates,
-                )
-                entry = self.cache.peek(key)
-                if entry is None:
-                    entries = None
-                    break
-                entries.append(entry)
-            if entries is None:
-                continue
-            # All sources resident: touch them (they earned their keep)
-            # and merge.
-            for entry in entries:
-                self.cache.get(entry.key)
-            source_rows = [e.rows for e in entries if len(e.rows)]
-            if source_rows:
-                stacked = np.concatenate(source_rows)
-            else:
-                stacked = entries[0].rows
-            merged = reaggregate(
-                self.schema,
-                stacked,
-                source_groupby,
-                query.groupby,
-                query.aggregates,
-                self.backend.mapper,
-            )
-            return merged, len(stacked)
-        return None
-
-    # ------------------------------------------------------------------
-    # Admission and assembly
-    # ------------------------------------------------------------------
-    def _admit(self, query: StarQuery, chunks: dict[int, np.ndarray]) -> None:
-        if not chunks:
-            return
-        benefit = self.space.chunk_benefit(query.groupby)
-        for number, rows in chunks.items():
-            pages, _ = self._work(query.groupby, number)
-            key = ChunkKey(
-                query.groupby, number, query.aggregates,
-                query.fixed_predicates,
-            )
-            self.cache.put(
-                CachedChunk(
-                    key=key, rows=rows, benefit=benefit,
-                    compute_pages=float(pages),
-                )
-            )
-        shape = (query.aggregates, query.fixed_predicates)
-        self._seen_groupbys.setdefault(shape, set()).add(query.groupby)
-
-    def _assemble(
-        self, query: StarQuery, parts: list[np.ndarray]
-    ) -> np.ndarray:
-        non_empty = [p for p in parts if len(p)]
-        if not non_empty:
-            return query.result_format(self.schema).empty()
-        rows = np.concatenate(non_empty)
-        mask = np.ones(len(rows), dtype=bool)
-        for dim, level, interval in zip(
-            self.schema.dimensions, query.groupby, query.selections
-        ):
-            if level == 0 or interval is None:
-                continue
-            column = rows[dim.name]
-            mask &= (column >= interval[0]) & (column < interval[1])
-        if mask.all():
-            return rows
-        return rows[mask]
-
-    # ------------------------------------------------------------------
-    # Accounting
-    # ------------------------------------------------------------------
-    def _work(self, groupby: GroupBy, number: int) -> tuple[int, int]:
-        key = (groupby, number)
-        cached = self._chunk_work.get(key)
-        if cached is None:
-            cached = self.backend.estimate_chunk_work(groupby, [number])
-            self._chunk_work[key] = cached
-        return cached
-
-    def _account(
-        self,
-        query: StarQuery,
-        numbers: list[int],
-        present: dict[int, CachedChunk],
-        derived: dict[int, np.ndarray],
-        report: CostReport,
-        cached_tuples: int,
-        derived_tuples: int,
-        result_rows: int,
-    ) -> QueryRecord:
-        full_cost = 0.0
-        saved_cost = 0.0
-        for number in numbers:
-            pages, tuples = self._work(query.groupby, number)
-            chunk_cost = self.cost_model.backend_time(pages, tuples)
-            full_cost += chunk_cost
-            if number in present or number in derived:
-                saved_cost += chunk_cost
-        time = self.cost_model.time(
-            report, tuples_from_cache=cached_tuples + derived_tuples
-        )
-        return QueryRecord(
-            time=time,
-            full_cost=full_cost,
-            saved_cost=saved_cost,
-            chunks_total=len(numbers),
-            chunks_hit=len(present),
-            chunks_derived=len(derived),
-            pages_read=report.pages_read,
-            result_rows=result_rows,
-        )

@@ -23,11 +23,15 @@ measured simulated times (including buffer-pool effects) are recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.exceptions import ExperimentError
 
-__all__ = ["QueryRecord", "StreamMetrics"]
+if TYPE_CHECKING:
+    from repro.analysis.cost import CostModel
+    from repro.backend.plans import CostReport
+
+__all__ = ["QueryRecord", "StreamMetrics", "account_answer"]
 
 
 @dataclass(frozen=True)
@@ -62,17 +66,62 @@ class QueryRecord:
         return self.chunks_hit + self.chunks_derived >= self.chunks_total
 
 
+def account_answer(
+    cost_model: "CostModel",
+    report: "CostReport",
+    *,
+    full_cost: float,
+    saved_cost: float,
+    chunks_total: int,
+    chunks_hit: int,
+    chunks_derived: int = 0,
+    tuples_from_cache: int = 0,
+    result_rows: int = 0,
+) -> QueryRecord:
+    """Price one answered query — the accounting shared by both schemes.
+
+    The modelled execution time combines the physical work the backend
+    actually performed (``report``) with the middle-tier cost of reading
+    ``tuples_from_cache`` cached tuples; ``full_cost`` / ``saved_cost``
+    feed the stream's Cost Saving Ratio.  Hoisted here so chunk caching
+    and the query-caching baseline cannot drift apart in how a record is
+    priced.
+    """
+    time = cost_model.time(report, tuples_from_cache=tuples_from_cache)
+    return QueryRecord(
+        time=time,
+        full_cost=full_cost,
+        saved_cost=saved_cost,
+        chunks_total=chunks_total,
+        chunks_hit=chunks_hit,
+        chunks_derived=chunks_derived,
+        pages_read=report.pages_read,
+        result_rows=result_rows,
+    )
+
+
 class StreamMetrics:
-    """Accumulates per-query records and derives the paper's metrics."""
+    """Accumulates per-query records and derives the paper's metrics.
+
+    Alongside the paper's aggregate numbers, the stream keeps every
+    answer's :class:`~repro.pipeline.trace.ExecutionTrace` (when the
+    caller supplies one) and aggregates them into per-stage and
+    per-resolver totals.  Traces are consumed duck-typed — anything with
+    ``.stages`` / ``.resolved_by`` of the right shape works — so this
+    module never imports the pipeline package.
+    """
 
     def __init__(self) -> None:
         self._records: list[QueryRecord] = []
+        self._traces: list[Any] = []
 
-    def record(self, record: QueryRecord) -> None:
-        """Append one query outcome."""
+    def record(self, record: QueryRecord, trace: Any = None) -> None:
+        """Append one query outcome (and its execution trace, if any)."""
         if record.full_cost < 0 or record.time < 0:
             raise ExperimentError("costs must be non-negative")
         self._records.append(record)
+        if trace is not None:
+            self._traces.append(trace)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -133,6 +182,51 @@ class StreamMetrics:
     def total_pages_read(self) -> int:
         """Total physical backend pages read."""
         return sum(r.pages_read for r in self._records)
+
+    # ------------------------------------------------------------------
+    # Per-stage instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def traces(self) -> Sequence[Any]:
+        """All recorded execution traces, in arrival order."""
+        return tuple(self._traces)
+
+    def stage_summary(self) -> dict[str, dict[str, float]]:
+        """Per-stage totals over all recorded traces.
+
+        Returns ``stage name -> {"calls", "wall_seconds",
+        "modelled_time", "partitions", "pages_read", "tuples_scanned"}``
+        summed across the stream, in first-seen stage order.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for trace in self._traces:
+            for entry in trace.stages:
+                bucket = totals.setdefault(
+                    entry.name,
+                    {
+                        "calls": 0.0,
+                        "wall_seconds": 0.0,
+                        "modelled_time": 0.0,
+                        "partitions": 0.0,
+                        "pages_read": 0.0,
+                        "tuples_scanned": 0.0,
+                    },
+                )
+                bucket["calls"] += 1
+                bucket["wall_seconds"] += entry.wall_seconds
+                bucket["modelled_time"] += entry.modelled_time
+                bucket["partitions"] += entry.partitions
+                bucket["pages_read"] += entry.pages_read
+                bucket["tuples_scanned"] += entry.tuples_scanned
+        return totals
+
+    def resolver_summary(self) -> dict[str, int]:
+        """Partitions resolved per resolver, summed over the stream."""
+        totals: dict[str, int] = {}
+        for trace in self._traces:
+            for name, count in trace.resolved_by.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
 
     def summary(self) -> dict[str, float]:
         """All headline numbers in one dictionary (for reports)."""

@@ -7,11 +7,15 @@ the backend through its bitmap access path (the paper builds a bitmap
 index on the fact table for exactly this purpose) and the whole result is
 admitted to the cache.
 
-Replacement is benefit-based like the chunk scheme's ("the replacement
-policy is benefit based, as described for chunks"): an entry's weight is
-the estimated backend cost of recomputing it, run through the same
-benefit-weighted CLOCK.  This isolates the experiment's variable — the
-*unit* of caching — from the replacement policy.
+The scheme executes through the same staged pipeline as chunk caching
+(:mod:`repro.pipeline`), as its degenerate case: analysis yields a single
+whole-result partition, and the resolver chain has two links — the
+containment lookup and the backend.  Replacement is benefit-based like
+the chunk scheme's ("the replacement policy is benefit based, as
+described for chunks"): an entry's weight is the estimated backend cost
+of recomputing it, run through the same benefit-weighted CLOCK.  This
+isolates the experiment's variable — the *unit* of caching — from both
+the replacement policy and the execution machinery.
 
 The two structural drawbacks the paper attributes to this scheme emerge
 naturally here:
@@ -25,22 +29,153 @@ naturally here:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.analysis.cost import CostModel
 from repro.backend.engine import BackendEngine
-from repro.backend.plans import CostReport
 from repro.core.chunk import CachedQuery
 from repro.core.manager import Answer
-from repro.core.metrics import QueryRecord, StreamMetrics
+from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.core.replacement import ReplacementPolicy, make_policy
 from repro.exceptions import CacheError
+from repro.pipeline.executor import StagedPipeline
+from repro.pipeline.resolvers import PartitionResolver
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ChunkPlan,
+    ResolvedPart,
+    Resolution,
+    ResolverOutcome,
+    select_exact,
+)
 from repro.query.containment import query_contains
 from repro.query.model import StarQuery
-from repro.query.predicates import selection_cardinality, selection_intersect
+from repro.query.predicates import selection_cardinality
 from repro.schema.star import StarSchema
 
 __all__ = ["QueryCacheManager"]
+
+#: The single partition a whole-query answer decomposes into.
+_WHOLE_RESULT = 0
+
+
+class _QueryAnalyzer:
+    """Analysis stage: one whole-result partition, full cost annotated.
+
+    The estimated cold cost rides along in ``meta["full_cost"]`` so the
+    backend resolver (admission benefit) and the accountant (CSR
+    numerators) price the query identically.
+    """
+
+    def __init__(self, manager: "QueryCacheManager") -> None:
+        self.manager = manager
+
+    def analyze(self, query: StarQuery) -> AnalyzedQuery:
+        full_cost = self.manager._estimate_full_cost(query)
+        return AnalyzedQuery.from_query(
+            query, (_WHOLE_RESULT,), full_cost=full_cost
+        )
+
+
+class _QueryHitResolver(PartitionResolver):
+    """Containment lookup: serve the whole result from a cached superset."""
+
+    name = "cache"
+
+    def __init__(self, manager: "QueryCacheManager") -> None:
+        self.manager = manager
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        hit = self.manager._find_containing(analyzed.query)
+        if hit is None:
+            return ResolverOutcome()
+        self.manager.policy.on_access(hit.query.exact_key())
+        part = ResolvedPart(
+            number=_WHOLE_RESULT,
+            rows=hit.rows,
+            resolver=self.name,
+            tuples_from_cache=hit.num_rows,
+            saved=True,
+        )
+        return ResolverOutcome(parts={_WHOLE_RESULT: part})
+
+
+class _QueryBackendResolver(PartitionResolver):
+    """Terminal link: evaluate at the backend and admit the result."""
+
+    name = "backend"
+
+    def __init__(self, manager: "QueryCacheManager") -> None:
+        self.manager = manager
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        manager = self.manager
+        rows, report = manager.backend.answer(
+            analyzed.query, manager.miss_path
+        )
+        manager._admit(
+            analyzed.query, rows, benefit=analyzed.meta["full_cost"]
+        )
+        part = ResolvedPart(
+            number=_WHOLE_RESULT, rows=rows, resolver=self.name
+        )
+        return ResolverOutcome(
+            parts={_WHOLE_RESULT: part}, report=report
+        )
+
+
+class _QueryAssembler:
+    """Assembly stage: trim a cached superset to the exact selection.
+
+    Backend results are already exact; cached payloads are trimmed and
+    never handed out by reference (``copy_on_full``).
+    """
+
+    def __init__(self, schema: StarSchema) -> None:
+        self.schema = schema
+
+    def assemble(
+        self, analyzed: AnalyzedQuery, resolution: Resolution
+    ) -> np.ndarray:
+        part = resolution.parts[_WHOLE_RESULT]
+        if part.resolver != "cache":
+            return part.rows
+        return select_exact(
+            self.schema, analyzed.query, part.rows, copy_on_full=True
+        )
+
+
+class _QueryAccountant:
+    """Accounting stage: all-or-nothing CSR, shared pricing."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+
+    def account(
+        self,
+        analyzed: AnalyzedQuery,
+        resolution: Resolution,
+        plan: ChunkPlan,
+        result_rows: int,
+    ) -> QueryRecord:
+        full_cost = analyzed.meta["full_cost"]
+        part = resolution.parts[_WHOLE_RESULT]
+        return account_answer(
+            self.cost_model,
+            resolution.report,
+            full_cost=full_cost,
+            saved_cost=full_cost if part.saved else 0.0,
+            chunks_total=1,
+            chunks_hit=len(plan.present),
+            tuples_from_cache=part.tuples_from_cache,
+            result_rows=result_rows,
+        )
 
 
 class QueryCacheManager:
@@ -79,6 +214,13 @@ class QueryCacheManager:
         self._entries: dict[tuple, CachedQuery] = {}
         self._by_shape: dict[tuple, list[tuple]] = {}
         self._used_bytes = 0
+        self.pipeline = StagedPipeline(
+            analyzer=_QueryAnalyzer(self),
+            resolvers=[_QueryHitResolver(self), _QueryBackendResolver(self)],
+            assembler=_QueryAssembler(schema),
+            accountant=_QueryAccountant(self.cost_model),
+            cost_model=self.cost_model,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,6 +232,39 @@ class QueryCacheManager:
     def used_bytes(self) -> int:
         """Bytes currently charged against the budget."""
         return self._used_bytes
+
+    def describe_cache(self) -> dict:
+        """A snapshot of cache composition for debugging and reports.
+
+        Single pass over the entries, mirroring the chunk scheme's
+        snapshot: byte usage, entry count, a per-shape breakdown, the
+        redundancy ratio, and the stream's per-stage / per-resolver
+        trace aggregates.
+        """
+        per_shape: dict[tuple, dict[str, float]] = {}
+        for entry in self._entries.values():
+            bucket = per_shape.setdefault(
+                entry.query.cache_compatible_key(),
+                {"results": 0, "bytes": 0, "benefit": 0.0},
+            )
+            bucket["results"] += 1
+            bucket["bytes"] += entry.size_bytes
+            bucket["benefit"] += entry.benefit
+        return {
+            "used_bytes": self._used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": len(self._entries),
+            "redundancy_ratio": self.redundancy_ratio(),
+            "per_shape": dict(
+                sorted(
+                    per_shape.items(),
+                    key=lambda item: item[1]["bytes"],
+                    reverse=True,
+                )
+            ),
+            "stages": self.metrics.stage_summary(),
+            "resolved_by": self.metrics.resolver_summary(),
+        }
 
     def redundancy_ratio(self) -> float:
         """Stored cells over distinct cells across cached results.
@@ -202,41 +377,11 @@ class QueryCacheManager:
     # ------------------------------------------------------------------
     def answer(self, query: StarQuery) -> Answer:
         """Answer a query, reusing and updating the query cache."""
-        full_cost = self._estimate_full_cost(query)
-        hit = self._find_containing(query)
-        if hit is not None:
-            self.policy.on_access(hit.query.exact_key())
-            rows = self._filter(hit.rows, query)
-            time = self.cost_model.time(
-                CostReport(access_path="cache"),
-                tuples_from_cache=hit.num_rows,
-            )
-            record = QueryRecord(
-                time=time,
-                full_cost=full_cost,
-                saved_cost=full_cost,
-                chunks_total=1,
-                chunks_hit=1,
-                pages_read=0,
-                result_rows=len(rows),
-            )
-            self.metrics.record(record)
-            return Answer(rows=rows, record=record)
-
-        rows, report = self.backend.answer(query, self.miss_path)
-        self._admit(query, rows, benefit=full_cost)
-        time = self.cost_model.time(report)
-        record = QueryRecord(
-            time=time,
-            full_cost=full_cost,
-            saved_cost=0.0,
-            chunks_total=1,
-            chunks_hit=0,
-            pages_read=report.pages_read,
-            result_rows=len(rows),
+        result = self.pipeline.execute(query)
+        self.metrics.record(result.record, result.trace)
+        return Answer(
+            rows=result.rows, record=result.record, trace=result.trace
         )
-        self.metrics.record(record)
-        return Answer(rows=rows, record=record)
 
     # ------------------------------------------------------------------
     # Internals
@@ -248,21 +393,6 @@ class QueryCacheManager:
             if entry is not None and query_contains(entry.query, query):
                 return entry
         return None
-
-    def _filter(self, rows: np.ndarray, query: StarQuery) -> np.ndarray:
-        if len(rows) == 0:
-            return rows
-        mask = np.ones(len(rows), dtype=bool)
-        for dim, level, interval in zip(
-            self.schema.dimensions, query.groupby, query.selections
-        ):
-            if level == 0 or interval is None:
-                continue
-            column = rows[dim.name]
-            mask &= (column >= interval[0]) & (column < interval[1])
-        if mask.all():
-            return rows.copy()
-        return rows[mask]
 
     def _estimate_full_cost(self, query: StarQuery) -> float:
         """Modelled cost of computing the query at the backend (cold)."""
@@ -298,6 +428,11 @@ class QueryCacheManager:
         self.policy.on_insert(key, benefit)
 
     def _evict_one(self, incoming_benefit: float) -> None:
+        if not self._entries:
+            raise CacheError(
+                "eviction requested but the query cache holds no entries "
+                "(budget cannot be satisfied)"
+            )
         victim_key = self.policy.victim(incoming_benefit)
         victim = self._entries.pop(victim_key, None)
         if victim is None:

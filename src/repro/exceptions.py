@@ -60,6 +60,10 @@ class CacheError(ReproError):
     """The chunk or query cache was configured or used incorrectly."""
 
 
+class PipelineError(ReproError):
+    """The staged query pipeline was miswired or left work unresolved."""
+
+
 class BackendError(ReproError):
     """The backend engine could not evaluate a request."""
 

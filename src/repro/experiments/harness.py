@@ -29,6 +29,7 @@ from repro.core.manager import ChunkCacheManager
 from repro.core.metrics import StreamMetrics
 from repro.core.query_cache import QueryCacheManager
 from repro.exceptions import ExperimentError
+from repro.pipeline.protocol import QueryAnswerer
 from repro.experiments.configs import (
     Scale,
     build_paper_schema,
@@ -181,14 +182,25 @@ def make_query_manager(
 
 
 def run_stream(
-    manager: ChunkCacheManager | QueryCacheManager,
+    manager: QueryAnswerer,
     stream: QueryStream,
     verify_every: int = 0,
 ) -> StreamMetrics:
-    """Push a stream through a manager; optionally verify answers.
+    """Push a stream through an answerer; optionally verify answers.
+
+    The harness is typed against the
+    :class:`~repro.pipeline.protocol.QueryAnswerer` protocol, so any
+    caching scheme built on the staged pipeline runs here unchanged.
+    The returned metrics carry, alongside the paper's numbers, the
+    stream's aggregated per-stage wall/modelled times
+    (:meth:`~repro.core.metrics.StreamMetrics.stage_summary`) and
+    resolver attribution
+    (:meth:`~repro.core.metrics.StreamMetrics.resolver_summary`).
 
     Args:
-        manager: A cache manager built by this harness.
+        manager: A cache manager built by this harness (any
+            :class:`~repro.pipeline.protocol.QueryAnswerer` whose
+            ``backend`` attribute exposes the ground-truth engine).
         stream: The query stream.
         verify_every: When positive, every ``verify_every``-th answer is
             checked row-for-row against a direct backend scan (slow;

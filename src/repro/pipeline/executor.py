@@ -1,0 +1,185 @@
+"""The staged pipeline executor.
+
+:class:`StagedPipeline` wires the four stage roles together and walks
+them for every query:
+
+    analyze  →  resolve (chain)  →  assemble  →  account
+
+Stage objects are small single-purpose callables supplied by the cache
+managers (see :mod:`repro.core.manager` and
+:mod:`repro.core.query_cache`); the executor owns only the control flow,
+the chain bookkeeping (what is still outstanding, who resolved what) and
+the per-stage instrumentation.  Both caching schemes execute through this
+one code path — the chunk scheme with many partitions and a four-link
+chain, the query-caching baseline with a single whole-result partition
+and a two-link chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.analysis.cost import CostModel
+from repro.core.metrics import QueryRecord
+from repro.exceptions import PipelineError
+from repro.pipeline.resolvers import PartitionResolver
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ChunkPlan,
+    Resolution,
+)
+from repro.pipeline.trace import ExecutionTrace, StageTimer
+from repro.query.model import StarQuery
+
+__all__ = [
+    "QueryAnalyzer",
+    "ResultAssembler",
+    "CostAccountant",
+    "PipelineResult",
+    "StagedPipeline",
+]
+
+
+class QueryAnalyzer(Protocol):
+    """Stage 1: lift the reuse key and partition the query."""
+
+    def analyze(self, query: StarQuery) -> AnalyzedQuery: ...
+
+
+class ResultAssembler(Protocol):
+    """Stage 3: concatenate resolved parts and trim boundary rows."""
+
+    def assemble(
+        self, analyzed: AnalyzedQuery, resolution: Resolution
+    ) -> np.ndarray: ...
+
+
+class CostAccountant(Protocol):
+    """Stage 4: price the answer (modelled time, CSR numerators)."""
+
+    def account(
+        self,
+        analyzed: AnalyzedQuery,
+        resolution: Resolution,
+        plan: ChunkPlan,
+        result_rows: int,
+    ) -> QueryRecord: ...
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline execution produced.
+
+    Attributes:
+        rows: The exact result rows.
+        record: The accounting record for stream metrics.
+        trace: Per-stage instrumentation of this execution.
+        analyzed: The analysis-stage output.
+        plan: Partition classification (present / derived / missing).
+        resolution: The full resolver-chain output.
+    """
+
+    rows: np.ndarray
+    record: QueryRecord
+    trace: ExecutionTrace
+    analyzed: AnalyzedQuery
+    plan: ChunkPlan
+    resolution: Resolution
+
+
+class StagedPipeline:
+    """Executes queries through analyze → resolve → assemble → account.
+
+    Args:
+        analyzer: The analysis stage.
+        resolvers: The resolver chain, tried in order; each link is
+            offered only the partitions its predecessors left
+            outstanding.  The final link must be total (resolve
+            everything offered) or execution raises.
+        assembler: The assembly stage.
+        accountant: The accounting stage.
+        cost_model: Used to attribute modelled time to resolver stages
+            that performed physical work (trace detail only; the
+            accountant owns the answer's total time).
+    """
+
+    def __init__(
+        self,
+        analyzer: QueryAnalyzer,
+        resolvers: Sequence[PartitionResolver],
+        assembler: ResultAssembler,
+        accountant: CostAccountant,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not resolvers:
+            raise PipelineError("resolver chain is empty")
+        self.analyzer = analyzer
+        self.resolvers = tuple(resolvers)
+        self.assembler = assembler
+        self.accountant = accountant
+        self.cost_model = cost_model or CostModel()
+
+    def execute(self, query: StarQuery) -> PipelineResult:
+        """Run one query through all stages."""
+        trace = ExecutionTrace()
+
+        with StageTimer(trace, "analyze") as stage:
+            analyzed = self.analyzer.analyze(query)
+            stage.partitions = len(analyzed.partitions)
+        trace.partitions_total = len(analyzed.partitions)
+
+        resolution = Resolution()
+        outstanding: list[int] = list(analyzed.partitions)
+        for resolver in self.resolvers:
+            if not outstanding:
+                break
+            with StageTimer(trace, f"resolve:{resolver.name}") as stage:
+                outcome = resolver.resolve(analyzed, tuple(outstanding))
+                unknown = set(outcome.parts) - set(outstanding)
+                if unknown:
+                    raise PipelineError(
+                        f"resolver {resolver.name!r} returned partitions "
+                        f"it was not offered: {sorted(unknown)}"
+                    )
+                resolution.parts.update(outcome.parts)
+                outstanding = [
+                    n for n in outstanding if n not in outcome.parts
+                ]
+                stage.partitions = len(outcome.parts)
+                if outcome.report is not None:
+                    resolution.report = resolution.report + outcome.report
+                    stage.pages_read = outcome.report.pages_read
+                    stage.tuples_scanned = outcome.report.tuples_scanned
+                    stage.modelled_time = self.cost_model.time(
+                        outcome.report
+                    )
+            trace.resolved_by[resolver.name] = len(outcome.parts)
+        if outstanding:
+            raise PipelineError(
+                f"resolver chain left partitions unresolved: "
+                f"{outstanding} (terminal resolver must be total)"
+            )
+        plan = ChunkPlan.from_resolution(analyzed, resolution)
+
+        with StageTimer(trace, "assemble") as stage:
+            rows = self.assembler.assemble(analyzed, resolution)
+            stage.partitions = len(analyzed.partitions)
+
+        with StageTimer(trace, "account"):
+            record = self.accountant.account(
+                analyzed, resolution, plan, len(rows)
+            )
+
+        trace.backend_pages = resolution.report.pages_read
+        trace.modelled_time = record.time
+        return PipelineResult(
+            rows=rows,
+            record=record,
+            trace=trace,
+            analyzed=analyzed,
+            plan=plan,
+            resolution=resolution,
+        )

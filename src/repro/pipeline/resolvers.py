@@ -1,0 +1,393 @@
+"""The resolver chain: composable strategies for filling partitions.
+
+A :class:`PartitionResolver` is one link in the chain the pipeline walks
+to fill a query's partitions.  Each link is offered the partitions still
+outstanding and returns the subset it can produce; the chain for chunk
+caching is
+
+    cache-hit  →  in-cache derivation  →  drill-down prefetch  →  backend
+
+where the middle two links are the paper's Section 7 future-work
+extensions and can be toggled per experiment.  The backend link is total
+(it resolves everything it is offered), so the chain always terminates.
+
+Resolvers share a :class:`ChunkAdmitter`, which owns admission control:
+pricing newly produced chunks (via the batched work estimator), entering
+them into the cache, and maintaining the registry of group-bys ever
+cached per compatibility shape that derivation searches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.backend.aggregate import reaggregate
+from repro.backend.engine import BackendEngine
+from repro.chunks.closure import source_chunk_numbers
+from repro.chunks.grid import ChunkSpace
+from repro.core.cache import ChunkCache
+from repro.core.chunk import CachedChunk
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ResolvedPart,
+    ResolverOutcome,
+)
+from repro.pipeline.work import ChunkWorkEstimator
+from repro.query.model import StarQuery
+from repro.schema.star import GroupBy, StarSchema
+
+__all__ = [
+    "DERIVABLE_AGGREGATES",
+    "PartitionResolver",
+    "ChunkAdmitter",
+    "CacheHitResolver",
+    "DerivationResolver",
+    "PrefetchResolver",
+    "BackendChunkResolver",
+]
+
+#: Aggregates whose chunk partials can be merged in the middle tier.
+DERIVABLE_AGGREGATES = frozenset({"sum", "count", "min", "max"})
+
+
+class PartitionResolver(ABC):
+    """One link of the resolver chain.
+
+    Attributes:
+        name: Stable identifier used for trace attribution and plan
+            classification (``"cache"`` and ``"derive"`` carry meaning in
+            :meth:`repro.pipeline.stages.ChunkPlan.from_resolution`).
+    """
+
+    name: str = "resolver"
+
+    @abstractmethod
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        """Produce rows for whichever outstanding partitions this
+        strategy can serve; unreturned partitions flow down the chain."""
+
+
+class ChunkAdmitter:
+    """Admission control shared by the chain's producing resolvers.
+
+    Prices each new chunk with the batched work estimator, inserts it
+    under the benefit-weighted policy, and records the group-by in the
+    per-shape registry that in-cache derivation searches.
+
+    Args:
+        space: Shared chunk geometry (for benefit weights).
+        cache: The chunk cache entries are admitted to.
+        estimator: Batched recomputation-work estimator.
+    """
+
+    def __init__(
+        self,
+        space: ChunkSpace,
+        cache: ChunkCache,
+        estimator: ChunkWorkEstimator,
+    ) -> None:
+        self.space = space
+        self.cache = cache
+        self.estimator = estimator
+        self._seen_groupbys: dict[tuple, set[GroupBy]] = {}
+
+    def admit(
+        self, query: StarQuery, chunks: Mapping[int, np.ndarray]
+    ) -> None:
+        """Admit freshly produced chunks of ``query``'s shape."""
+        if not chunks:
+            return
+        benefit = self.space.chunk_benefit(query.groupby)
+        work = self.estimator.ensure(query.groupby, chunks.keys())
+        keyed = AnalyzedQuery.from_query(query, ())
+        for number, rows in chunks.items():
+            pages, _ = work[number]
+            key = keyed.chunk_key(number)
+            self.cache.put(
+                CachedChunk(
+                    key=key, rows=rows, benefit=benefit,
+                    compute_pages=float(pages),
+                )
+            )
+        shape = (query.aggregates, query.fixed_predicates)
+        self._seen_groupbys.setdefault(shape, set()).add(query.groupby)
+
+    def seen_groupbys(self, shape: tuple) -> Iterable[GroupBy]:
+        """Group-bys ever cached under a compatibility shape."""
+        return self._seen_groupbys.get(shape, ())
+
+
+class CacheHitResolver(PartitionResolver):
+    """Direct cache lookup — the paper's *query splitting* step.
+
+    Splits the offered partitions into ``CNumsPresent`` (resolved here)
+    and ``CNumsMissing`` (left outstanding); hits touch replacement
+    state, misses count in the cache's statistics.
+    """
+
+    name = "cache"
+
+    def __init__(self, cache: ChunkCache) -> None:
+        self.cache = cache
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        parts: dict[int, ResolvedPart] = {}
+        for number in outstanding:
+            entry = self.cache.get(analyzed.chunk_key(number))
+            if entry is not None:
+                parts[number] = ResolvedPart(
+                    number=number,
+                    rows=entry.rows,
+                    resolver=self.name,
+                    tuples_from_cache=entry.num_rows,
+                    saved=True,
+                )
+        return ResolverOutcome(parts=parts)
+
+
+class DerivationResolver(PartitionResolver):
+    """In-cache derivation (Section 7): aggregate cached finer chunks.
+
+    A missing chunk is derivable when *all* of its source chunks under
+    some finer cached group-by are resident; the closure property
+    guarantees the sources exactly tile the target.  Derived chunks are
+    admitted so subsequent queries hit them directly.
+    """
+
+    name = "derive"
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        space: ChunkSpace,
+        cache: ChunkCache,
+        backend: BackendEngine,
+        admitter: ChunkAdmitter,
+    ) -> None:
+        self.schema = schema
+        self.space = space
+        self.cache = cache
+        self.backend = backend
+        self.admitter = admitter
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        query = analyzed.query
+        if not all(
+            a in DERIVABLE_AGGREGATES for _, a in analyzed.aggregates
+        ):
+            return ResolverOutcome()
+        shape = (analyzed.aggregates, analyzed.fixed_predicates)
+        candidates = [
+            groupby
+            for groupby in self.admitter.seen_groupbys(shape)
+            if groupby != analyzed.groupby
+            and self.schema.is_rollup_of(analyzed.groupby, groupby)
+        ]
+        if not candidates:
+            return ResolverOutcome()
+        parts: dict[int, ResolvedPart] = {}
+        for number in outstanding:
+            outcome = self._derive_one(analyzed, number, candidates)
+            if outcome is not None:
+                rows, source_tuples = outcome
+                parts[number] = ResolvedPart(
+                    number=number,
+                    rows=rows,
+                    resolver=self.name,
+                    tuples_from_cache=source_tuples,
+                    saved=True,
+                )
+        if parts:
+            self.admitter.admit(
+                query, {n: p.rows for n, p in parts.items()}
+            )
+        return ResolverOutcome(parts=parts)
+
+    def _derive_one(
+        self,
+        analyzed: AnalyzedQuery,
+        number: int,
+        candidates: list[GroupBy],
+    ) -> tuple[np.ndarray, int] | None:
+        for source_groupby in candidates:
+            source_numbers = source_chunk_numbers(
+                self.space, analyzed.groupby, number, source_groupby
+            )
+            source_analyzed = AnalyzedQuery(
+                query=analyzed.query,
+                groupby=source_groupby,
+                aggregates=analyzed.aggregates,
+                fixed_predicates=analyzed.fixed_predicates,
+                partitions=(),
+            )
+            entries = []
+            for source_number in source_numbers:
+                entry = self.cache.peek(
+                    source_analyzed.chunk_key(source_number)
+                )
+                if entry is None:
+                    entries = None
+                    break
+                entries.append(entry)
+            if entries is None:
+                continue
+            # All sources resident: touch them (they earned their keep)
+            # and merge.
+            for entry in entries:
+                self.cache.get(entry.key)
+            source_rows = [e.rows for e in entries if len(e.rows)]
+            if source_rows:
+                stacked = np.concatenate(source_rows)
+            else:
+                stacked = entries[0].rows
+            merged = reaggregate(
+                self.schema,
+                stacked,
+                source_groupby,
+                analyzed.groupby,
+                analyzed.aggregates,
+                self.backend.mapper,
+            )
+            return merged, len(stacked)
+        return None
+
+
+class PrefetchResolver(PartitionResolver):
+    """Aggressive drill-down prefetch (the paper's second Section 7 idea).
+
+    Missing chunks are computed one hierarchy level *finer* on every
+    grouped dimension (same base I/O — the base chunks are identical),
+    the detailed chunks are cached, and the requested level is derived in
+    the middle tier; a subsequent drill-down then hits the cache.  Only
+    engages for decomposable aggregates with a finer level available —
+    otherwise it resolves nothing and the chain falls through to the
+    backend.
+    """
+
+    name = "prefetch"
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        space: ChunkSpace,
+        backend: BackendEngine,
+        admitter: ChunkAdmitter,
+    ) -> None:
+        self.schema = schema
+        self.space = space
+        self.backend = backend
+        self.admitter = admitter
+
+    def prefetch_groupby(self, groupby: GroupBy) -> GroupBy | None:
+        """One level finer on every grouped dimension, or None if there
+        is no finer level anywhere (already at full detail)."""
+        finer = tuple(
+            min(level + 1, dim.leaf_level) if level > 0 else 0
+            for dim, level in zip(self.schema.dimensions, groupby)
+        )
+        return finer if finer != tuple(groupby) else None
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        query = analyzed.query
+        if not all(
+            a in DERIVABLE_AGGREGATES for _, a in analyzed.aggregates
+        ):
+            return ResolverOutcome()
+        finer = self.prefetch_groupby(analyzed.groupby)
+        if finer is None:
+            return ResolverOutcome()
+        # The fine chunks tiling each missing coarse chunk.
+        fine_numbers: set[int] = set()
+        sources: dict[int, list[int]] = {}
+        for number in outstanding:
+            numbers = source_chunk_numbers(
+                self.space, analyzed.groupby, number, finer
+            )
+            sources[number] = numbers
+            fine_numbers.update(numbers)
+        fine_chunks, report = self.backend.compute_chunks(
+            finer, sorted(fine_numbers), analyzed.aggregates,
+            leaf_filters=query.effective_dim_filters(self.schema),
+        )
+        # Cache the detailed chunks (the aggressive part).
+        fine_query = StarQuery(
+            groupby=finer,
+            selections=(None,) * self.schema.num_dimensions,
+            aggregates=analyzed.aggregates,
+            dim_filters=query.dim_filters,
+            fixed_predicates=analyzed.fixed_predicates,
+        )
+        self.admitter.admit(fine_query, fine_chunks)
+        # Derive the requested chunks in the middle tier.
+        parts: dict[int, ResolvedPart] = {}
+        for number in outstanding:
+            chunk_parts = [
+                fine_chunks[src] for src in sources[number]
+                if len(fine_chunks[src])
+            ]
+            if chunk_parts:
+                stacked = np.concatenate(chunk_parts)
+                report.tuples_scanned += len(stacked)
+                rows = reaggregate(
+                    self.schema,
+                    stacked,
+                    finer,
+                    analyzed.groupby,
+                    analyzed.aggregates,
+                    self.backend.mapper,
+                )
+            else:
+                rows = query.result_format(self.schema).empty()
+            parts[number] = ResolvedPart(
+                number=number, rows=rows, resolver=self.name
+            )
+        self.admitter.admit(query, {n: p.rows for n, p in parts.items()})
+        return ResolverOutcome(parts=parts, report=report)
+
+
+class BackendChunkResolver(PartitionResolver):
+    """Terminal link: compute missing chunks through the chunk interface.
+
+    Total by construction — every partition it is offered comes back with
+    rows — so a chain ending in this resolver always completes.
+    """
+
+    name = "backend"
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        backend: BackendEngine,
+        admitter: ChunkAdmitter,
+    ) -> None:
+        self.schema = schema
+        self.backend = backend
+        self.admitter = admitter
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        query = analyzed.query
+        computed, report = self.backend.compute_chunks(
+            analyzed.groupby, list(outstanding), analyzed.aggregates,
+            leaf_filters=query.effective_dim_filters(self.schema),
+        )
+        self.admitter.admit(query, computed)
+        parts = {
+            number: ResolvedPart(
+                number=number, rows=rows, resolver=self.name
+            )
+            for number, rows in computed.items()
+        }
+        return ResolverOutcome(parts=parts, report=report)

@@ -1,0 +1,227 @@
+"""The staged query-execution plan.
+
+The paper's Section 5.2 pipeline (query analysis → ComputeChunkNums →
+query splitting → missing-chunk computation → assembly) is modelled as
+explicit value objects flowing between small single-purpose stages:
+
+- :class:`AnalyzedQuery` — the output of *query analysis*: the three key
+  components of conditions 1–3 (group-by, aggregate list, non-group-by
+  predicates) plus the partition list the query decomposes into (chunk
+  numbers for chunk caching; the single whole-result partition for the
+  query-caching baseline);
+- :class:`ResolvedPart` / :class:`Resolution` — the output of the
+  *resolver chain*: every partition's rows, tagged with the resolver that
+  produced them and the accounting inputs (cache tuples consumed, cost
+  saved);
+- :class:`ChunkPlan` — the classification of partitions into present /
+  derived / missing, derived from the resolution's attribution;
+- assembly is a plain array (:func:`select_exact` trims boundary rows).
+
+Stage objects themselves (analyzers, resolvers, assemblers, accountants)
+live in :mod:`repro.pipeline.resolvers` and the managers; the executor in
+:mod:`repro.pipeline.executor` wires them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.backend.plans import CostReport
+from repro.core.chunk import ChunkKey
+from repro.query.model import StarQuery
+from repro.schema.star import GroupBy, StarSchema
+
+__all__ = [
+    "AnalyzedQuery",
+    "ResolvedPart",
+    "ResolverOutcome",
+    "Resolution",
+    "ChunkPlan",
+    "select_exact",
+]
+
+
+@dataclass(frozen=True)
+class AnalyzedQuery:
+    """Output of the analysis stage: reuse key plus partition list.
+
+    Attributes:
+        query: The analyzed star query.
+        groupby: Condition 1 — level of aggregation.
+        aggregates: Condition 2 — the aggregate list.
+        fixed_predicates: Condition 3 — non-group-by predicate tags.
+        partitions: The units the query splits into, in assembly order
+            (chunk numbers for chunk caching; ``(0,)`` for whole-query
+            caching).
+        meta: Free-form analyzer annotations consumed by later stages
+            (e.g. the query-caching analyzer stashes the estimated full
+            cost here so resolver and accountant price admission and
+            savings consistently).
+    """
+
+    query: StarQuery
+    groupby: GroupBy
+    aggregates: tuple[tuple[str, str], ...]
+    fixed_predicates: frozenset[str]
+    partitions: tuple[int, ...]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_query(
+        cls,
+        query: StarQuery,
+        partitions: tuple[int, ...],
+        **meta: Any,
+    ) -> "AnalyzedQuery":
+        """Build from a query, lifting the three key components."""
+        return cls(
+            query=query,
+            groupby=query.groupby,
+            aggregates=query.aggregates,
+            fixed_predicates=query.fixed_predicates,
+            partitions=tuple(partitions),
+            meta=dict(meta),
+        )
+
+    def chunk_key(self, number: int) -> ChunkKey:
+        """The cache key of one partition under conditions 1–3."""
+        return ChunkKey(
+            self.groupby, number, self.aggregates, self.fixed_predicates
+        )
+
+
+@dataclass
+class ResolvedPart:
+    """One partition's rows, attributed to the resolver that produced it.
+
+    Attributes:
+        number: The partition (chunk number).
+        rows: The partition's result rows.
+        resolver: Name of the resolver that produced the rows.
+        tuples_from_cache: Cache-resident tuples consumed to produce the
+            rows (the cached rows themselves for a hit; the source tuples
+            merged for a derivation) — priced by
+            :attr:`repro.analysis.cost.CostModel.cache_tuple_cost`.
+        saved: Whether this partition's full recomputation cost counts as
+            *saved* in CSR accounting (true for cache hits and in-cache
+            derivations; false when the backend did the work).
+    """
+
+    number: int
+    rows: np.ndarray
+    resolver: str
+    tuples_from_cache: int = 0
+    saved: bool = False
+
+
+@dataclass
+class ResolverOutcome:
+    """What one resolver returned for the partitions it was offered.
+
+    Attributes:
+        parts: Partition -> resolved part, for the subset it resolved.
+        report: Physical work the resolver performed at the backend
+            (None for purely in-tier resolvers).
+    """
+
+    parts: dict[int, ResolvedPart] = field(default_factory=dict)
+    report: CostReport | None = None
+
+
+@dataclass
+class Resolution:
+    """Accumulated output of the whole resolver chain.
+
+    Attributes:
+        parts: Every partition's resolved part.
+        report: Merged physical-work report across all resolvers.
+    """
+
+    parts: dict[int, ResolvedPart] = field(default_factory=dict)
+    report: CostReport = field(
+        default_factory=lambda: CostReport(access_path="chunk")
+    )
+
+    def attribution(self) -> dict[str, int]:
+        """Resolver name -> number of partitions it resolved."""
+        counts: dict[str, int] = {}
+        for part in self.parts.values():
+            counts[part.resolver] = counts.get(part.resolver, 0) + 1
+        return counts
+
+    def tuples_from_cache(self) -> int:
+        """Total cache-resident tuples consumed across partitions."""
+        return sum(p.tuples_from_cache for p in self.parts.values())
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Partition classification: who served what.
+
+    Attributes:
+        present: Partitions served directly from the cache.
+        derived: Partitions derived in-tier by aggregating cached data.
+        missing: Partitions the backend (or prefetch) had to compute.
+    """
+
+    present: tuple[int, ...]
+    derived: tuple[int, ...]
+    missing: tuple[int, ...]
+
+    @classmethod
+    def from_resolution(
+        cls, analyzed: AnalyzedQuery, resolution: Resolution
+    ) -> "ChunkPlan":
+        """Classify partitions by the resolver that produced them.
+
+        By convention the direct-lookup resolver is named ``"cache"`` and
+        the in-tier aggregation resolver ``"derive"``; everything else
+        counts as a miss that physical work had to fill.
+        """
+        present: list[int] = []
+        derived: list[int] = []
+        missing: list[int] = []
+        for number in analyzed.partitions:
+            part = resolution.parts.get(number)
+            if part is None or part.resolver not in ("cache", "derive"):
+                missing.append(number)
+            elif part.resolver == "cache":
+                present.append(number)
+            else:
+                derived.append(number)
+        return cls(
+            present=tuple(present),
+            derived=tuple(derived),
+            missing=tuple(missing),
+        )
+
+
+def select_exact(
+    schema: StarSchema,
+    query: StarQuery,
+    rows: np.ndarray,
+    copy_on_full: bool = False,
+) -> np.ndarray:
+    """Trim rows to the query's exact group-by selections.
+
+    Chunks (and containing cached queries) are a bounding envelope of the
+    selection (Section 5.2.3); this drops the boundary rows outside it.
+    With ``copy_on_full`` the rows are copied even when nothing is
+    trimmed, so cached payloads are never handed out by reference.
+    """
+    if len(rows) == 0:
+        return rows
+    mask = np.ones(len(rows), dtype=bool)
+    for dim, level, interval in zip(
+        schema.dimensions, query.groupby, query.selections
+    ):
+        if level == 0 or interval is None:
+            continue
+        column = rows[dim.name]
+        mask &= (column >= interval[0]) & (column < interval[1])
+    if mask.all():
+        return rows.copy() if copy_on_full else rows
+    return rows[mask]

@@ -1,0 +1,166 @@
+"""Per-stage execution instrumentation.
+
+Every query answered through the staged pipeline carries an
+:class:`ExecutionTrace`: one :class:`StageTrace` per pipeline stage
+(analysis, each resolver in the chain, assembly, accounting) with wall
+time, the modelled time attributed to the stage's physical work, and the
+partition counts it handled, plus a per-resolver attribution map telling
+which link of the chain answered which share of the query.
+
+Traces are deliberately dependency-free (plain dataclasses over floats
+and ints) so :class:`repro.core.metrics.StreamMetrics` can aggregate them
+without importing the pipeline package.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "StageTrace",
+    "ExecutionTrace",
+    "StageTimer",
+    "aggregate_stage_traces",
+    "aggregate_resolver_attribution",
+]
+
+
+@dataclass
+class StageTrace:
+    """Instrumentation of one pipeline stage for one query.
+
+    Attributes:
+        name: Stage name (``"analyze"``, ``"resolve:cache"``,
+            ``"resolve:backend"``, ``"assemble"``, ``"account"``).
+        wall_seconds: Real elapsed time in the stage.
+        modelled_time: Simulated cost-model time attributed to the stage
+            (backend resolvers: the modelled cost of their physical I/O;
+            0.0 for purely administrative stages).
+        partitions: Partitions (chunks) the stage handled — for a
+            resolver, the number it *resolved*.
+        pages_read: Physical backend pages the stage caused to be read.
+        tuples_scanned: Backend tuples the stage pushed through operators.
+    """
+
+    name: str
+    wall_seconds: float = 0.0
+    modelled_time: float = 0.0
+    partitions: int = 0
+    pages_read: int = 0
+    tuples_scanned: int = 0
+
+
+@dataclass
+class ExecutionTrace:
+    """Full per-stage instrumentation of one answered query.
+
+    Attributes:
+        stages: One entry per executed stage, in execution order.
+        resolved_by: Resolver name -> partitions it resolved (resolver
+            attribution; resolvers that ran but resolved nothing appear
+            with 0).
+        partitions_total: Partitions the query decomposed into.
+        backend_pages: Total physical pages read while answering.
+        modelled_time: The answer's total modelled execution time.
+    """
+
+    stages: list[StageTrace] = field(default_factory=list)
+    resolved_by: dict[str, int] = field(default_factory=dict)
+    partitions_total: int = 0
+    backend_pages: int = 0
+    modelled_time: float = 0.0
+
+    def stage(self, name: str) -> StageTrace | None:
+        """The first stage with the given name, or None."""
+        for entry in self.stages:
+            if entry.name == name:
+                return entry
+        return None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time across all stages."""
+        return sum(entry.wall_seconds for entry in self.stages)
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary form (for logs and reports)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "modelled_time": self.modelled_time,
+            "partitions_total": self.partitions_total,
+            "backend_pages": self.backend_pages,
+            "resolved_by": dict(self.resolved_by),
+            "stages": {
+                entry.name: entry.wall_seconds for entry in self.stages
+            },
+        }
+
+
+class StageTimer:
+    """Context manager appending a timed :class:`StageTrace`.
+
+    Example:
+        >>> trace = ExecutionTrace()
+        >>> with StageTimer(trace, "analyze") as stage:
+        ...     stage.partitions = 4
+        >>> trace.stages[0].name
+        'analyze'
+    """
+
+    def __init__(self, trace: ExecutionTrace, name: str) -> None:
+        self._trace = trace
+        self.stage = StageTrace(name=name)
+        self._start = 0.0
+
+    def __enter__(self) -> StageTrace:
+        self._start = time.perf_counter()
+        return self.stage
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stage.wall_seconds = time.perf_counter() - self._start
+        self._trace.stages.append(self.stage)
+
+
+def aggregate_stage_traces(
+    traces: Iterable[ExecutionTrace],
+) -> dict[str, dict[str, float]]:
+    """Aggregate many traces into per-stage totals.
+
+    Returns a mapping ``stage name -> {"calls", "wall_seconds",
+    "modelled_time", "partitions", "pages_read", "tuples_scanned"}``
+    summed over all traces, in first-seen stage order.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for trace in traces:
+        for entry in trace.stages:
+            bucket = totals.setdefault(
+                entry.name,
+                {
+                    "calls": 0.0,
+                    "wall_seconds": 0.0,
+                    "modelled_time": 0.0,
+                    "partitions": 0.0,
+                    "pages_read": 0.0,
+                    "tuples_scanned": 0.0,
+                },
+            )
+            bucket["calls"] += 1
+            bucket["wall_seconds"] += entry.wall_seconds
+            bucket["modelled_time"] += entry.modelled_time
+            bucket["partitions"] += entry.partitions
+            bucket["pages_read"] += entry.pages_read
+            bucket["tuples_scanned"] += entry.tuples_scanned
+    return totals
+
+
+def aggregate_resolver_attribution(
+    traces: Iterable[ExecutionTrace],
+) -> dict[str, int]:
+    """Sum resolver attribution maps over many traces."""
+    totals: dict[str, int] = {}
+    for trace in traces:
+        for name, count in trace.resolved_by.items():
+            totals[name] = totals.get(name, 0) + count
+    return totals

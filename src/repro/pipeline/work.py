@@ -1,0 +1,66 @@
+"""Batched, memoized per-chunk recomputation-cost estimation.
+
+Benefit weighting and CSR accounting both need, for every chunk a query
+touches, the backend work (data pages, source tuples) that recomputing
+the chunk would cost.  The estimates are exact and immutable while the
+stored data is unchanged, so they are memoized; all chunks a query needs
+that are not yet memoized are fetched in **one** batched backend call
+(:meth:`repro.backend.engine.BackendEngine.estimate_chunk_work_batch`)
+instead of one probe per chunk — a measurable win on miss-heavy streams,
+where the old per-chunk probes re-resolved the source table and
+re-validated the group-by once per chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.backend.engine import BackendEngine
+from repro.schema.star import GroupBy
+
+__all__ = ["ChunkWorkEstimator"]
+
+
+class ChunkWorkEstimator:
+    """Memoized facade over the backend's batched chunk-work estimator.
+
+    Args:
+        backend: The engine whose stored data the estimates describe.
+    """
+
+    def __init__(self, backend: BackendEngine) -> None:
+        self._backend = backend
+        self._memo: dict[tuple[GroupBy, int], tuple[int, int]] = {}
+
+    def ensure(
+        self, groupby: GroupBy, numbers: Iterable[int]
+    ) -> dict[int, tuple[int, int]]:
+        """Memoize work for the given chunks; at most one backend call.
+
+        Returns ``{number: (pages, tuples)}`` for every requested chunk.
+        """
+        numbers = list(numbers)
+        missing = [
+            number for number in numbers
+            if (groupby, number) not in self._memo
+        ]
+        if missing:
+            batch = self._backend.estimate_chunk_work_batch(
+                groupby, missing
+            )
+            for number, work in batch.items():
+                self._memo[(groupby, number)] = work
+        return {
+            number: self._memo[(groupby, number)] for number in numbers
+        }
+
+    def work(self, groupby: GroupBy, number: int) -> tuple[int, int]:
+        """``(pages, tuples)`` for one chunk (memoized)."""
+        return self.ensure(groupby, [number])[number]
+
+    def clear(self) -> None:
+        """Drop all memoized estimates (after base-table updates)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._memo)

@@ -91,6 +91,64 @@ class TestChunkCache:
         assert cache.peek(bigger.key).num_rows == 6
         assert cache.used_bytes == bigger.size_bytes
 
+    def test_refresh_larger_than_budget_drops_stale_entry(self):
+        """Regression: an over-budget refresh must not leave the old
+        payload resident (it would silently serve stale data)."""
+        cache = ChunkCache(1_000)
+        small = make_chunk(number=1, rows=2)
+        assert cache.put(small)
+        huge = make_chunk(number=1, rows=10_000)
+        assert huge.size_bytes > cache.capacity_bytes
+        assert not cache.put(huge)
+        assert cache.stats.rejected == 1
+        assert cache.peek(huge.key) is None
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        assert len(cache.policy) == 0
+
+    def test_refresh_updates_policy_weight(self):
+        """A refresh re-enters replacement state at the new benefit, not
+        the stale weight of the original insert."""
+        cache = ChunkCache(10_000, "benefit")
+        cache.put(make_chunk(number=1, rows=2, benefit=1.0))
+        refreshed = make_chunk(number=1, rows=2, benefit=9.0)
+        cache.put(refreshed)
+        node = cache.policy._ring.node(refreshed.key)
+        assert node.initial_weight == 9.0
+
+    def test_refresh_counts_as_single_insertion(self):
+        cache = ChunkCache(10_000)
+        cache.put(make_chunk(number=1, rows=2))
+        cache.put(make_chunk(number=1, rows=6))
+        assert cache.stats.insertions == 1
+
+    def test_refresh_never_evicts_itself(self):
+        """A refresh that fits the budget survives, even when it must
+        evict everything else to do so."""
+        cache = ChunkCache(300)
+        cache.put(make_chunk(number=1, rows=2))
+        cache.put(make_chunk(number=2, rows=2))
+        bigger = make_chunk(number=1, rows=18)
+        assert bigger.size_bytes <= cache.capacity_bytes
+        assert cache.put(bigger)
+        assert cache.peek(bigger.key) is not None
+        assert cache.peek(bigger.key).num_rows == 18
+
+    def test_evict_from_empty_cache_raises(self):
+        cache = ChunkCache(1_000)
+        with pytest.raises(CacheError):
+            cache._evict_one(1.0)
+
+    def test_snapshot_single_pass(self):
+        cache = ChunkCache(10_000)
+        chunks = [make_chunk(number=n) for n in range(3)]
+        for chunk in chunks:
+            cache.put(chunk)
+        snapshot = cache.snapshot()
+        assert [key for key, _ in snapshot] == [c.key for c in chunks]
+        assert [entry for _, entry in snapshot] == chunks
+        assert cache.stats.lookups == 0  # stats untouched
+
     def test_invalidate(self):
         cache = ChunkCache(10_000)
         chunk = make_chunk()

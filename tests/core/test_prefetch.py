@@ -5,6 +5,7 @@ import pytest
 from repro.core.cache import ChunkCache
 from repro.core.chunk import ChunkKey
 from repro.core.manager import ChunkCacheManager
+from repro.pipeline.resolvers import PrefetchResolver
 from repro.query.model import StarQuery
 from repro.workload.generator import SESSION, QueryGenerator
 from tests.conftest import canon_rows
@@ -21,14 +22,27 @@ def prefetching_manager(small_schema, fresh_small_engine):
     )
 
 
+def _prefetch_resolver(manager) -> PrefetchResolver:
+    return next(
+        r for r in manager.pipeline.resolvers
+        if isinstance(r, PrefetchResolver)
+    )
+
+
 class TestPrefetchGroupby:
+    def test_resolver_in_chain(self, prefetching_manager):
+        names = [r.name for r in prefetching_manager.pipeline.resolvers]
+        assert names == ["cache", "derive", "prefetch", "backend"]
+
     def test_one_level_finer_everywhere(self, prefetching_manager):
-        assert prefetching_manager._prefetch_groupby((1, 1)) == (2, 2)
-        assert prefetching_manager._prefetch_groupby((1, 0)) == (2, 0)
+        resolver = _prefetch_resolver(prefetching_manager)
+        assert resolver.prefetch_groupby((1, 1)) == (2, 2)
+        assert resolver.prefetch_groupby((1, 0)) == (2, 0)
 
     def test_leaf_level_unchanged(self, prefetching_manager):
-        assert prefetching_manager._prefetch_groupby((2, 2)) is None
-        assert prefetching_manager._prefetch_groupby((2, 1)) == (2, 2)
+        resolver = _prefetch_resolver(prefetching_manager)
+        assert resolver.prefetch_groupby((2, 2)) is None
+        assert resolver.prefetch_groupby((2, 1)) == (2, 2)
 
 
 class TestPrefetchBehaviour:

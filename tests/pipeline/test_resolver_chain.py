@@ -1,0 +1,190 @@
+"""Tests for the resolver chain and the staged executor.
+
+The property test is the PR's safety net: whatever combination of
+resolvers is active (derivation on/off x prefetch on/off x replacement
+policy) and however small the cache, every answer must equal the
+backend's direct evaluation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.core.metrics import QueryRecord
+from repro.exceptions import PipelineError
+from repro.pipeline.executor import StagedPipeline
+from repro.pipeline.resolvers import PartitionResolver
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ChunkPlan,
+    ResolvedPart,
+    Resolution,
+    ResolverOutcome,
+)
+from repro.query.model import StarQuery
+from tests.conftest import canon_rows
+
+# ----------------------------------------------------------------------
+# Property: any resolver combination answers exactly
+# ----------------------------------------------------------------------
+
+#: Level cardinalities of the small schema: D0 (5, 10), D1 (4, 8).
+_CARDS = {0: (1, 1), 1: (5, 4), 2: (10, 8)}
+
+
+def _selection(draw, level, card):
+    if level == 0 or draw(st.booleans()):
+        return None
+    lo = draw(st.integers(0, card - 1))
+    hi = draw(st.integers(lo + 1, card))
+    return (lo, hi)
+
+
+@st.composite
+def _queries(draw):
+    g0 = draw(st.integers(0, 2))
+    g1 = draw(st.integers(0, 2))
+    selections = {}
+    s0 = _selection(draw, g0, _CARDS[g0][0])
+    if s0 is not None:
+        selections["D0"] = s0
+    s1 = _selection(draw, g1, _CARDS[g1][1])
+    if s1 is not None:
+        selections["D1"] = s1
+    return (g0, g1), selections
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    stream=st.lists(_queries(), min_size=1, max_size=4),
+    derive=st.booleans(),
+    prefetch=st.booleans(),
+    policy=st.sampled_from(["lru", "clock", "benefit"]),
+    capacity=st.sampled_from([3_000, 50_000, 4_000_000]),
+)
+def test_any_chain_matches_backend(
+    small_schema, small_engine, stream, derive, prefetch, policy, capacity
+):
+    manager = ChunkCacheManager(
+        small_schema,
+        small_engine.space,
+        small_engine,
+        ChunkCache(capacity, policy),
+        aggregate_in_cache=derive,
+        prefetch_drilldown=prefetch,
+    )
+    for groupby, selections in stream:
+        query = StarQuery.build(small_schema, groupby, selections)
+        answer = manager.answer(query)
+        expected, _ = small_engine.answer(query, "scan")
+        assert canon_rows(answer.rows) == canon_rows(expected)
+        record = answer.record
+        assert (
+            record.chunks_hit + record.chunks_derived
+            <= record.chunks_total
+        )
+        assert record.saved_cost <= record.full_cost + 1e-9
+        resolved = sum(answer.trace.resolved_by.values())
+        assert resolved == record.chunks_total
+
+
+# ----------------------------------------------------------------------
+# Executor contract
+# ----------------------------------------------------------------------
+
+
+class _StubAnalyzer:
+    def __init__(self, partitions):
+        self.partitions = partitions
+
+    def analyze(self, query):
+        return AnalyzedQuery.from_query(query, self.partitions)
+
+
+class _StubResolver(PartitionResolver):
+    def __init__(self, name, resolves, extra=()):
+        self.name = name
+        self._resolves = resolves
+        self._extra = extra
+
+    def resolve(self, analyzed, outstanding):
+        parts = {
+            n: ResolvedPart(number=n, rows=np.zeros(0), resolver=self.name)
+            for n in list(outstanding) + list(self._extra)
+            if n in self._resolves or n in self._extra
+        }
+        return ResolverOutcome(parts=parts)
+
+
+class _StubAssembler:
+    def assemble(self, analyzed, resolution):
+        return np.zeros(0)
+
+
+class _StubAccountant:
+    def account(self, analyzed, resolution, plan, result_rows):
+        return QueryRecord(
+            time=0.0, full_cost=0.0, saved_cost=0.0,
+            chunks_total=len(analyzed.partitions),
+            chunks_hit=len(plan.present),
+        )
+
+
+def _pipeline(resolvers, partitions=(0, 1)):
+    return StagedPipeline(
+        analyzer=_StubAnalyzer(partitions),
+        resolvers=resolvers,
+        assembler=_StubAssembler(),
+        accountant=_StubAccountant(),
+    )
+
+
+class TestExecutorContract:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PipelineError):
+            _pipeline([])
+
+    def test_unresolved_partitions_raise(self, small_schema):
+        pipeline = _pipeline([_StubResolver("partial", {0})])
+        query = StarQuery.build(small_schema, (1, 1))
+        with pytest.raises(PipelineError, match="unresolved"):
+            pipeline.execute(query)
+
+    def test_unoffered_partition_raises(self, small_schema):
+        rogue = _StubResolver("rogue", {0}, extra=(99,))
+        pipeline = _pipeline([rogue])
+        query = StarQuery.build(small_schema, (1, 1))
+        with pytest.raises(PipelineError, match="not offered"):
+            pipeline.execute(query)
+
+    def test_later_links_get_leftovers_only(self, small_schema):
+        first = _StubResolver("cache", {0})
+        second = _StubResolver("backend", {0, 1})
+        pipeline = _pipeline([first, second])
+        result = pipeline.execute(StarQuery.build(small_schema, (1, 1)))
+        assert result.resolution.parts[0].resolver == "cache"
+        assert result.resolution.parts[1].resolver == "backend"
+        assert result.trace.resolved_by == {"cache": 1, "backend": 1}
+
+    def test_plan_classification(self, small_schema):
+        chain = [
+            _StubResolver("cache", {0}),
+            _StubResolver("derive", {1}),
+            _StubResolver("backend", {2}),
+        ]
+        pipeline = _pipeline(chain, partitions=(0, 1, 2))
+        result = pipeline.execute(StarQuery.build(small_schema, (1, 1)))
+        assert result.plan.present == (0,)
+        assert result.plan.derived == (1,)
+        assert result.plan.missing == (2,)
+
+    def test_skips_resolvers_when_nothing_outstanding(self, small_schema):
+        first = _StubResolver("cache", {0, 1})
+        never = _StubResolver("backend", {0, 1})
+        pipeline = _pipeline([first, never])
+        result = pipeline.execute(StarQuery.build(small_schema, (1, 1)))
+        # The backend link never ran: no stage trace, no attribution.
+        assert result.trace.stage("resolve:backend") is None
+        assert result.trace.resolved_by == {"cache": 2}

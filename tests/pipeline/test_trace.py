@@ -1,0 +1,130 @@
+"""Tests for per-stage execution traces and their aggregation."""
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.core.query_cache import QueryCacheManager
+from repro.pipeline.trace import (
+    ExecutionTrace,
+    StageTimer,
+    StageTrace,
+    aggregate_resolver_attribution,
+    aggregate_stage_traces,
+)
+from repro.query.model import StarQuery
+
+
+@pytest.fixture()
+def manager(small_schema, fresh_small_engine):
+    return ChunkCacheManager(
+        small_schema,
+        fresh_small_engine.space,
+        fresh_small_engine,
+        ChunkCache(4_000_000),
+    )
+
+
+class TestStageTimer:
+    def test_appends_named_stage(self):
+        trace = ExecutionTrace()
+        with StageTimer(trace, "analyze") as stage:
+            stage.partitions = 4
+        assert [s.name for s in trace.stages] == ["analyze"]
+        assert trace.stages[0].partitions == 4
+        assert trace.stages[0].wall_seconds >= 0.0
+
+    def test_wall_seconds_sums_stages(self):
+        trace = ExecutionTrace()
+        trace.stages.append(StageTrace("a", wall_seconds=1.0))
+        trace.stages.append(StageTrace("b", wall_seconds=2.0))
+        assert trace.wall_seconds == pytest.approx(3.0)
+
+    def test_stage_lookup(self):
+        trace = ExecutionTrace()
+        trace.stages.append(StageTrace("resolve:cache", partitions=3))
+        assert trace.stage("resolve:cache").partitions == 3
+        assert trace.stage("missing") is None
+
+
+class TestAnswerTrace:
+    def test_every_answer_carries_trace(self, small_schema, manager):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        answer = manager.answer(query)
+        trace = answer.trace
+        assert trace is not None
+        names = [s.name for s in trace.stages]
+        assert names == [
+            "analyze", "resolve:cache", "resolve:backend",
+            "assemble", "account",
+        ]
+        assert trace.partitions_total == answer.record.chunks_total
+        assert trace.resolved_by == {
+            "cache": 0,
+            "backend": answer.record.chunks_total,
+        }
+        assert trace.backend_pages == answer.record.pages_read
+        assert trace.modelled_time == pytest.approx(answer.record.time)
+
+    def test_repeat_query_attributed_to_cache(self, small_schema, manager):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        manager.answer(query)
+        answer = manager.answer(query)
+        trace = answer.trace
+        assert trace.resolved_by["cache"] == answer.record.chunks_total
+        # The terminal resolver never ran: nothing was outstanding.
+        assert trace.stage("resolve:backend") is None
+        assert trace.backend_pages == 0
+
+    def test_query_cache_trace(self, small_schema, fresh_small_engine):
+        manager = QueryCacheManager(
+            small_schema, fresh_small_engine, 4_000_000
+        )
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        miss = manager.answer(query)
+        assert miss.trace.resolved_by == {"cache": 0, "backend": 1}
+        hit = manager.answer(query)
+        assert hit.trace.resolved_by == {"cache": 1}
+        assert hit.trace.backend_pages == 0
+
+
+class TestStreamAggregation:
+    def test_metrics_aggregate_traces(self, small_schema, manager):
+        queries = [
+            StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)}),
+            StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)}),
+            StarQuery.build(small_schema, (1, 0), {"D0": (2, 5)}),
+        ]
+        for query in queries:
+            manager.answer(query)
+        stages = manager.metrics.stage_summary()
+        assert stages["analyze"]["calls"] == 3
+        assert stages["resolve:cache"]["calls"] == 3
+        # Query 2 was a full hit; only queries 1 and 3 hit the backend.
+        assert stages["resolve:backend"]["calls"] == 2
+        assert stages["resolve:backend"]["pages_read"] > 0
+        resolved = manager.metrics.resolver_summary()
+        total = sum(r.chunks_total for r in manager.metrics.records)
+        assert resolved["cache"] + resolved["backend"] == total
+
+    def test_describe_cache_includes_trace_aggregates(
+        self, small_schema, manager
+    ):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        manager.answer(query)
+        snapshot = manager.describe_cache()
+        assert "stages" in snapshot and "resolved_by" in snapshot
+        assert snapshot["resolved_by"]["backend"] > 0
+        assert snapshot["stages"]["analyze"]["calls"] == 1
+
+    def test_aggregation_helpers_match_metrics(self, small_schema, manager):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        manager.answer(query)
+        manager.answer(query)
+        traces = manager.metrics.traces
+        assert aggregate_stage_traces(traces) == (
+            manager.metrics.stage_summary()
+        )
+        assert aggregate_resolver_attribution(traces) == (
+            manager.metrics.resolver_summary()
+        )

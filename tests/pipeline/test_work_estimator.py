@@ -1,0 +1,130 @@
+"""Tests for batched, memoized chunk-work estimation."""
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.pipeline.work import ChunkWorkEstimator
+from repro.query.model import StarQuery
+
+
+class _CountingBackend:
+    """Counts estimation probes, delegating everything else."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.single_calls = 0
+        self.batch_calls = 0
+
+    def estimate_chunk_work(self, groupby, numbers):
+        self.single_calls += 1
+        return self._engine.estimate_chunk_work(groupby, numbers)
+
+    def estimate_chunk_work_batch(self, groupby, numbers):
+        self.batch_calls += 1
+        return self._engine.estimate_chunk_work_batch(groupby, numbers)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+@pytest.fixture()
+def counting(fresh_small_engine):
+    return _CountingBackend(fresh_small_engine)
+
+
+@pytest.fixture()
+def manager(small_schema, fresh_small_engine, counting):
+    return ChunkCacheManager(
+        small_schema,
+        fresh_small_engine.space,
+        counting,
+        ChunkCache(4_000_000),
+    )
+
+
+class TestBatchParity:
+    def test_batch_matches_per_chunk_probes(self, small_engine):
+        """Each chunk in a batch is priced exactly as a lone probe."""
+        groupby = (1, 1)
+        grid = small_engine.space.grid(groupby)
+        numbers = list(range(grid.num_chunks))
+        batch = small_engine.estimate_chunk_work_batch(groupby, numbers)
+        assert sorted(batch) == numbers
+        for number in numbers:
+            assert batch[number] == small_engine.estimate_chunk_work(
+                groupby, [number]
+            )
+
+    def test_batch_of_one(self, small_engine):
+        batch = small_engine.estimate_chunk_work_batch((1, 0), [0])
+        assert batch[0] == small_engine.estimate_chunk_work((1, 0), [0])
+
+
+class TestEstimatorMemo:
+    def test_one_backend_call_for_missing(self, counting):
+        estimator = ChunkWorkEstimator(counting)
+        work = estimator.ensure((1, 1), [0, 1, 2])
+        assert counting.batch_calls == 1
+        assert sorted(work) == [0, 1, 2]
+
+    def test_warm_lookup_is_free(self, counting):
+        estimator = ChunkWorkEstimator(counting)
+        estimator.ensure((1, 1), [0, 1, 2])
+        estimator.ensure((1, 1), [1, 2])
+        estimator.work((1, 1), 0)
+        assert counting.batch_calls == 1
+
+    def test_partial_overlap_fetches_only_missing(self, counting):
+        estimator = ChunkWorkEstimator(counting)
+        estimator.ensure((1, 1), [0, 1])
+        estimator.ensure((1, 1), [1, 2, 3])
+        assert counting.batch_calls == 2
+        assert len(estimator) == 4
+
+    def test_clear_forgets(self, counting):
+        estimator = ChunkWorkEstimator(counting)
+        estimator.ensure((1, 1), [0])
+        estimator.clear()
+        assert len(estimator) == 0
+        estimator.ensure((1, 1), [0])
+        assert counting.batch_calls == 2
+
+
+class TestManagerProbeBudget:
+    def test_one_probe_per_cold_query(self, small_schema, manager, counting):
+        """Analysis batches the whole query's estimation into one call;
+        admission and accounting run off the memo."""
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        answer = manager.answer(query)
+        assert answer.record.chunks_total > 1
+        assert counting.batch_calls == 1
+        assert counting.single_calls == 0
+
+    def test_no_probe_when_warm(self, small_schema, manager, counting):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        manager.answer(query)
+        counting.batch_calls = 0
+        manager.answer(query)
+        assert counting.batch_calls == 0
+        assert counting.single_calls == 0
+
+    def test_overlapping_query_fetches_only_new_chunks(
+        self, small_schema, manager, counting
+    ):
+        manager.answer(
+            StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        )
+        counting.batch_calls = 0
+        manager.answer(
+            StarQuery.build(small_schema, (1, 1), {"D0": (0, 5)})
+        )
+        assert counting.batch_calls <= 1
+
+    def test_invalidation_clears_memo(self, small_schema, manager, counting):
+        query = StarQuery.build(small_schema, (1, 1), {"D0": (0, 3)})
+        manager.answer(query)
+        manager.estimator.clear()
+        counting.batch_calls = 0
+        manager.answer(query)
+        assert counting.batch_calls == 1
