@@ -1,0 +1,87 @@
+"""Engine behaviour: module paths, suppressions, CLI, file discovery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.__main__ import main
+from tools.reprolint.engine import lint_paths, lint_source, module_path_of
+from tools.reprolint.rules import ALL_RULES, RULES_BY_CODE
+
+
+class TestModulePath:
+    def test_module_under_src(self):
+        assert (
+            module_path_of(Path("src/repro/core/metrics.py"))
+            == "repro.core.metrics"
+        )
+
+    def test_package_init(self):
+        assert module_path_of(Path("src/repro/chunks/__init__.py")) == "repro.chunks"
+
+    def test_outside_src_has_no_module(self):
+        assert module_path_of(Path("tests/core/test_cache.py")) is None
+        assert module_path_of(Path("tools/reprolint/engine.py")) is None
+
+
+class TestSuppression:
+    def test_ignore_comment_silences_named_code(self):
+        code = "def f(x=[]):  # reprolint: ignore[R004] test fixture\n    return x\n"
+        assert lint_source(code) == []
+
+    def test_ignore_comment_is_code_specific(self):
+        code = "def f(x=[]):  # reprolint: ignore[R001]\n    return x\n"
+        assert [v.code for v in lint_source(code)] == ["R004"]
+
+    def test_multiple_codes_in_one_comment(self):
+        code = "def f(x=[]):  # reprolint: ignore[R001, R004]\n    return x\n"
+        assert lint_source(code) == []
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(RULES_BY_CODE) == ["R001", "R002", "R003", "R004", "R005"]
+
+    def test_rules_have_summaries(self):
+        for rule in ALL_RULES:
+            assert rule.SUMMARY
+
+
+class TestPathsAndCli:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        bad = tmp_path / "pkg"
+        bad.mkdir()
+        (bad / "mod.py").write_text("def f(x={}):\n    return x\n")
+        (bad / "__pycache__").mkdir()
+        (bad / "__pycache__" / "junk.py").write_text("def g(y=[]):\n    return y\n")
+        violations = lint_paths([tmp_path])
+        assert [v.code for v in violations] == ["R004"]
+        assert "mod.py" in violations[0].path
+
+    def test_lint_paths_reports_syntax_errors(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        seen = []
+        lint_paths([tmp_path], on_error=lambda p, e: seen.append(p))
+        assert len(seen) == 1
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005"):
+            assert code in out
+
+    def test_cli_select_unknown_code_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--select", "R999", "src"])

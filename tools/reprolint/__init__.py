@@ -1,0 +1,27 @@
+"""reprolint — project-specific static analysis for the repro codebase.
+
+Run it with::
+
+    python -m tools.reprolint src tests
+
+See ``docs/STATIC_ANALYSIS.md`` for every rule with bad/good examples.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.engine import (
+    FileContext,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from tools.reprolint.rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = [
+    "FileContext",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+]

@@ -1,0 +1,66 @@
+"""CLI: ``python -m tools.reprolint [--list-rules] [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.rules import ALL_RULES, RULES_BY_CODE
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule code with its summary and exit",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.CODE}  {rule.SUMMARY}")
+        return 0
+
+    rules = ALL_RULES
+    if args.select:
+        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULES_BY_CODE]
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(unknown)}")
+        rules = tuple(RULES_BY_CODE[c] for c in codes)
+
+    parse_errors = 0
+
+    def on_error(path: str, exc: SyntaxError) -> None:
+        nonlocal parse_errors
+        parse_errors += 1
+        print(f"{path}: syntax error: {exc}", file=sys.stderr)
+
+    violations = lint_paths(args.paths, rules=rules, on_error=on_error)
+    for violation in violations:
+        print(violation.render())
+    if violations or parse_errors:
+        print(
+            f"reprolint: {len(violations)} violation(s), "
+            f"{parse_errors} unparsable file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The reprolint rule registry.
+
+Every rule module exposes ``CODE``, ``SUMMARY`` and ``check(ctx)``; this
+package collects them into :data:`ALL_RULES` (sorted by code) for the
+engine and the CLI.  Adding a rule = adding a module here and listing it
+in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.rules import (
+    r001_layering,
+    r002_float_eq,
+    r003_frozen,
+    r004_hygiene,
+    r005_metrics,
+)
+
+ALL_RULES = (
+    r001_layering,
+    r002_float_eq,
+    r003_frozen,
+    r004_hygiene,
+    r005_metrics,
+)
+
+RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE"]

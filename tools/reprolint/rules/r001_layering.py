@@ -1,0 +1,137 @@
+"""R001 — the import-layering DAG and backend-call discipline.
+
+The repro codebase is layered::
+
+    schema / query / analysis / exceptions      (leaves)
+        ^
+    storage  ->  chunks                          (physical + geometry)
+        ^
+    backend                                      (evaluation engine)
+        ^
+    pipeline  ->  core                           (staged answering, caches)
+        ^
+    experiments                                  (harness, figures)
+
+Three machine-checkable facets:
+
+1. ``repro.chunks`` and ``repro.storage`` must not import ``repro.core``
+   or ``repro.pipeline`` — geometry and the storage engine sit *below*
+   the caching layers and must stay reusable without them.
+2. Backend answer/estimate entry points (``answer``, ``compute_chunks``,
+   ``estimate_chunk_work``, ``estimate_chunk_work_batch``,
+   ``estimate_bitmap_pages``) may only be *called* from the pipeline's
+   sanctioned modules: ``repro.pipeline.resolvers`` (the resolver chain)
+   and ``repro.pipeline.work`` (the memoized estimator facade).  Every
+   other physical probe bypasses tracing and accounting.  Ground-truth
+   oracle uses in the experiment harness carry explicit
+   ``# reprolint: ignore[R001]`` waivers.
+3. ``repro.experiments`` may not reach into ``repro.storage`` submodules
+   — it must import through the ``repro.storage`` facade, so storage
+   internals can be reorganized without breaking experiment code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R001"
+SUMMARY = (
+    "import-layering DAG: chunks/storage below core/pipeline; backend "
+    "entry points called only from pipeline resolvers/work; experiments "
+    "import storage via its facade"
+)
+
+#: Packages that must stay below the caching layers.
+_LOWER_LAYERS = ("repro.chunks", "repro.storage")
+_UPPER_LAYERS = ("repro.core", "repro.pipeline")
+
+#: The backend's answer/estimate entry points (physical work).
+BACKEND_ENTRY_POINTS = frozenset(
+    {
+        "answer",
+        "compute_chunks",
+        "estimate_chunk_work",
+        "estimate_chunk_work_batch",
+        "estimate_bitmap_pages",
+    }
+)
+
+#: Modules allowed to drive the backend's entry points.
+BACKEND_CALLERS = ("repro.pipeline.resolvers", "repro.pipeline.work")
+
+#: Receiver names that denote "the backend engine" at a call site.
+_BACKEND_RECEIVERS = frozenset({"backend", "engine", "_backend", "_engine"})
+
+
+def _imported_modules(tree: ast.Module) -> Iterator[tuple[str, int, int]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, node.col_offset
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            yield node.module, node.lineno, node.col_offset
+
+
+def _is_backend_receiver(node: ast.expr) -> bool:
+    """Whether a call receiver looks like the backend engine.
+
+    Matches ``backend``, ``engine``, ``self.backend``, ``manager.backend``,
+    ``self._backend`` — i.e. the terminal identifier names an engine.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in _BACKEND_RECEIVERS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BACKEND_RECEIVERS
+    return False
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.module is None or not ctx.in_package("repro"):
+        return
+
+    # Facet 1: chunks/storage must not import core/pipeline.
+    if ctx.in_package(*_LOWER_LAYERS):
+        for module, line, col in _imported_modules(ctx.tree):
+            if any(
+                module == upper or module.startswith(upper + ".")
+                for upper in _UPPER_LAYERS
+            ):
+                yield Violation(
+                    ctx.path, line, col, CODE,
+                    f"layer violation: {ctx.module} (geometry/storage "
+                    f"layer) imports {module}; chunks/ and storage/ must "
+                    "not depend on core/ or pipeline/",
+                )
+
+    # Facet 2: backend entry points called only from pipeline resolvers/work.
+    if ctx.module not in BACKEND_CALLERS and not ctx.in_package("repro.backend"):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in BACKEND_ENTRY_POINTS
+                and _is_backend_receiver(func.value)
+            ):
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    f"backend entry point .{func.attr}() called outside "
+                    "the pipeline layer; route physical work through "
+                    "pipeline/resolvers.py or pipeline/work.py (waiver: "
+                    "'# reprolint: ignore[R001] <reason>' for oracles)",
+                )
+
+    # Facet 3: experiments import storage only through the facade.
+    if ctx.in_package("repro.experiments"):
+        for module, line, col in _imported_modules(ctx.tree):
+            if module.startswith("repro.storage."):
+                yield Violation(
+                    ctx.path, line, col, CODE,
+                    f"experiments reach into storage internals "
+                    f"({module}); import through the repro.storage "
+                    "facade instead",
+                )

@@ -1,0 +1,85 @@
+"""R002 — no ``==`` / ``!=`` between floats in cost/benefit code.
+
+CSR accounting, benefit weights and modelled times are floats built by
+summing many small contributions; exact equality on them is the classic
+silent-drift bug (a benefit that should be "equal" after an evict/put
+round-trip differs in the last ulp and replacement decisions flip).
+Cost/benefit quantities must be compared with :func:`math.isclose`, an
+ordering comparison, or kept in integer units (pages, tuples, bytes).
+
+The rule flags ``==`` / ``!=`` where either operand is *float-ish*:
+
+- a float literal (``x == 0.0``);
+- a name or attribute whose identifier contains a cost/benefit
+  vocabulary token (``full_cost``, ``benefit``, ``weight``, ``time``,
+  ``saved``, ``csr``, ``ratio``, ``total``);
+- a direct ``sum(...)`` call (sums of costs are the usual source).
+
+Identifier vocabularies are a heuristic, so genuinely-integer uses can
+waive a line with ``# reprolint: ignore[R002] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R002"
+SUMMARY = (
+    "no ==/!= between floats in cost/benefit code — use math.isclose, "
+    "an ordering comparison, or integer arithmetic"
+)
+
+#: Identifier tokens that mark a value as cost/benefit-flavoured.
+FLOAT_VOCAB = frozenset(
+    {"cost", "benefit", "weight", "time", "saved", "csr", "ratio", "total"}
+)
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    ident = _identifier_of(node)
+    if ident is not None:
+        tokens = set(ident.lower().strip("_").split("_"))
+        if tokens & FLOAT_VOCAB:
+            return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "sum":
+            return True
+    return False
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if not ctx.in_package("repro"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            culprit = next(
+                (o for o in (left, right) if _is_floatish(o)), None
+            )
+            if culprit is None:
+                continue
+            name = _identifier_of(culprit)
+            what = f"'{name}'" if name else "a float expression"
+            yield Violation(
+                ctx.path, node.lineno, node.col_offset, CODE,
+                f"float equality on {what} in cost/benefit code; use "
+                "math.isclose, an ordering comparison, or integer units",
+            )

@@ -1,0 +1,92 @@
+"""R004 — exception and default-argument hygiene.
+
+Two classes of silent-failure bug, banned everywhere (``src/`` and
+``tests/``):
+
+- **swallowed exceptions** — a bare ``except:`` clause, or an
+  ``except Exception`` / ``except BaseException`` handler whose body is
+  only ``pass`` / ``...``.  The repro library has a dedicated exception
+  hierarchy (:mod:`repro.exceptions`); catch the narrow type and handle
+  it, or let it propagate.
+- **mutable default arguments** — ``def f(x=[])`` / ``={}`` / ``=set()``
+  (literal or constructor call) shares one object across calls; with
+  accumulating caches and registries all over this codebase that is a
+  cross-query state leak waiting to happen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R004"
+SUMMARY = (
+    "no bare except / swallowed broad except, and no mutable default "
+    "arguments"
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def _mutable_default(node: ast.expr) -> str | None:
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CALLS and not node.args and not node.keywords:
+            return f"{node.func.id}()"
+    return None
+
+
+def _defaults(args: ast.arguments) -> Iterator[ast.expr]:
+    yield from args.defaults
+    for default in args.kw_defaults:
+        if default is not None:
+            yield default
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; catch a repro.exceptions type",
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in _BROAD
+                and _is_noop_body(node.body)
+            ):
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    f"'except {node.type.id}: pass' silently swallows "
+                    "all errors; narrow the type or handle the failure",
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in _defaults(node.args):
+                shape = _mutable_default(default)
+                if shape is not None:
+                    yield Violation(
+                        ctx.path, default.lineno, default.col_offset, CODE,
+                        f"mutable default argument {shape} in "
+                        f"{node.name}(); default to None and build "
+                        "inside the function",
+                    )
