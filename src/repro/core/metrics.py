@@ -135,9 +135,14 @@ class StreamMetrics:
     # The paper's metrics
     # ------------------------------------------------------------------
     def cost_saving_ratio(self) -> float:
-        """CSR over the whole stream (0.0 for an empty stream)."""
+        """CSR over the whole stream (0.0 for an empty stream).
+
+        ``full_cost`` is non-negative by :meth:`record`'s validation, so
+        the float sum is compared by ordering rather than ``==`` (R002):
+        a zero-cost stream has no savings to express, not a 0/0.
+        """
         total = sum(r.full_cost for r in self._records)
-        if total == 0:
+        if total <= 0.0:
             return 0.0
         saved = sum(r.saved_cost for r in self._records)
         return saved / total

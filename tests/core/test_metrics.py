@@ -50,6 +50,22 @@ class TestStreamMetrics:
         assert m.cost_saving_ratio() == pytest.approx(0.4)
         assert m.chunk_hit_ratio() == pytest.approx(0.4)
 
+    def test_csr_zero_cost_stream(self):
+        """A stream of free queries saves nothing — no 0/0, no crash.
+
+        Regression for R002: the guard is an ordering comparison, so it
+        also covers denormal-tiny totals instead of exact-zero only.
+        """
+        m = StreamMetrics()
+        m.record(record(time=0.0, full=0.0, saved=0.0))
+        m.record(record(time=0.0, full=0.0, saved=0.0))
+        assert m.cost_saving_ratio() == 0.0
+
+    def test_csr_denormal_costs_still_ratio(self):
+        m = StreamMetrics()
+        m.record(record(full=5e-324, saved=5e-324))
+        assert m.cost_saving_ratio() == pytest.approx(1.0)
+
     def test_mean_time_last_window(self):
         m = StreamMetrics()
         for t in (1.0, 2.0, 3.0, 4.0):
