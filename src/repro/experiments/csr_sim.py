@@ -14,6 +14,7 @@ accordingly (x3 at default scale, matching the paper's 1500 -> 5000 ratio).
 
 from __future__ import annotations
 
+from repro.core.metrics import StreamMetrics
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import (
     get_system,
@@ -70,12 +71,16 @@ def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
     return result
 
 
-def _tail_csr(metrics, fraction: float = 0.5) -> float:
-    """CSR over the last ``fraction`` of the stream (post warm-up)."""
+def _tail_csr(metrics: StreamMetrics, fraction: float = 0.5) -> float:
+    """CSR over the last ``fraction`` of the stream (post warm-up).
+
+    The denominator is a float sum of costs, so the zero guard is an
+    ordering comparison, not ``==`` (R002).
+    """
     records = metrics.records
     tail = records[int(len(records) * (1 - fraction)):]
     total = sum(r.full_cost for r in tail)
-    if total == 0:
+    if total <= 0.0:
         return 0.0
     return sum(r.saved_cost for r in tail) / total
 

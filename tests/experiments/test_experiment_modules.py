@@ -28,6 +28,22 @@ class TestCsrSimHelpers:
     def test_tail_csr_empty(self):
         assert csr_sim._tail_csr(StreamMetrics()) == 0.0
 
+    def test_tail_csr_zero_cost_tail(self):
+        """Regression (R002): a free-query tail is 0.0, not 0/0 — guarded
+        by ordering, so denormal-tiny totals divide normally too."""
+        metrics = StreamMetrics()
+        for _ in range(4):
+            metrics.record(
+                QueryRecord(time=0, full_cost=0.0, saved_cost=0.0,
+                            chunks_total=1, chunks_hit=1)
+            )
+        assert csr_sim._tail_csr(metrics, fraction=0.5) == 0.0
+        metrics.record(
+            QueryRecord(time=0, full_cost=5e-324, saved_cost=5e-324,
+                        chunks_total=1, chunks_hit=1)
+        )
+        assert csr_sim._tail_csr(metrics, fraction=0.2) == pytest.approx(1.0)
+
     def test_stream_multiplier_matches_paper_ratio(self):
         # Paper: 5000-query simulation against 1500-query streams.
         assert csr_sim.STREAM_MULTIPLIER == pytest.approx(5000 / 1500)
