@@ -35,7 +35,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.exceptions import SQLParseError
+from repro.exceptions import SchemaError, SQLParseError
 from repro.query.model import StarQuery
 from repro.query.predicates import Interval, interval_intersect
 from repro.schema.star import StarSchema
@@ -156,7 +156,7 @@ class _Parser:
         if qualifier is not None:
             try:
                 dim_pos = self.schema.dimension_position(qualifier)
-            except Exception:
+            except SchemaError:
                 # Qualifier may name the fact table; fall through to the
                 # unqualified candidates.
                 dim_pos = None

@@ -39,7 +39,7 @@ from repro.core.chunk import CachedQuery
 from repro.core.manager import Answer
 from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.core.replacement import ReplacementPolicy, make_policy
-from repro.exceptions import CacheError
+from repro.exceptions import CacheError, QueryError
 from repro.pipeline.executor import StagedPipeline
 from repro.pipeline.resolvers import PartitionResolver
 from repro.pipeline.stages import (
@@ -349,7 +349,10 @@ class QueryCacheManager:
             entry = self._entries[key]
             try:
                 region = entry.query.leaf_selection(self.schema)
-            except Exception:
+            except QueryError:
+                # A provably-empty selection intersects nothing, but the
+                # conservative invalidation treatment is "overlaps
+                # everything" — correctness over retention.
                 region = (None,) * self.schema.num_dimensions
             for block in blocks:
                 if all(

@@ -151,6 +151,34 @@ class TestParsing:
         )
         assert query.selections[1] == (2, 3)
 
+    def test_fact_table_qualifier_falls_through(self, sales_schema):
+        """A qualifier naming the fact table resolves unqualified."""
+        query = parse_query(
+            sales_schema,
+            "SELECT sales.month, SUM(dollar_sales) FROM sales "
+            "GROUP BY sales.month",
+        )
+        assert query.groupby == (0, 2)
+
+    def test_resolver_bug_not_mistaken_for_fact_qualifier(
+        self, sales_schema, monkeypatch
+    ):
+        """Regression (R004): only SchemaError means "not a dimension".
+
+        The old ``except Exception`` also swallowed genuine defects in
+        the schema lookup, silently resolving the column as unqualified.
+        """
+        def boom(name):
+            raise AttributeError("schema lookup broke")
+
+        monkeypatch.setattr(sales_schema, "dimension_position", boom)
+        with pytest.raises(AttributeError):
+            parse_query(
+                sales_schema,
+                "SELECT date.month, SUM(dollar_sales) FROM sales "
+                "GROUP BY date.month",
+            )
+
 
 class TestErrors:
     def test_unknown_column(self, sales_schema):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.query_cache import QueryCacheManager
-from repro.exceptions import CacheError
+from repro.exceptions import CacheError, QueryError
 from repro.query.model import StarQuery
 from tests.conftest import canon_rows
 
@@ -113,3 +113,32 @@ class TestRedundancy:
         manager.answer(q(small_schema, (1, 1)))
         assert len(manager.metrics) == 2
         assert 0 < manager.metrics.cost_saving_ratio() <= 1
+
+
+class TestInvalidationExceptionNarrowing:
+    """Regression (R004): invalidation distinguishes "query provably
+    selects nothing" (QueryError -> conservative drop) from genuine
+    defects in query analysis, which must propagate."""
+
+    def test_unanalyzable_entry_dropped_conservatively(
+        self, small_schema, manager, monkeypatch
+    ):
+        manager.answer(q(small_schema, (1, 1), {"D0": (1, 4)}))
+
+        def provably_empty(self, schema):
+            raise QueryError("selection and filter are disjoint")
+
+        monkeypatch.setattr(StarQuery, "leaf_selection", provably_empty)
+        assert manager.invalidate_base_chunks([0]) == 1
+
+    def test_analysis_bug_propagates(
+        self, small_schema, manager, monkeypatch
+    ):
+        manager.answer(q(small_schema, (1, 1), {"D0": (1, 4)}))
+
+        def boom(self, schema):
+            raise RuntimeError("query analysis broke")
+
+        monkeypatch.setattr(StarQuery, "leaf_selection", boom)
+        with pytest.raises(RuntimeError):
+            manager.invalidate_base_chunks([0])
