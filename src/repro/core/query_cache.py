@@ -29,7 +29,6 @@ naturally here:
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 
@@ -41,24 +40,24 @@ from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.core.replacement import ReplacementPolicy, make_policy
 from repro.exceptions import CacheError, QueryError
 from repro.pipeline.executor import StagedPipeline
-from repro.pipeline.resolvers import PartitionResolver
+from repro.pipeline.resolvers import (
+    WHOLE_RESULT,
+    QueryBackendResolver,
+    QueryHitResolver,
+)
 from repro.pipeline.stages import (
     AnalyzedQuery,
     ChunkPlan,
-    ResolvedPart,
     Resolution,
-    ResolverOutcome,
     select_exact,
 )
+from repro.pipeline.work import estimate_query_full_cost
 from repro.query.containment import query_contains
 from repro.query.model import StarQuery
 from repro.query.predicates import selection_cardinality
 from repro.schema.star import StarSchema
 
 __all__ = ["QueryCacheManager"]
-
-#: The single partition a whole-query answer decomposes into.
-_WHOLE_RESULT = 0
 
 
 class _QueryAnalyzer:
@@ -73,60 +72,12 @@ class _QueryAnalyzer:
         self.manager = manager
 
     def analyze(self, query: StarQuery) -> AnalyzedQuery:
-        full_cost = self.manager._estimate_full_cost(query)
-        return AnalyzedQuery.from_query(
-            query, (_WHOLE_RESULT,), full_cost=full_cost
-        )
-
-
-class _QueryHitResolver(PartitionResolver):
-    """Containment lookup: serve the whole result from a cached superset."""
-
-    name = "cache"
-
-    def __init__(self, manager: "QueryCacheManager") -> None:
-        self.manager = manager
-
-    def resolve(
-        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
-    ) -> ResolverOutcome:
-        hit = self.manager._find_containing(analyzed.query)
-        if hit is None:
-            return ResolverOutcome()
-        self.manager.policy.on_access(hit.query.exact_key())
-        part = ResolvedPart(
-            number=_WHOLE_RESULT,
-            rows=hit.rows,
-            resolver=self.name,
-            tuples_from_cache=hit.num_rows,
-            saved=True,
-        )
-        return ResolverOutcome(parts={_WHOLE_RESULT: part})
-
-
-class _QueryBackendResolver(PartitionResolver):
-    """Terminal link: evaluate at the backend and admit the result."""
-
-    name = "backend"
-
-    def __init__(self, manager: "QueryCacheManager") -> None:
-        self.manager = manager
-
-    def resolve(
-        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
-    ) -> ResolverOutcome:
         manager = self.manager
-        rows, report = manager.backend.answer(
-            analyzed.query, manager.miss_path
+        full_cost = estimate_query_full_cost(
+            manager.backend, manager.cost_model, query
         )
-        manager._admit(
-            analyzed.query, rows, benefit=analyzed.meta["full_cost"]
-        )
-        part = ResolvedPart(
-            number=_WHOLE_RESULT, rows=rows, resolver=self.name
-        )
-        return ResolverOutcome(
-            parts={_WHOLE_RESULT: part}, report=report
+        return AnalyzedQuery.from_query(
+            query, (WHOLE_RESULT,), full_cost=full_cost
         )
 
 
@@ -143,7 +94,7 @@ class _QueryAssembler:
     def assemble(
         self, analyzed: AnalyzedQuery, resolution: Resolution
     ) -> np.ndarray:
-        part = resolution.parts[_WHOLE_RESULT]
+        part = resolution.parts[WHOLE_RESULT]
         if part.resolver != "cache":
             return part.rows
         return select_exact(
@@ -165,7 +116,7 @@ class _QueryAccountant:
         result_rows: int,
     ) -> QueryRecord:
         full_cost = analyzed.meta["full_cost"]
-        part = resolution.parts[_WHOLE_RESULT]
+        part = resolution.parts[WHOLE_RESULT]
         return account_answer(
             self.cost_model,
             resolution.report,
@@ -216,7 +167,7 @@ class QueryCacheManager:
         self._used_bytes = 0
         self.pipeline = StagedPipeline(
             analyzer=_QueryAnalyzer(self),
-            resolvers=[_QueryHitResolver(self), _QueryBackendResolver(self)],
+            resolvers=[QueryHitResolver(self), QueryBackendResolver(self)],
             assembler=_QueryAssembler(schema),
             accountant=_QueryAccountant(self.cost_model),
             cost_model=self.cost_model,
@@ -387,9 +338,10 @@ class QueryCacheManager:
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # The QueryResultStore protocol (consumed by the resolver links)
     # ------------------------------------------------------------------
-    def _find_containing(self, query: StarQuery) -> CachedQuery | None:
+    def find_containing(self, query: StarQuery) -> CachedQuery | None:
+        """A cached entry whose query contains ``query``, if any."""
         shape = query.cache_compatible_key()
         for key in self._by_shape.get(shape, ()):  # insertion order
             entry = self._entries.get(key)
@@ -397,21 +349,14 @@ class QueryCacheManager:
                 return entry
         return None
 
-    def _estimate_full_cost(self, query: StarQuery) -> float:
-        """Modelled cost of computing the query at the backend (cold)."""
-        if self.backend.chunked_file is not None:
-            grid = self.backend.space.grid(query.groupby)
-            numbers = grid.chunk_numbers_for_selection(query.selections)
-            pages, tuples = self.backend.estimate_chunk_work(
-                query.groupby, numbers
-            )
-            return self.cost_model.backend_time(pages, tuples)
-        pages = self.backend.estimate_bitmap_pages(query)
-        return self.cost_model.backend_time(pages)
+    def note_hit(self, entry: CachedQuery) -> None:
+        """Tell the replacement policy ``entry`` was referenced."""
+        self.policy.on_access(entry.query.exact_key())
 
-    def _admit(
+    def admit(
         self, query: StarQuery, rows: np.ndarray, benefit: float
     ) -> None:
+        """Admit a freshly computed whole result (evicting as needed)."""
         entry = CachedQuery(query=query, rows=rows, benefit=benefit)
         if entry.size_bytes > self.capacity_bytes:
             return

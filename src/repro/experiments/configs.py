@@ -23,7 +23,7 @@ from dataclasses import dataclass, replace
 from repro.exceptions import ExperimentError
 from repro.schema.builder import build_star_schema
 from repro.schema.star import StarSchema
-from repro.storage.record import groupby_record_format
+from repro.storage import groupby_record_format
 
 __all__ = [
     "TABLE1_CARDINALITIES",

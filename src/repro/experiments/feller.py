@@ -23,7 +23,7 @@ from repro.experiments.fig14 import (
     build_bitmap_setup,
 )
 from repro.experiments.reporting import ExperimentResult
-from repro.storage.chunkedfile import tuple_chunk_numbers
+from repro.storage import tuple_chunk_numbers
 
 __all__ = ["run"]
 

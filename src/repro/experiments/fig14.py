@@ -140,7 +140,7 @@ def run(
                 ("chunked", setup.chunked_engine),
             ):
                 engine.buffer_pool.flush()
-                _, report = engine.answer(query, "bitmap")
+                _, report = engine.answer(query, "bitmap")  # reprolint: ignore[R001] measured device under test
                 totals[name][0] += report.pages_read
                 totals[name][1] += setup.cost_model.time(report)
         n = queries_per_width

@@ -20,7 +20,7 @@ cached per compatibility shape that derivation searches.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.backend.engine import BackendEngine
 from repro.chunks.closure import source_chunk_numbers
 from repro.chunks.grid import ChunkSpace
 from repro.core.cache import ChunkCache
-from repro.core.chunk import CachedChunk
+from repro.core.chunk import CachedChunk, CachedQuery
 from repro.pipeline.stages import (
     AnalyzedQuery,
     ResolvedPart,
@@ -41,16 +41,23 @@ from repro.schema.star import GroupBy, StarSchema
 
 __all__ = [
     "DERIVABLE_AGGREGATES",
+    "WHOLE_RESULT",
     "PartitionResolver",
     "ChunkAdmitter",
     "CacheHitResolver",
     "DerivationResolver",
     "PrefetchResolver",
     "BackendChunkResolver",
+    "QueryResultStore",
+    "QueryHitResolver",
+    "QueryBackendResolver",
 ]
 
 #: Aggregates whose chunk partials can be merged in the middle tier.
 DERIVABLE_AGGREGATES = frozenset({"sum", "count", "min", "max"})
+
+#: The single partition a whole-query answer decomposes into.
+WHOLE_RESULT = 0
 
 
 class PartitionResolver(ABC):
@@ -391,3 +398,86 @@ class BackendChunkResolver(PartitionResolver):
             for number, rows in computed.items()
         }
         return ResolverOutcome(parts=parts, report=report)
+
+
+class QueryResultStore(Protocol):
+    """What the whole-query resolver links need from their host cache.
+
+    :class:`repro.core.query_cache.QueryCacheManager` is the one
+    implementation; the protocol keeps the dependency pointing from the
+    core layer into the pipeline layer (the resolvers never import the
+    manager).
+    """
+
+    backend: BackendEngine
+    miss_path: str
+
+    def find_containing(self, query: StarQuery) -> CachedQuery | None:
+        """A cached entry whose query contains ``query``, if any."""
+
+    def note_hit(self, entry: CachedQuery) -> None:
+        """Tell the replacement policy ``entry`` was referenced."""
+
+    def admit(
+        self, query: StarQuery, rows: np.ndarray, benefit: float
+    ) -> None:
+        """Admit a freshly computed whole result."""
+
+
+class QueryHitResolver(PartitionResolver):
+    """Containment lookup: serve the whole result from a cached superset.
+
+    The query-caching baseline's first chain link — the degenerate
+    analogue of :class:`CacheHitResolver`, with containment in place of
+    chunk splitting.
+    """
+
+    name = "cache"
+
+    def __init__(self, store: QueryResultStore) -> None:
+        self.store = store
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        hit = self.store.find_containing(analyzed.query)
+        if hit is None:
+            return ResolverOutcome()
+        self.store.note_hit(hit)
+        part = ResolvedPart(
+            number=WHOLE_RESULT,
+            rows=hit.rows,
+            resolver=self.name,
+            tuples_from_cache=hit.num_rows,
+            saved=True,
+        )
+        return ResolverOutcome(parts={WHOLE_RESULT: part})
+
+
+class QueryBackendResolver(PartitionResolver):
+    """Terminal link for query caching: evaluate at the backend and admit.
+
+    Total like :class:`BackendChunkResolver` — the single whole-result
+    partition always comes back with rows.
+    """
+
+    name = "backend"
+
+    def __init__(self, store: QueryResultStore) -> None:
+        self.store = store
+
+    def resolve(
+        self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
+    ) -> ResolverOutcome:
+        rows, report = self.store.backend.answer(
+            analyzed.query, self.store.miss_path
+        )
+        self.store.admit(
+            analyzed.query, rows, benefit=analyzed.meta["full_cost"]
+        )
+        part = ResolvedPart(
+            number=WHOLE_RESULT, rows=rows, resolver=self.name
+        )
+        return ResolverOutcome(
+            parts={WHOLE_RESULT: part}, report=report
+        )

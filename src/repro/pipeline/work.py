@@ -13,12 +13,38 @@ re-validated the group-by once per chunk.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.backend.engine import BackendEngine
 from repro.schema.star import GroupBy
 
-__all__ = ["ChunkWorkEstimator"]
+if TYPE_CHECKING:
+    from repro.analysis.cost import CostModel
+    from repro.query.model import StarQuery
+
+__all__ = ["ChunkWorkEstimator", "estimate_query_full_cost"]
+
+
+def estimate_query_full_cost(
+    backend: BackendEngine,
+    cost_model: "CostModel",
+    query: "StarQuery",
+) -> float:
+    """Modelled cost of computing ``query`` at the backend, cache-cold.
+
+    Prices the query through the chunk interface when the engine stores
+    chunked data (the work of every chunk the selection touches), else
+    through the bitmap access path.  This is the whole-query analogue of
+    :class:`ChunkWorkEstimator` and, like it, the only sanctioned home
+    for estimator entry-point calls outside the backend itself (R001).
+    """
+    if backend.chunked_file is not None:
+        grid = backend.space.grid(query.groupby)
+        numbers = grid.chunk_numbers_for_selection(query.selections)
+        pages, tuples = backend.estimate_chunk_work(query.groupby, numbers)
+        return cost_model.backend_time(pages, tuples)
+    pages = backend.estimate_bitmap_pages(query)
+    return cost_model.backend_time(pages)
 
 
 class ChunkWorkEstimator:
