@@ -69,7 +69,7 @@ class CostAccountant(Protocol):
     ) -> QueryRecord: ...
 
 
-@dataclass
+@dataclass(frozen=True)
 class PipelineResult:
     """Everything one pipeline execution produced.
 
@@ -144,13 +144,12 @@ class StagedPipeline:
                         f"resolver {resolver.name!r} returned partitions "
                         f"it was not offered: {sorted(unknown)}"
                     )
-                resolution.parts.update(outcome.parts)
+                resolution.absorb(outcome)
                 outstanding = [
                     n for n in outstanding if n not in outcome.parts
                 ]
                 stage.partitions = len(outcome.parts)
                 if outcome.report is not None:
-                    resolution.report = resolution.report + outcome.report
                     stage.pages_read = outcome.report.pages_read
                     stage.tuples_scanned = outcome.report.tuples_scanned
                     stage.modelled_time = self.cost_model.time(

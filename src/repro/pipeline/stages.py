@@ -93,7 +93,7 @@ class AnalyzedQuery:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class ResolvedPart:
     """One partition's rows, attributed to the resolver that produced it.
 
@@ -117,7 +117,7 @@ class ResolvedPart:
     saved: bool = False
 
 
-@dataclass
+@dataclass(frozen=True)
 class ResolverOutcome:
     """What one resolver returned for the partitions it was offered.
 
@@ -131,19 +131,33 @@ class ResolverOutcome:
     report: CostReport | None = None
 
 
-@dataclass
 class Resolution:
     """Accumulated output of the whole resolver chain.
+
+    The one mutable object in the stage flow: the executor folds every
+    :class:`ResolverOutcome` into it as the chain runs, so it is a plain
+    accumulator class, not a (frozen) dataclass value (R003).
 
     Attributes:
         parts: Every partition's resolved part.
         report: Merged physical-work report across all resolvers.
     """
 
-    parts: dict[int, ResolvedPart] = field(default_factory=dict)
-    report: CostReport = field(
-        default_factory=lambda: CostReport(access_path="chunk")
-    )
+    def __init__(
+        self,
+        parts: dict[int, ResolvedPart] | None = None,
+        report: CostReport | None = None,
+    ) -> None:
+        self.parts: dict[int, ResolvedPart] = dict(parts or {})
+        self.report: CostReport = (
+            report if report is not None else CostReport(access_path="chunk")
+        )
+
+    def absorb(self, outcome: ResolverOutcome) -> None:
+        """Fold one resolver's outcome into the accumulated state."""
+        self.parts.update(outcome.parts)
+        if outcome.report is not None:
+            self.report = self.report + outcome.report
 
     def attribution(self) -> dict[str, int]:
         """Resolver name -> number of partitions it resolved."""

@@ -7,15 +7,17 @@ time, the modelled time attributed to the stage's physical work, and the
 partition counts it handled, plus a per-resolver attribution map telling
 which link of the chain answered which share of the query.
 
-Traces are deliberately dependency-free (plain dataclasses over floats
-and ints) so :class:`repro.core.metrics.StreamMetrics` can aggregate them
-without importing the pipeline package.
+Traces are deliberately dependency-free (plain objects over floats and
+ints) so :class:`repro.core.metrics.StreamMetrics` can aggregate them
+without importing the pipeline package.  Both classes are mutable
+accumulators — :class:`StageTimer` fills a :class:`StageTrace` in as the
+stage runs, and the executor appends to an :class:`ExecutionTrace` stage
+by stage — so they are plain classes, not frozen pipeline values (R003).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Iterable
 
 __all__ = [
@@ -27,7 +29,6 @@ __all__ = [
 ]
 
 
-@dataclass
 class StageTrace:
     """Instrumentation of one pipeline stage for one query.
 
@@ -44,15 +45,33 @@ class StageTrace:
         tuples_scanned: Backend tuples the stage pushed through operators.
     """
 
-    name: str
-    wall_seconds: float = 0.0
-    modelled_time: float = 0.0
-    partitions: int = 0
-    pages_read: int = 0
-    tuples_scanned: int = 0
+    def __init__(
+        self,
+        name: str,
+        wall_seconds: float = 0.0,
+        modelled_time: float = 0.0,
+        partitions: int = 0,
+        pages_read: int = 0,
+        tuples_scanned: int = 0,
+    ) -> None:
+        self.name = name
+        self.wall_seconds = wall_seconds
+        self.modelled_time = modelled_time
+        self.partitions = partitions
+        self.pages_read = pages_read
+        self.tuples_scanned = tuples_scanned
+
+    def __repr__(self) -> str:
+        return (
+            f"StageTrace(name={self.name!r}, "
+            f"wall_seconds={self.wall_seconds!r}, "
+            f"modelled_time={self.modelled_time!r}, "
+            f"partitions={self.partitions!r}, "
+            f"pages_read={self.pages_read!r}, "
+            f"tuples_scanned={self.tuples_scanned!r})"
+        )
 
 
-@dataclass
 class ExecutionTrace:
     """Full per-stage instrumentation of one answered query.
 
@@ -66,11 +85,19 @@ class ExecutionTrace:
         modelled_time: The answer's total modelled execution time.
     """
 
-    stages: list[StageTrace] = field(default_factory=list)
-    resolved_by: dict[str, int] = field(default_factory=dict)
-    partitions_total: int = 0
-    backend_pages: int = 0
-    modelled_time: float = 0.0
+    def __init__(
+        self,
+        stages: list[StageTrace] | None = None,
+        resolved_by: dict[str, int] | None = None,
+        partitions_total: int = 0,
+        backend_pages: int = 0,
+        modelled_time: float = 0.0,
+    ) -> None:
+        self.stages: list[StageTrace] = list(stages or [])
+        self.resolved_by: dict[str, int] = dict(resolved_by or {})
+        self.partitions_total = partitions_total
+        self.backend_pages = backend_pages
+        self.modelled_time = modelled_time
 
     def stage(self, name: str) -> StageTrace | None:
         """The first stage with the given name, or None."""
