@@ -25,6 +25,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import invariants
 from repro.exceptions import ChunkingError
 from repro.schema.dimension import Dimension
 
@@ -176,6 +177,8 @@ class DimensionChunking:
             for level, level_ranges in self._ranges.items()
         }
         self._child_spans = self._compute_child_spans()
+        if invariants.deep():
+            invariants.check_closure(self)
 
     def _compute_child_spans(self) -> dict[int, list[tuple[int, int]]]:
         """For each level ``l`` range index, its range-index span at ``l+1``.

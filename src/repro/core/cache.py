@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import invariants
 from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy, make_policy
 from repro.exceptions import CacheError
@@ -134,6 +135,7 @@ class ChunkCache:
         self.policy.on_insert(entry.key, entry.benefit)
         if existing is None:
             self.stats.insertions += 1
+        self._check_accounting()
         return True
 
     def invalidate(self, key: ChunkKey) -> bool:
@@ -143,6 +145,7 @@ class ChunkCache:
             return False
         self._used_bytes -= entry.size_bytes
         self.policy.remove(key)
+        self._check_accounting()
         return True
 
     def clear(self) -> None:
@@ -165,3 +168,13 @@ class ChunkCache:
             )
         self._used_bytes -= victim.size_bytes
         self.stats.evictions += 1
+
+    def _check_accounting(self) -> None:
+        """Byte/benefit conservation after a mutation (see invariants)."""
+        if invariants.enabled():
+            invariants.check_cache_accounting(
+                self._used_bytes,
+                self.capacity_bytes,
+                self._entries.values() if invariants.deep() else None,
+                owner="chunk cache",
+            )

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import invariants
 from repro.analysis.cost import CostModel
 from repro.backend.engine import BackendEngine
 from repro.chunks.grid import ChunkSpace
@@ -107,7 +108,10 @@ class ChunkAnalyzer:
         grid = self.space.grid(query.groupby)
         numbers = grid.chunk_numbers_for_selection(query.selections)
         self.estimator.ensure(query.groupby, numbers)
-        return AnalyzedQuery.from_query(query, tuple(numbers))
+        analyzed = AnalyzedQuery.from_query(query, tuple(numbers))
+        if invariants.deep():
+            invariants.check_partition(analyzed, grid)
+        return analyzed
 
 
 class ChunkAssembler:

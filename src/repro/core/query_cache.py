@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import invariants
 from repro.analysis.cost import CostModel
 from repro.backend.engine import BackendEngine
 from repro.core.chunk import CachedQuery
@@ -325,6 +326,17 @@ class QueryCacheManager:
         keys = self._by_shape.get(entry.query.cache_compatible_key())
         if keys is not None and key in keys:
             keys.remove(key)
+        self._check_accounting()
+
+    def _check_accounting(self) -> None:
+        """Byte/benefit conservation after a mutation (see invariants)."""
+        if invariants.enabled():
+            invariants.check_cache_accounting(
+                self._used_bytes,
+                self.capacity_bytes,
+                self._entries.values() if invariants.deep() else None,
+                owner="query cache",
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -374,6 +386,7 @@ class QueryCacheManager:
         shape = query.cache_compatible_key()
         self._by_shape.setdefault(shape, []).append(key)
         self.policy.on_insert(key, benefit)
+        self._check_accounting()
 
     def _evict_one(self, incoming_benefit: float) -> None:
         if not self._entries:

@@ -70,3 +70,13 @@ class BackendError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or a run failed."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant check failed (see :mod:`repro.invariants`).
+
+    Raised when internal state contradicts a property the design
+    guarantees (chunk-range closure, partition coverage, cache byte
+    conservation, trace conservation).  Always indicates a library bug,
+    never a caller mistake.
+    """

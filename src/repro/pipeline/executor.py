@@ -22,6 +22,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro import invariants
 from repro.analysis.cost import CostModel
 from repro.core.metrics import QueryRecord
 from repro.exceptions import PipelineError
@@ -174,6 +175,8 @@ class StagedPipeline:
 
         trace.backend_pages = resolution.report.pages_read
         trace.modelled_time = record.time
+        if invariants.enabled():
+            invariants.check_trace_conservation(trace, record)
         return PipelineResult(
             rows=rows,
             record=record,

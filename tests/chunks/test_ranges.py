@@ -1,5 +1,7 @@
 """Tests for repro.chunks.ranges — the CreateChunkRanges algorithm."""
 
+import math
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -207,3 +209,41 @@ def test_closure_property_on_random_hierarchies(data):
         lo, hi = chunking.descend_span(1, index, leaf)
         covered.extend(range(lo, hi))
     assert covered == list(range(chunking.num_chunks(leaf)))
+
+
+class TestClosurePropertyRandomized:
+    """CreateChunkRanges satisfies closure for arbitrary hierarchies.
+
+    The paper's Section 3.4 claim, verified structurally by
+    :func:`repro.invariants.check_closure`: at every level the ranges
+    are disjoint, contiguous, and complete, and every parent range maps
+    to a whole, in-order span of child ranges.
+    """
+
+    @given(
+        cardinalities=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=4
+        ).map(
+            lambda growth: [
+                # Cumulative products: each level at least as populous
+                # as its parent, up to 12**4 members at the leaf.
+                math.prod(growth[: i + 1])
+                for i in range(len(growth))
+            ]
+        ),
+        sizes_seed=st.randoms(use_true_random=False),
+        fanout=st.sampled_from(["even", "random"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_closure_holds(self, cardinalities, sizes_seed, fanout, seed):
+        from repro.invariants import check_closure
+
+        dim = build_dimension(
+            "D", cardinalities, fanout=fanout, seed=seed
+        )
+        desired = {
+            level: sizes_seed.randint(1, dim.cardinality(level))
+            for level in range(1, len(cardinalities) + 1)
+        }
+        check_closure(DimensionChunking(dim, desired))
