@@ -15,6 +15,7 @@ import sys
 from repro import __version__
 from repro.experiments.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import ExperimentResult
 
 USAGE = """\
 usage: python -m repro <command> [options]
@@ -87,7 +88,7 @@ def _cmd_report(argv: list[str]) -> int:
     return 0
 
 
-def _markdown_body(result) -> str:
+def _markdown_body(result: ExperimentResult) -> str:
     from repro.experiments.reporting import format_markdown
 
     return format_markdown(result.columns, result.rows)

@@ -697,7 +697,9 @@ class BackendEngine:
         report.result_tuples = len(rows)
         return rows, report
 
-    def explain(self, query: StarQuery, access_path: str = "auto") -> dict:
+    def explain(
+        self, query: StarQuery, access_path: str = "auto"
+    ) -> dict[str, object]:
         """Describe how a query would be evaluated, without running it.
 
         Returns a dictionary with the resolved access path, the chunk
@@ -714,7 +716,9 @@ class BackendEngine:
             access_path = (
                 "bitmap" if has_selection and self.bitmaps else "scan"
             )
-        plan: dict = {"access_path": access_path, "groupby": query.groupby}
+        plan: dict[str, object] = {
+            "access_path": access_path, "groupby": query.groupby,
+        }
         if access_path == "chunk" or self.chunked_file is not None:
             grid = self.space.grid(query.groupby)
             numbers = grid.chunk_numbers_for_selection(query.selections)

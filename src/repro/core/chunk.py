@@ -46,7 +46,7 @@ class ChunkKey:
     aggregates: tuple[tuple[str, str], ...]
     fixed_predicates: frozenset[str] = frozenset()
 
-    def compatible_key(self) -> tuple:
+    def compatible_key(self) -> tuple[object, ...]:
         """The shape part of the key (everything but the chunk number)."""
         return (self.groupby, self.aggregates, self.fixed_predicates)
 

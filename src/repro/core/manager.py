@@ -266,7 +266,7 @@ class ChunkCacheManager:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def describe_cache(self) -> dict:
+    def describe_cache(self) -> dict[str, object]:
         """A snapshot of cache composition for debugging and reports.
 
         Returns a dictionary with the byte usage, entry count, a

@@ -29,6 +29,7 @@ naturally here:
 
 from __future__ import annotations
 
+from typing import Sequence
 
 import numpy as np
 
@@ -54,8 +55,8 @@ from repro.pipeline.stages import (
 )
 from repro.pipeline.work import estimate_query_full_cost
 from repro.query.containment import query_contains
-from repro.query.model import StarQuery
-from repro.query.predicates import selection_cardinality
+from repro.query.model import QueryKey, StarQuery
+from repro.query.predicates import Selection, selection_cardinality
 from repro.schema.star import StarSchema
 
 __all__ = ["QueryCacheManager"]
@@ -163,8 +164,8 @@ class QueryCacheManager:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.miss_path = miss_path
         self.metrics = StreamMetrics()
-        self._entries: dict[tuple, CachedQuery] = {}
-        self._by_shape: dict[tuple, list[tuple]] = {}
+        self._entries: dict[QueryKey, CachedQuery] = {}
+        self._by_shape: dict[QueryKey, list[QueryKey]] = {}
         self._used_bytes = 0
         self.pipeline = StagedPipeline(
             analyzer=_QueryAnalyzer(self),
@@ -185,7 +186,7 @@ class QueryCacheManager:
         """Bytes currently charged against the budget."""
         return self._used_bytes
 
-    def describe_cache(self) -> dict:
+    def describe_cache(self) -> dict[str, object]:
         """A snapshot of cache composition for debugging and reports.
 
         Single pass over the entries, mirroring the chunk scheme's
@@ -193,7 +194,7 @@ class QueryCacheManager:
         redundancy ratio, and the stream's per-stage / per-resolver
         trace aggregates.
         """
-        per_shape: dict[tuple, dict[str, float]] = {}
+        per_shape: dict[QueryKey, dict[str, float]] = {}
         for entry in self._entries.values():
             bucket = per_shape.setdefault(
                 entry.query.cache_compatible_key(),
@@ -238,7 +239,7 @@ class QueryCacheManager:
                     self.schema.dimensions, entries[0].query.groupby
                 )
             ]
-            cells: set[tuple] = set()
+            cells: set[tuple[int, ...]] = set()
             for entry in entries:
                 count = selection_cardinality(
                     entry.query.selections, domain_sizes
@@ -253,8 +254,10 @@ class QueryCacheManager:
         return stored / distinct
 
     @staticmethod
-    def _cell_ids(selections, domain_sizes) -> set[tuple]:
-        spans = []
+    def _cell_ids(
+        selections: Selection, domain_sizes: Sequence[int]
+    ) -> set[tuple[int, ...]]:
+        spans: list[range] = []
         for interval, size in zip(selections, domain_sizes):
             if interval is None:
                 spans.append(range(size))
@@ -317,7 +320,7 @@ class QueryCacheManager:
                     break
         return removed
 
-    def _drop(self, key: tuple) -> None:
+    def _drop(self, key: QueryKey) -> None:
         entry = self._entries.pop(key, None)
         if entry is None:
             return

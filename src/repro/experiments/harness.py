@@ -235,7 +235,7 @@ def make_mix_stream(
 def _assert_same_rows(
     expected: np.ndarray, actual: np.ndarray, query: object
 ) -> None:
-    def canon(rows: np.ndarray) -> list[tuple]:
+    def canon(rows: np.ndarray) -> list[tuple[object, ...]]:
         return sorted(
             tuple(
                 round(v, 6) if isinstance(v, float) else v for v in row

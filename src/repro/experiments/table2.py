@@ -14,6 +14,7 @@ from repro.experiments.configs import (
     build_paper_schema,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.query.model import StarQuery
 from repro.workload.generator import EQPR, PROXIMITY, RANDOM, QueryGenerator
 
 __all__ = ["run"]
@@ -63,7 +64,7 @@ def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
     return result
 
 
-def _is_shift_of(query, previous) -> bool:
+def _is_shift_of(query: StarQuery, previous: StarQuery) -> bool:
     """Heuristic proximity detector: same widths on every selected dim."""
     for a, b in zip(query.selections, previous.selections):
         if (a is None) != (b is None):

@@ -41,7 +41,7 @@ class QueryAnswerer(Protocol):
         """Answer one query, updating the cache and stream metrics."""
         ...
 
-    def describe_cache(self) -> dict:
+    def describe_cache(self) -> dict[str, object]:
         """A snapshot of cache composition and per-stage aggregates."""
         ...
 

@@ -101,7 +101,7 @@ class ChunkAdmitter:
         self.space = space
         self.cache = cache
         self.estimator = estimator
-        self._seen_groupbys: dict[tuple, set[GroupBy]] = {}
+        self._seen_groupbys: dict[tuple[object, ...], set[GroupBy]] = {}
 
     def admit(
         self, query: StarQuery, chunks: Mapping[int, np.ndarray]
@@ -124,7 +124,7 @@ class ChunkAdmitter:
         shape = (query.aggregates, query.fixed_predicates)
         self._seen_groupbys.setdefault(shape, set()).add(query.groupby)
 
-    def seen_groupbys(self, shape: tuple) -> Iterable[GroupBy]:
+    def seen_groupbys(self, shape: tuple[object, ...]) -> Iterable[GroupBy]:
         """Group-bys ever cached under a compatibility shape."""
         return self._seen_groupbys.get(shape, ())
 

@@ -33,7 +33,11 @@ from repro.query.predicates import Interval, Selection, normalize_interval
 from repro.schema.star import GroupBy, StarSchema
 from repro.storage.record import RecordFormat, groupby_record_format
 
-__all__ = ["StarQuery"]
+__all__ = ["QueryKey", "StarQuery"]
+
+#: Hashable identity tuple derived from a query; contents are
+#: heterogeneous (group-by, selections, aggregate list, predicate tags).
+QueryKey = tuple[object, ...]
 
 
 @dataclass(frozen=True)
@@ -240,7 +244,7 @@ class StarQuery:
     # ------------------------------------------------------------------
     # Derived properties
     # ------------------------------------------------------------------
-    def cache_compatible_key(self) -> tuple:
+    def cache_compatible_key(self) -> QueryKey:
         """Key under which cached results of this *shape* are reusable.
 
         Two queries can share cached data iff group-by, aggregate list and
@@ -249,7 +253,7 @@ class StarQuery:
         """
         return (self.groupby, self.aggregates, self.fixed_predicates)
 
-    def exact_key(self) -> tuple:
+    def exact_key(self) -> QueryKey:
         """Full identity key (used by the query-level cache)."""
         return (
             self.groupby,

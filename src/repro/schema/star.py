@@ -166,7 +166,9 @@ class StarSchema:
         Yields all ``prod(leaf_level_i + 1)`` combinations in row-major
         order over dimension levels.
         """
-        def recurse(prefix: tuple[int, ...], rest: Sequence[Dimension]):
+        def recurse(
+            prefix: tuple[int, ...], rest: Sequence[Dimension]
+        ) -> Iterator[GroupBy]:
             if not rest:
                 yield prefix
                 return

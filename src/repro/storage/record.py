@@ -67,11 +67,11 @@ class RecordFormat:
         """An empty (or zeroed) structured array of this format."""
         return np.zeros(count, dtype=self.dtype)
 
-    def from_tuples(self, rows: Sequence[tuple]) -> np.ndarray:
+    def from_tuples(self, rows: Sequence[tuple[object, ...]]) -> np.ndarray:
         """Build a structured array from Python tuples."""
         return np.array([tuple(row) for row in rows], dtype=self.dtype)
 
-    def to_tuples(self, records: np.ndarray) -> list[tuple]:
+    def to_tuples(self, records: np.ndarray) -> list[tuple[object, ...]]:
         """Convert a structured array back to plain Python tuples."""
         return [tuple(rec.item()) for rec in records]
 
