@@ -1,0 +1,20 @@
+PYTHON ?= python
+
+.PHONY: lint test smoke
+
+# Static-analysis gate (see docs/STATIC_ANALYSIS.md).  mypy is optional
+# locally — CI always runs it; here it is skipped when not installed.
+lint:
+	$(PYTHON) -m compileall -q src tools
+	$(PYTHON) -m tools.reprolint src tests
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping strict type check (CI runs it)"; \
+	fi
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro run --smoke

@@ -85,3 +85,17 @@ class TestPathsAndCli:
     def test_cli_select_unknown_code_errors(self):
         with pytest.raises(SystemExit):
             main(["--select", "R999", "src"])
+
+
+class TestRepoGate:
+    def test_repo_is_clean(self):
+        """The tree itself passes every rule — the suite pins the gate.
+
+        A violation anywhere under ``src/`` or ``tests/`` fails this
+        test with the rendered findings, so the lint gate cannot rot
+        even where CI is not running the dedicated job.
+        """
+        root = Path(__file__).resolve().parents[2]
+        violations = lint_paths([root / "src", root / "tests"])
+        rendered = "\n".join(v.render() for v in violations)
+        assert not violations, f"reprolint violations:\n{rendered}"
