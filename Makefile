@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: lint test smoke
+.PHONY: lint test coverage smoke
 
 # Static-analysis gate (see docs/STATIC_ANALYSIS.md).  mypy is optional
 # locally — CI always runs it; here it is skipped when not installed.
@@ -15,6 +15,11 @@ lint:
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Local, dependency-free mirror of CI's pytest-cov gate (slower: every
+# line event is traced).  CI enforces the same floor via pytest-cov.
+coverage:
+	PYTHONPATH=src $(PYTHON) -m tools.checkcov --fail-under 93
 
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro run --smoke

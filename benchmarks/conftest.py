@@ -9,6 +9,7 @@ be refreshed from the latest run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,7 @@ import pytest
 from repro.experiments.reporting import ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -27,6 +29,25 @@ def record_result():
         path = RESULTS_DIR / f"{result.experiment_id}.txt"
         path.write_text(result.render() + "\n", encoding="utf-8")
         return result
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a machine-readable benchmark payload at the repo root.
+
+    ``record_json("serve", payload)`` produces ``BENCH_serve.json`` —
+    the artifact CI and throughput-tracking dashboards consume.
+    """
+
+    def _record(name: str, payload: dict) -> Path:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
 
     return _record
 

@@ -1,0 +1,104 @@
+"""Serving-layer throughput benchmark — 8 user streams, 1..8 workers.
+
+Runs the multiuser Q80 workload through the concurrent serving layer at
+1, 2, 4 and 8 worker threads under the fair schedule and reports:
+
+- **wall_qps** — real queries/second of the whole session (GIL-bound,
+  so roughly flat across worker counts on this simulation);
+- **simulated throughput** — queries per simulated second, where each
+  worker's makespan is the modelled execution time of the queries it
+  ran; this is the number a multi-core deployment of the architecture
+  would observe, and it must scale with the worker count.
+
+Shape asserted: every worker count produces bit-identical accounting
+totals (the fair schedule's determinism contract), and 4 workers beat
+1 worker by more than 1.5x in simulated throughput.  The full scan is
+written to ``BENCH_serve.json`` at the repo root.
+"""
+
+from repro.experiments.configs import DEFAULT_SCALE
+from repro.experiments.harness import get_system
+from repro.experiments.multiuser import run_shared_concurrent, user_streams
+
+WORKER_COUNTS = (1, 2, 4, 8)
+NUM_STREAMS = 8
+
+
+def totals(report):
+    metrics = report.metrics
+    return repr(
+        (
+            metrics.cost_saving_ratio(),
+            metrics.mean_time(),
+            metrics.total_pages_read(),
+            len(metrics),
+        )
+    )
+
+
+def test_bench_serve(benchmark, record_json):
+    system = get_system(DEFAULT_SCALE)
+    streams = user_streams(system, num_users=NUM_STREAMS)
+
+    def scan():
+        return {
+            workers: run_shared_concurrent(
+                system, streams, max_workers=workers
+            )
+            for workers in WORKER_COUNTS
+        }
+
+    reports = benchmark.pedantic(scan, rounds=1, iterations=1)
+
+    # Determinism contract: the worker count changes throughput only,
+    # never a single accounting number.
+    baseline = totals(reports[1])
+    for workers in WORKER_COUNTS[1:]:
+        assert totals(reports[workers]) == baseline, (
+            f"{workers}-worker totals diverged from sequential"
+        )
+
+    base = reports[1].simulated_throughput
+    speedups = {
+        workers: reports[workers].simulated_throughput / base
+        for workers in WORKER_COUNTS
+    }
+    assert speedups[4] > 1.5, (
+        f"4-worker simulated speedup only {speedups[4]:.2f}x"
+    )
+    assert reports[8].simulated_makespan <= reports[1].simulated_makespan
+
+    record_json(
+        "serve",
+        {
+            "experiment": "serve-throughput",
+            "scale": "default",
+            "streams": NUM_STREAMS,
+            "queries": reports[1].queries,
+            "schedule": "fair",
+            "totals": baseline,
+            "runs": [
+                {
+                    "workers": workers,
+                    "wall_seconds": reports[workers].wall_seconds,
+                    "wall_qps": (
+                        reports[workers].queries
+                        / reports[workers].wall_seconds
+                    ),
+                    "simulated_makespan": (
+                        reports[workers].simulated_makespan
+                    ),
+                    "simulated_throughput": (
+                        reports[workers].simulated_throughput
+                    ),
+                    "simulated_speedup": speedups[workers],
+                    "backend_lock_acquisitions": (
+                        reports[workers].contention["backend"][
+                            "lock_acquisitions"
+                        ]
+                    ),
+                }
+                for workers in WORKER_COUNTS
+            ],
+        },
+    )

@@ -14,11 +14,26 @@ indexes, and the buffer pool, and evaluates star-join requests:
 
 Every method returns the result together with a
 :class:`~repro.backend.plans.CostReport` of the physical work performed.
+
+Thread safety
+-------------
+The engine's public entry points are serialized on one re-entrant lock
+(:func:`_synchronized`): :func:`~repro.backend.plans.measure_cost`
+brackets *global* disk counters, so two interleaved evaluations would
+cross-charge each other's I/O.  The lock makes every cost window
+disjoint — under the concurrent serving layer the sum of per-query
+``pages_read`` equals the disk's total read delta exactly, which the
+soak harness asserts.  Lock waits accumulate in ``lock_wait_seconds``
+and are forwarded to ``lock_wait_recorder`` when a caller (the serving
+layer) installs one; the backend itself knows nothing about traces.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import functools
+import threading
+import time
+from typing import Callable, Concatenate, Mapping, ParamSpec, Sequence, TypeVar
 
 import numpy as np
 
@@ -46,6 +61,41 @@ __all__ = ["BackendEngine"]
 
 #: Valid physical organizations of the stored fact table.
 ORGANIZATIONS = ("chunked", "random")
+
+_P = ParamSpec("_P")
+_R = TypeVar("_R")
+
+
+def _synchronized(
+    method: Callable[Concatenate["BackendEngine", _P], _R],
+) -> Callable[Concatenate["BackendEngine", _P], _R]:
+    """Serialize one public entry point on the engine's big lock.
+
+    The lock is re-entrant: ``answer(access_path="chunk")`` calls
+    :meth:`~BackendEngine.compute_chunks` and ``explain`` calls the
+    estimators, all under the outer acquisition.  Contended waits are
+    counted and forwarded to the installed recorder (if any) so callers
+    can attribute them.
+    """
+
+    @functools.wraps(method)
+    def wrapper(
+        self: "BackendEngine", *args: _P.args, **kwargs: _P.kwargs
+    ) -> _R:
+        start = time.perf_counter()
+        self._lock.acquire()
+        try:
+            waited = time.perf_counter() - start
+            self.lock_acquisitions += 1
+            self.lock_wait_seconds += waited
+            recorder = self.lock_wait_recorder
+            if recorder is not None and waited > 0.0:
+                recorder(waited)
+            return method(self, *args, **kwargs)
+        finally:
+            self._lock.release()
+
+    return wrapper
 
 
 class BackendEngine:
@@ -98,6 +148,14 @@ class BackendEngine:
         # "extra space kept in each chunk" for updates.
         self.delta_file: FactFile | None = None
         self._loaded = False
+        # Big engine lock (see the module docstring).  Re-entrant so the
+        # relational interface can route through the chunk interface.
+        self._lock = threading.RLock()
+        self.lock_wait_seconds = 0.0
+        self.lock_acquisitions = 0
+        # Optional hook (installed by the serving layer) receiving each
+        # contended wait, e.g. the pipeline trace's blocked clock.
+        self.lock_wait_recorder: Callable[[float], None] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -195,6 +253,7 @@ class BackendEngine:
     # ------------------------------------------------------------------
     # Materialized aggregate tables (Section 2.4)
     # ------------------------------------------------------------------
+    @_synchronized
     def materialize(self, groupby: Sequence[int]) -> None:
         """Precompute one aggregate table and store it chunk-organized.
 
@@ -273,6 +332,7 @@ class BackendEngine:
     # ------------------------------------------------------------------
     # Chunk interface (Section 5.2.3)
     # ------------------------------------------------------------------
+    @_synchronized
     def compute_chunks(
         self,
         groupby: Sequence[int],
@@ -424,6 +484,7 @@ class BackendEngine:
             tuples += count
         return pages, tuples
 
+    @_synchronized
     def estimate_chunk_work(
         self, groupby: Sequence[int], numbers: Sequence[int]
     ) -> tuple[int, int]:
@@ -442,6 +503,7 @@ class BackendEngine:
         )
         return self._source_chunk_work(source_file, source_numbers)
 
+    @_synchronized
     def estimate_chunk_work_batch(
         self, groupby: Sequence[int], numbers: Sequence[int]
     ) -> dict[int, tuple[int, int]]:
@@ -478,6 +540,7 @@ class BackendEngine:
     # Updates (Section 5.3: "To allow for updates, some extra space can
     # be kept in each chunk.")
     # ------------------------------------------------------------------
+    @_synchronized
     def append_records(self, records: np.ndarray) -> list[int]:
         """Append new fact tuples without reorganizing the chunked file.
 
@@ -539,6 +602,7 @@ class BackendEngine:
         keep = np.isin(numbers, np.fromiter(base_numbers, dtype=np.int64))
         return delta[keep]
 
+    @_synchronized
     def reorganize(self) -> None:
         """Merge the delta region back into a freshly clustered file.
 
@@ -579,6 +643,7 @@ class BackendEngine:
     # ------------------------------------------------------------------
     # Relational interface
     # ------------------------------------------------------------------
+    @_synchronized
     def answer(
         self, query: StarQuery, access_path: str = "auto"
     ) -> tuple[np.ndarray, CostReport]:
@@ -697,6 +762,7 @@ class BackendEngine:
         report.result_tuples = len(rows)
         return rows, report
 
+    @_synchronized
     def explain(
         self, query: StarQuery, access_path: str = "auto"
     ) -> dict[str, object]:
@@ -747,6 +813,7 @@ class BackendEngine:
     # ------------------------------------------------------------------
     # Estimation helpers for the cache layers
     # ------------------------------------------------------------------
+    @_synchronized
     def estimate_bitmap_pages(self, query: StarQuery) -> int:
         """Expected page reads of the bitmap path (index + data pages).
 

@@ -11,13 +11,14 @@ queries — the split of a query into present and missing chunks lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro import invariants
 from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy, make_policy
 from repro.exceptions import CacheError
 
-__all__ = ["ChunkCacheStats", "ChunkCache"]
+__all__ = ["ChunkCacheStats", "ChunkStore", "ChunkCache"]
 
 
 @dataclass
@@ -41,6 +42,65 @@ class ChunkCacheStats:
         if not self.lookups:
             return 0.0
         return self.hits / self.lookups
+
+
+@runtime_checkable
+class ChunkStore(Protocol):
+    """What the manager and resolver chain need from a chunk cache.
+
+    :class:`ChunkCache` is the canonical single-threaded implementation;
+    :class:`repro.serve.ShardedChunkCache` is the lock-striped concurrent
+    one.  The pipeline layers are typed against this protocol so either
+    store plugs into :class:`~repro.core.manager.ChunkCacheManager`
+    unchanged — the serving layer stays above, never inside, the core.
+    """
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total byte budget across the whole store."""
+        ...
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        ...
+
+    @property
+    def stats(self) -> "ChunkCacheStats":
+        """Hit/miss/eviction counters (aggregated for sharded stores)."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: ChunkKey) -> bool: ...
+
+    def get(self, key: ChunkKey) -> CachedChunk | None:
+        """Lookup one chunk; hits refresh its replacement state."""
+        ...
+
+    def peek(self, key: ChunkKey) -> CachedChunk | None:
+        """Entry lookup without touching stats or replacement state."""
+        ...
+
+    def put(self, entry: CachedChunk) -> bool:
+        """Insert a chunk, evicting as needed; False if rejected."""
+        ...
+
+    def invalidate(self, key: ChunkKey) -> bool:
+        """Drop one entry; False if absent."""
+        ...
+
+    def clear(self) -> None:
+        """Drop everything (stats are kept)."""
+        ...
+
+    def keys(self) -> list[ChunkKey]:
+        """All resident chunk keys (snapshot)."""
+        ...
+
+    def snapshot(self) -> list[tuple[ChunkKey, CachedChunk]]:
+        """Point-in-time ``(key, entry)`` pairs."""
+        ...
 
 
 class ChunkCache:

@@ -41,7 +41,7 @@ from repro.analysis.cost import CostModel
 from repro.backend.engine import BackendEngine
 from repro.chunks.grid import ChunkSpace
 from repro.chunks.closure import source_spans
-from repro.core.cache import ChunkCache
+from repro.core.cache import ChunkStore
 from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.exceptions import CacheError
 from repro.pipeline.executor import StagedPipeline
@@ -204,7 +204,7 @@ class ChunkCacheManager:
         schema: StarSchema,
         space: ChunkSpace,
         backend: BackendEngine,
-        cache: ChunkCache,
+        cache: ChunkStore,
         cost_model: CostModel | None = None,
         aggregate_in_cache: bool = False,
         prefetch_drilldown: bool = False,
@@ -272,7 +272,10 @@ class ChunkCacheManager:
         Returns a dictionary with the byte usage, entry count, a
         per-group-by breakdown (resident chunks, bytes, total benefit) —
         handy for seeing what the replacement policy is protecting — and
-        the stream's per-stage / per-resolver trace aggregates.
+        the stream's per-stage / per-resolver trace aggregates.  When
+        the store is sharded (exposes a callable ``contention()``), the
+        snapshot gains a ``"shards"`` entry with lock-contention and
+        shard-skew metrics.
         """
         per_groupby: dict[GroupBy, dict[str, float]] = {}
         for key, entry in self.cache.snapshot():
@@ -282,7 +285,7 @@ class ChunkCacheManager:
             bucket["chunks"] += 1
             bucket["bytes"] += entry.size_bytes
             bucket["benefit"] += entry.benefit
-        return {
+        out: dict[str, object] = {
             "used_bytes": self.cache.used_bytes,
             "capacity_bytes": self.cache.capacity_bytes,
             "entries": len(self.cache),
@@ -298,6 +301,10 @@ class ChunkCacheManager:
             "stages": self.metrics.stage_summary(),
             "resolved_by": self.metrics.resolver_summary(),
         }
+        contention = getattr(self.cache, "contention", None)
+        if callable(contention):
+            out["shards"] = contention()
+        return out
 
     # ------------------------------------------------------------------
     # Invalidation after base-table updates

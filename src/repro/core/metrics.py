@@ -123,6 +123,19 @@ class StreamMetrics:
         if trace is not None:
             self._traces.append(trace)
 
+    def absorb(self, other: "StreamMetrics") -> None:
+        """Append another stream's records and traces, preserving order.
+
+        The concurrent serving layer accumulates one ``StreamMetrics``
+        per user stream and merges them in *stream-name* order (never
+        completion order), so a merged session is deterministic however
+        the workers were scheduled.  All headline metrics here are
+        order-independent sums or ratios of sums, so a merge equals the
+        sequential interleaved run's totals exactly.
+        """
+        self._records.extend(other._records)
+        self._traces.extend(other._traces)
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -200,8 +213,10 @@ class StreamMetrics:
         """Per-stage totals over all recorded traces.
 
         Returns ``stage name -> {"calls", "wall_seconds",
-        "modelled_time", "partitions", "pages_read", "tuples_scanned"}``
-        summed across the stream, in first-seen stage order.
+        "modelled_time", "partitions", "pages_read", "tuples_scanned",
+        "lock_wait_seconds"}`` summed across the stream, in first-seen
+        stage order.  ``lock_wait_seconds`` is read duck-typed (defaults
+        to 0.0) so pre-serving traces aggregate unchanged.
         """
         totals: dict[str, dict[str, float]] = {}
         for trace in self._traces:
@@ -215,6 +230,7 @@ class StreamMetrics:
                         "partitions": 0.0,
                         "pages_read": 0.0,
                         "tuples_scanned": 0.0,
+                        "lock_wait_seconds": 0.0,
                     },
                 )
                 bucket["calls"] += 1
@@ -223,6 +239,9 @@ class StreamMetrics:
                 bucket["partitions"] += entry.partitions
                 bucket["pages_read"] += entry.pages_read
                 bucket["tuples_scanned"] += entry.tuples_scanned
+                bucket["lock_wait_seconds"] += float(
+                    getattr(entry, "lock_wait_seconds", 0.0)
+                )
         return totals
 
     def resolver_summary(self) -> dict[str, int]:

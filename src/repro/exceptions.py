@@ -72,6 +72,16 @@ class ExperimentError(ReproError):
     """An experiment configuration is invalid or a run failed."""
 
 
+class ServeError(ReproError):
+    """The concurrent serving layer was misconfigured or a run failed.
+
+    Raised for invalid :mod:`repro.serve` configurations (bad worker or
+    shard counts, duplicate stream names) and for runs that exceed their
+    deadline — the soak harness treats a stuck worker as an error, not a
+    hang.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant check failed (see :mod:`repro.invariants`).
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.analysis.cost import CostModel
 from repro.backend.engine import BackendEngine
-from repro.core.cache import ChunkCache
+from repro.core.cache import ChunkCache, ChunkStore
 from repro.chunks.grid import ChunkSpace
 from repro.core.manager import ChunkCacheManager
 from repro.core.metrics import StreamMetrics
@@ -146,13 +146,22 @@ def make_chunk_manager(
     cache_bytes: int | None = None,
     policy: str = "benefit",
     aggregate_in_cache: bool = False,
+    cache: ChunkStore | None = None,
 ) -> ChunkCacheManager:
-    """A chunk-caching middle tier over the system's backend."""
+    """A chunk-caching middle tier over the system's backend.
+
+    Args:
+        cache: Pre-built chunk store to use instead of a fresh
+            :class:`~repro.core.cache.ChunkCache` (e.g. a
+            :class:`repro.serve.ShardedChunkCache` for concurrent
+            serving); ``cache_bytes`` and ``policy`` are ignored then.
+    """
     reset_backend(system)
-    cache = ChunkCache(
-        cache_bytes if cache_bytes is not None else system.cache_bytes,
-        policy,
-    )
+    if cache is None:
+        cache = ChunkCache(
+            cache_bytes if cache_bytes is not None else system.cache_bytes,
+            policy,
+        )
     return ChunkCacheManager(
         system.schema,
         system.space,

@@ -10,38 +10,53 @@ This experiment generates K user streams over the same hot region (the
 popular data everyone analyses) interleaved round-robin, and compares:
 
 - **shared** — one chunk cache of budget B serving all users; versus
+- **shared-concurrent** — the same shared budget behind the
+  :mod:`repro.serve` layer: a single-shard
+  :class:`~repro.serve.ShardedChunkCache` driven by one worker thread
+  per user under the fair schedule, which must reproduce the shared
+  arm's totals exactly (the serving layer's determinism contract);
 - **partitioned** — K independent chunk caches of budget B/K, one per
   user (the architecture of per-session result caches).
 
 Expected shape: shared wins — overlapping interests deduplicate in one
-cache, and each user warms the others' working sets.
+cache, and each user warms the others' working sets — and the
+concurrent arm matches it number for number.
 """
 
 from __future__ import annotations
 
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import (
+    System,
     get_system,
     make_chunk_manager,
     run_stream,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.serve import FAIR, ServeReport, ServeSession, ShardedChunkCache
 from repro.workload.generator import Q80, QueryGenerator
 from repro.workload.stream import QueryStream, interleave_streams
 
-__all__ = ["run", "NUM_USERS"]
+__all__ = ["run", "user_streams", "run_shared_concurrent", "NUM_USERS"]
 
 NUM_USERS = 4
 
 
-def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
-    """Compare a shared chunk cache against per-user partitions."""
-    system = get_system(scale)
-    per_user = max(20, scale.num_queries // NUM_USERS)
-    # All users analyse the same popular region (a shared hot-region
-    # placement seed) but issue independent query sequences.
+def user_streams(
+    system: System, num_users: int = NUM_USERS,
+    per_user: int | None = None,
+) -> list[QueryStream]:
+    """The experiment's user streams: one hot region, K analysts.
+
+    All users analyse the same popular region (a shared hot-region
+    placement seed) but issue independent query sequences.  Also the
+    workload the serving soak test runs.
+    """
+    scale = system.scale
+    if per_user is None:
+        per_user = max(20, scale.num_queries // num_users)
     streams = []
-    for user in range(NUM_USERS):
+    for user in range(num_users):
         generator = QueryGenerator(system.schema, seed=scale.seed)
         # Same constructor seed -> same hot region; then jump each user's
         # RNG to a distinct sequence so the queries differ.
@@ -52,6 +67,41 @@ def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
                 queries=tuple(generator.stream(per_user, Q80)),
             )
         )
+    return streams
+
+
+def run_shared_concurrent(
+    system: System,
+    streams: list[QueryStream],
+    max_workers: int | None = None,
+    num_shards: int = 1,
+    schedule: str = FAIR,
+) -> ServeReport:
+    """The shared cache behind the concurrent serving layer.
+
+    Defaults (single shard, fair schedule) pin the determinism
+    contract: the report's totals equal the sequential shared arm's for
+    any worker count.  Tests also call this with ``max_workers=1`` to
+    pin bit-identical equality, and with more shards for stress runs.
+    """
+    cache = ShardedChunkCache(
+        system.cache_bytes, num_shards=num_shards
+    )
+    manager = make_chunk_manager(system, cache=cache)
+    session = ServeSession(
+        manager,
+        streams,
+        max_workers=max_workers,
+        schedule=schedule,
+    )
+    return session.run()
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Compare a shared chunk cache against per-user partitions."""
+    system = get_system(scale)
+    streams = user_streams(system)
+    per_user = len(streams[0])
     combined = interleave_streams("all-users", streams)
 
     result = ExperimentResult(
@@ -75,6 +125,18 @@ def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
         csr=metrics.cost_saving_ratio(),
         mean_time=metrics.mean_time(),
         pages_read=metrics.total_pages_read(),
+    )
+
+    # Shared budget behind the serving layer: one worker thread per
+    # user, fair schedule — must reproduce the shared row exactly.
+    report = run_shared_concurrent(
+        system, streams, max_workers=NUM_USERS
+    )
+    result.add(
+        configuration="shared-concurrent",
+        csr=report.metrics.cost_saving_ratio(),
+        mean_time=report.metrics.mean_time(),
+        pages_read=report.metrics.total_pages_read(),
     )
 
     # Partitioned: independent managers with budget/K each, but queries

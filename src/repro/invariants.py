@@ -54,6 +54,7 @@ __all__ = [
     "check_closure",
     "check_partition",
     "check_cache_accounting",
+    "check_shard_accounting",
     "check_trace_conservation",
 ]
 
@@ -311,6 +312,47 @@ def check_cache_accounting(
         total == used_bytes,  # reprolint: ignore[R002] exact byte counts
         f"{owner}: used_bytes {used_bytes} != {total} summed over "
         f"{count} resident entries (byte conservation)",
+    )
+
+
+def check_shard_accounting(
+    shard_used: Iterable[int],
+    shard_capacities: Iterable[int],
+    global_used: int,
+    global_capacity: int,
+    owner: str = "sharded cache",
+) -> None:
+    """Verify a lock-striped cache's global accounting against its shards.
+
+    The caller must present a consistent snapshot (all shard locks held,
+    plus the accounting lock).  Checks: every shard charge lies within
+    its own budget, the shard budgets sum to the global capacity, and the
+    shard charges sum to the global byte counter — the cross-shard
+    conservation that the per-shard :func:`check_cache_accounting` calls
+    cannot see.
+    """
+    _counters["cheap"] += 1
+    used = list(shard_used)
+    capacities = list(shard_capacities)
+    require(
+        len(used) == len(capacities),
+        f"{owner}: {len(used)} shard charges vs {len(capacities)} budgets",
+    )
+    for index, (charged, budget) in enumerate(zip(used, capacities)):
+        require(
+            0 <= charged <= budget,
+            f"{owner}: shard {index} charged {charged} outside its "
+            f"budget [0, {budget}]",
+        )
+    require(
+        sum(capacities) == global_capacity,  # reprolint: ignore[R002] bytes
+        f"{owner}: shard budgets sum to {sum(capacities)}, not the "
+        f"global capacity {global_capacity}",
+    )
+    require(
+        sum(used) == global_used,  # reprolint: ignore[R002] exact bytes
+        f"{owner}: shard charges sum to {sum(used)} but the global "
+        f"counter says {global_used} (cross-shard byte conservation)",
     )
 
 

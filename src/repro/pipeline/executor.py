@@ -32,7 +32,11 @@ from repro.pipeline.stages import (
     ChunkPlan,
     Resolution,
 )
-from repro.pipeline.trace import ExecutionTrace, StageTimer
+from repro.pipeline.trace import (
+    ExecutionTrace,
+    StageTimer,
+    drain_blocked_wait,
+)
 from repro.query.model import StarQuery
 
 __all__ = [
@@ -124,7 +128,19 @@ class StagedPipeline:
         self.cost_model = cost_model or CostModel()
 
     def execute(self, query: StarQuery) -> PipelineResult:
-        """Run one query through all stages."""
+        """Run one query through all stages.
+
+        ``execute`` is reentrant and safe to call from several threads at
+        once *provided the stage objects are*: every accumulator here
+        (trace, resolution, outstanding list) is local to the call, so
+        concurrency safety reduces to the safety of the shared cache,
+        estimator and backend the stages close over — exactly what the
+        :mod:`repro.serve` layer provides.
+        """
+        # A fresh query must not inherit lock waits a previous query on
+        # this thread left unattributed (see the blocked clock in
+        # :mod:`repro.pipeline.trace`).
+        drain_blocked_wait()
         trace = ExecutionTrace()
 
         with StageTimer(trace, "analyze") as stage:

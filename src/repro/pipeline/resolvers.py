@@ -19,6 +19,7 @@ cached per compatibility shape that derivation searches.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable, Mapping, Protocol, Sequence
 
@@ -28,7 +29,7 @@ from repro.backend.aggregate import reaggregate
 from repro.backend.engine import BackendEngine
 from repro.chunks.closure import source_chunk_numbers
 from repro.chunks.grid import ChunkSpace
-from repro.core.cache import ChunkCache
+from repro.core.cache import ChunkStore
 from repro.core.chunk import CachedChunk, CachedQuery
 from repro.pipeline.stages import (
     AnalyzedQuery,
@@ -84,7 +85,10 @@ class ChunkAdmitter:
 
     Prices each new chunk with the batched work estimator, inserts it
     under the benefit-weighted policy, and records the group-by in the
-    per-shape registry that in-cache derivation searches.
+    per-shape registry that in-cache derivation searches.  The registry
+    is guarded by its own lock so concurrent serving workers can admit
+    chunks of the same shape simultaneously; cache insertion itself is
+    delegated to the store, which owns its own synchronization.
 
     Args:
         space: Shared chunk geometry (for benefit weights).
@@ -95,13 +99,14 @@ class ChunkAdmitter:
     def __init__(
         self,
         space: ChunkSpace,
-        cache: ChunkCache,
+        cache: ChunkStore,
         estimator: ChunkWorkEstimator,
     ) -> None:
         self.space = space
         self.cache = cache
         self.estimator = estimator
         self._seen_groupbys: dict[tuple[object, ...], set[GroupBy]] = {}
+        self._registry_lock = threading.Lock()
 
     def admit(
         self, query: StarQuery, chunks: Mapping[int, np.ndarray]
@@ -122,11 +127,15 @@ class ChunkAdmitter:
                 )
             )
         shape = (query.aggregates, query.fixed_predicates)
-        self._seen_groupbys.setdefault(shape, set()).add(query.groupby)
+        with self._registry_lock:
+            self._seen_groupbys.setdefault(shape, set()).add(
+                query.groupby
+            )
 
     def seen_groupbys(self, shape: tuple[object, ...]) -> Iterable[GroupBy]:
-        """Group-bys ever cached under a compatibility shape."""
-        return self._seen_groupbys.get(shape, ())
+        """Group-bys ever cached under a compatibility shape (snapshot)."""
+        with self._registry_lock:
+            return tuple(self._seen_groupbys.get(shape, ()))
 
 
 class CacheHitResolver(PartitionResolver):
@@ -139,7 +148,7 @@ class CacheHitResolver(PartitionResolver):
 
     name = "cache"
 
-    def __init__(self, cache: ChunkCache) -> None:
+    def __init__(self, cache: ChunkStore) -> None:
         self.cache = cache
 
     def resolve(
@@ -174,7 +183,7 @@ class DerivationResolver(PartitionResolver):
         self,
         schema: StarSchema,
         space: ChunkSpace,
-        cache: ChunkCache,
+        cache: ChunkStore,
         backend: BackendEngine,
         admitter: ChunkAdmitter,
     ) -> None:

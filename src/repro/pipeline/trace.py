@@ -13,10 +13,19 @@ without importing the pipeline package.  Both classes are mutable
 accumulators — :class:`StageTimer` fills a :class:`StageTrace` in as the
 stage runs, and the executor appends to an :class:`ExecutionTrace` stage
 by stage — so they are plain classes, not frozen pipeline values (R003).
+
+Under the concurrent serving layer (:mod:`repro.serve`) a stage's wall
+time includes time spent *blocked* on shared locks (cache shards, the
+backend).  Lock owners report their waits through the **blocked clock**
+(:func:`record_blocked_wait`), a thread-local accumulator that
+:class:`StageTimer` drains into the enclosing stage's
+``lock_wait_seconds`` — so contention is attributed to the exact stage
+that paid it, without the locking code knowing anything about traces.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable
 
@@ -24,9 +33,31 @@ __all__ = [
     "StageTrace",
     "ExecutionTrace",
     "StageTimer",
+    "record_blocked_wait",
+    "drain_blocked_wait",
     "aggregate_stage_traces",
     "aggregate_resolver_attribution",
 ]
+
+
+_blocked = threading.local()
+
+
+def record_blocked_wait(seconds: float) -> None:
+    """Credit lock-wait seconds to the calling thread's blocked clock.
+
+    Called by lock owners (e.g. the sharded cache) after a contended
+    acquisition; the running :class:`StageTimer`, if any, drains the
+    clock into its stage when the stage closes.
+    """
+    _blocked.seconds = getattr(_blocked, "seconds", 0.0) + seconds
+
+
+def drain_blocked_wait() -> float:
+    """Return and zero the calling thread's accumulated blocked time."""
+    seconds: float = getattr(_blocked, "seconds", 0.0)
+    _blocked.seconds = 0.0
+    return seconds
 
 
 class StageTrace:
@@ -43,6 +74,9 @@ class StageTrace:
             resolver, the number it *resolved*.
         pages_read: Physical backend pages the stage caused to be read.
         tuples_scanned: Backend tuples the stage pushed through operators.
+        lock_wait_seconds: Portion of ``wall_seconds`` spent blocked on
+            shared locks (drained from the thread's blocked clock; 0.0
+            outside the concurrent serving layer).
     """
 
     def __init__(
@@ -53,6 +87,7 @@ class StageTrace:
         partitions: int = 0,
         pages_read: int = 0,
         tuples_scanned: int = 0,
+        lock_wait_seconds: float = 0.0,
     ) -> None:
         self.name = name
         self.wall_seconds = wall_seconds
@@ -60,6 +95,7 @@ class StageTrace:
         self.partitions = partitions
         self.pages_read = pages_read
         self.tuples_scanned = tuples_scanned
+        self.lock_wait_seconds = lock_wait_seconds
 
     def __repr__(self) -> str:
         return (
@@ -68,7 +104,8 @@ class StageTrace:
             f"modelled_time={self.modelled_time!r}, "
             f"partitions={self.partitions!r}, "
             f"pages_read={self.pages_read!r}, "
-            f"tuples_scanned={self.tuples_scanned!r})"
+            f"tuples_scanned={self.tuples_scanned!r}, "
+            f"lock_wait_seconds={self.lock_wait_seconds!r})"
         )
 
 
@@ -111,6 +148,11 @@ class ExecutionTrace:
         """Total wall time across all stages."""
         return sum(entry.wall_seconds for entry in self.stages)
 
+    @property
+    def lock_wait_seconds(self) -> float:
+        """Total time this query spent blocked on shared locks."""
+        return sum(entry.lock_wait_seconds for entry in self.stages)
+
     def summary(self) -> dict[str, object]:
         """Compact dictionary form (for logs and reports)."""
         return {
@@ -142,11 +184,15 @@ class StageTimer:
         self._start = 0.0
 
     def __enter__(self) -> StageTrace:
+        # Waits accumulated between stages belong to no stage; zero the
+        # blocked clock so this stage only absorbs its own waits.
+        drain_blocked_wait()
         self._start = time.perf_counter()
         return self.stage
 
     def __exit__(self, *exc_info: object) -> None:
         self.stage.wall_seconds = time.perf_counter() - self._start
+        self.stage.lock_wait_seconds = drain_blocked_wait()
         self._trace.stages.append(self.stage)
 
 
@@ -156,8 +202,9 @@ def aggregate_stage_traces(
     """Aggregate many traces into per-stage totals.
 
     Returns a mapping ``stage name -> {"calls", "wall_seconds",
-    "modelled_time", "partitions", "pages_read", "tuples_scanned"}``
-    summed over all traces, in first-seen stage order.
+    "modelled_time", "partitions", "pages_read", "tuples_scanned",
+    "lock_wait_seconds"}`` summed over all traces, in first-seen stage
+    order.
     """
     totals: dict[str, dict[str, float]] = {}
     for trace in traces:
@@ -171,6 +218,7 @@ def aggregate_stage_traces(
                     "partitions": 0.0,
                     "pages_read": 0.0,
                     "tuples_scanned": 0.0,
+                    "lock_wait_seconds": 0.0,
                 },
             )
             bucket["calls"] += 1
@@ -179,6 +227,7 @@ def aggregate_stage_traces(
             bucket["partitions"] += entry.partitions
             bucket["pages_read"] += entry.pages_read
             bucket["tuples_scanned"] += entry.tuples_scanned
+            bucket["lock_wait_seconds"] += entry.lock_wait_seconds
     return totals
 
 

@@ -13,6 +13,7 @@ re-validated the group-by once per chunk.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable
 
 from repro.backend.engine import BackendEngine
@@ -50,6 +51,14 @@ def estimate_query_full_cost(
 class ChunkWorkEstimator:
     """Memoized facade over the backend's batched chunk-work estimator.
 
+    The memo is guarded by a lock so concurrent serving workers share
+    one estimator: estimates are deterministic functions of the stored
+    data, so a racing double-probe would be wasted backend work, not a
+    correctness bug — the lock turns it into a single probe.  The lock
+    is held across the backend call; the backend's own lock is always
+    acquired *inside* estimator or resolver calls, never the reverse, so
+    the ordering is acyclic.
+
     Args:
         backend: The engine whose stored data the estimates describe.
     """
@@ -57,6 +66,7 @@ class ChunkWorkEstimator:
     def __init__(self, backend: BackendEngine) -> None:
         self._backend = backend
         self._memo: dict[tuple[GroupBy, int], tuple[int, int]] = {}
+        self._lock = threading.Lock()
 
     def ensure(
         self, groupby: GroupBy, numbers: Iterable[int]
@@ -66,19 +76,21 @@ class ChunkWorkEstimator:
         Returns ``{number: (pages, tuples)}`` for every requested chunk.
         """
         numbers = list(numbers)
-        missing = [
-            number for number in numbers
-            if (groupby, number) not in self._memo
-        ]
-        if missing:
-            batch = self._backend.estimate_chunk_work_batch(
-                groupby, missing
-            )
-            for number, work in batch.items():
-                self._memo[(groupby, number)] = work
-        return {
-            number: self._memo[(groupby, number)] for number in numbers
-        }
+        with self._lock:
+            missing = [
+                number for number in numbers
+                if (groupby, number) not in self._memo
+            ]
+            if missing:
+                batch = self._backend.estimate_chunk_work_batch(
+                    groupby, missing
+                )
+                for number, work in batch.items():
+                    self._memo[(groupby, number)] = work
+            return {
+                number: self._memo[(groupby, number)]
+                for number in numbers
+            }
 
     def work(self, groupby: GroupBy, number: int) -> tuple[int, int]:
         """``(pages, tuples)`` for one chunk (memoized)."""
@@ -86,7 +98,9 @@ class ChunkWorkEstimator:
 
     def clear(self) -> None:
         """Drop all memoized estimates (after base-table updates)."""
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
 
     def __len__(self) -> int:
-        return len(self._memo)
+        with self._lock:
+            return len(self._memo)

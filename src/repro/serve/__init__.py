@@ -1,0 +1,38 @@
+"""The concurrent serving layer.
+
+Everything needed to run the chunk-caching middle tier under multiple
+simultaneous users on real threads:
+
+- :class:`ShardedChunkCache` — a lock-striped, thread-safe
+  :class:`~repro.core.cache.ChunkStore` (bit-identical to the plain
+  cache at ``num_shards=1``);
+- :class:`ServeSession` — K user streams on a thread pool through the
+  existing staged pipeline, with a deterministic **fair** schedule and a
+  racing **free** schedule;
+- :func:`run_soak` — the invariant-hammering stress harness.
+
+The layer sits strictly *above* the pipeline: it composes the manager,
+cache and workload layers and never touches the backend or storage
+directly (enforced by reprolint rule R001).
+"""
+
+from repro.serve.session import FAIR, FREE, ServeReport, ServeSession
+from repro.serve.sharded import (
+    CacheShard,
+    ShardedChunkCache,
+    stable_key_hash,
+)
+from repro.serve.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "FAIR",
+    "FREE",
+    "CacheShard",
+    "ServeReport",
+    "ServeSession",
+    "ShardedChunkCache",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+    "stable_key_hash",
+]

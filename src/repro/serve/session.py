@@ -1,0 +1,369 @@
+"""Concurrent multi-stream serving sessions.
+
+:class:`ServeSession` runs K user :class:`~repro.workload.stream.QueryStream`s
+against one shared :class:`~repro.core.manager.ChunkCacheManager` on a
+thread pool, every worker executing through the manager's existing
+:class:`~repro.pipeline.executor.StagedPipeline`.  Streams are
+partitioned across workers (each stream is wholly owned by one worker),
+each stream accumulates its own
+:class:`~repro.core.metrics.StreamMetrics`, and the per-stream
+accumulators are merged deterministically after the run.
+
+Two schedules:
+
+- ``"fair"`` — a turnstile serializes query execution into the
+  *canonical order*: the round-robin interleave of the name-sorted
+  streams, exactly what :func:`repro.workload.stream.interleave_streams`
+  produces.  Execution is then independent of the worker count — with
+  any ``max_workers`` the cache sees the same query sequence as a
+  sequential run over the interleaved stream, so all accounting totals
+  are identical (and with ``max_workers=1`` the run *is* the sequential
+  run).  This is the determinism contract the regression tests pin.
+- ``"free"`` — workers race unsynchronized; real lock contention on the
+  cache shards and the backend.  Interleaving-dependent values (which
+  query was a hit) vary run to run, but conservation properties
+  (invariants, Σ pages read == backend read delta) must hold under any
+  interleaving — that is what the soak harness hammers.
+
+Because real threads under the GIL cannot show wall-clock speedup on
+this CPU-bound simulation, throughput is also reported in *simulated*
+time: each worker's makespan is the sum of the modelled execution times
+of the queries it ran, the session's makespan is the slowest worker, and
+throughput is queries per simulated second — the quantity a real
+multi-core deployment of this architecture would observe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.manager import ChunkCacheManager
+from repro.core.metrics import StreamMetrics
+from repro.exceptions import ServeError
+from repro.pipeline.trace import record_blocked_wait
+from repro.query.model import StarQuery
+from repro.workload.stream import QueryStream
+
+__all__ = ["ServeReport", "ServeSession", "FAIR", "FREE"]
+
+FAIR = "fair"
+FREE = "free"
+_SCHEDULES = (FAIR, FREE)
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of one concurrent serving session.
+
+    Attributes:
+        queries: Queries executed (all streams).
+        max_workers: Worker threads used.
+        schedule: ``"fair"`` or ``"free"``.
+        wall_seconds: Real elapsed time of the run.
+        simulated_worker_seconds: Per-worker sums of modelled query
+            times, in worker order.
+        simulated_makespan: The slowest worker's simulated time — the
+            session's modelled completion time.
+        simulated_throughput: Queries per simulated second
+            (``queries / simulated_makespan``; 0.0 for an empty run).
+        metrics: All streams' records merged in canonical order.
+        per_stream: Each stream's own metrics, keyed by stream name.
+        contention: Cache-shard and backend lock contention counters.
+        checkpoints: How many checkpoint callbacks fired.
+    """
+
+    queries: int
+    max_workers: int
+    schedule: str
+    wall_seconds: float
+    simulated_worker_seconds: tuple[float, ...]
+    simulated_makespan: float
+    simulated_throughput: float
+    metrics: StreamMetrics
+    per_stream: dict[str, StreamMetrics]
+    contention: dict[str, object]
+    checkpoints: int
+
+
+class ServeSession:
+    """Runs several user streams concurrently against one manager.
+
+    Args:
+        manager: The shared chunk-cache manager.  Its cache should be a
+            :class:`~repro.serve.ShardedChunkCache` (any
+            :class:`~repro.core.cache.ChunkStore` works, but only a
+            thread-safe store is safe under ``max_workers > 1``).
+        streams: The user streams; names must be unique.  Streams are
+            processed in name order — the canonical order — regardless
+            of the order given here.
+        max_workers: Worker threads (default: one per stream; capped at
+            the stream count since streams are not split).
+        schedule: ``"fair"`` (deterministic turnstile) or ``"free"``
+            (unsynchronized racing).
+        checkpoint_every: When positive, ``on_checkpoint`` is invoked
+            with the completed-query count after every that many
+            queries (globally, under a lock — workers keep running).
+        on_checkpoint: Callback for periodic mid-run verification (the
+            soak harness passes the cache's conservation check).
+        timeout_seconds: Hard deadline for the whole run; a stuck worker
+            turns into a :class:`~repro.exceptions.ServeError`, never a
+            hang.
+    """
+
+    def __init__(
+        self,
+        manager: ChunkCacheManager,
+        streams: Sequence[QueryStream],
+        max_workers: int | None = None,
+        schedule: str = FAIR,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[int], None] | None = None,
+        timeout_seconds: float = 300.0,
+    ) -> None:
+        if not streams:
+            raise ServeError("a serving session needs at least one stream")
+        names = [stream.name for stream in streams]
+        if len(set(names)) != len(names):
+            raise ServeError(f"duplicate stream names in {sorted(names)}")
+        if schedule not in _SCHEDULES:
+            raise ServeError(
+                f"unknown schedule {schedule!r}; expected one of "
+                f"{_SCHEDULES}"
+            )
+        if timeout_seconds <= 0:
+            raise ServeError(
+                f"timeout_seconds must be positive, got {timeout_seconds}"
+            )
+        self.manager = manager
+        self.streams = tuple(
+            sorted(streams, key=lambda stream: stream.name)
+        )
+        workers = len(self.streams) if max_workers is None else max_workers
+        if workers < 1:
+            raise ServeError(f"max_workers must be >= 1, got {workers}")
+        self.max_workers = min(workers, len(self.streams))
+        self.schedule = schedule
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
+        self.timeout_seconds = timeout_seconds
+        # Turnstile / progress state (rebuilt per run()).
+        self._cond = threading.Condition()
+        self._next_seq = 0
+        self._completed = 0
+        self._checkpoints_fired = 0
+        self._failure: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Canonical order
+    # ------------------------------------------------------------------
+    def _tickets(self) -> list[list[tuple[int, str, StarQuery]]]:
+        """Per-worker work lists carrying canonical sequence numbers.
+
+        The canonical order is the round-robin interleave of the
+        name-sorted streams (identical to
+        :func:`repro.workload.stream.interleave_streams` over them).
+        Worker ``w`` owns streams ``w, w+W, w+2W, ...`` and receives its
+        queries in canonical order — a worker draining its own list in
+        order therefore visits its queries exactly as the canonical
+        order does, which is what lets the fair turnstile enforce the
+        global canonical order with local-only work lists.
+        """
+        per_worker: list[list[tuple[int, str, StarQuery]]] = [
+            [] for _ in range(self.max_workers)
+        ]
+        owner = {
+            stream.name: index % self.max_workers
+            for index, stream in enumerate(self.streams)
+        }
+        cursors = [0] * len(self.streams)
+        remaining = sum(len(stream) for stream in self.streams)
+        seq = 0
+        while remaining:
+            for index, stream in enumerate(self.streams):
+                if cursors[index] < len(stream):
+                    query = stream[cursors[index]]
+                    per_worker[owner[stream.name]].append(
+                        (seq, stream.name, query)
+                    )
+                    cursors[index] += 1
+                    remaining -= 1
+                    seq += 1
+        return per_worker
+
+    # ------------------------------------------------------------------
+    # Turnstile
+    # ------------------------------------------------------------------
+    def _await_turn(self, seq: int, deadline: float) -> None:
+        with self._cond:
+            while self._next_seq != seq:
+                if self._failure is not None:
+                    raise ServeError(
+                        "serving session aborted by another worker"
+                    ) from self._failure
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServeError(
+                        f"worker timed out waiting for turn {seq} "
+                        f"(deadline {self.timeout_seconds}s)"
+                    )
+                self._cond.wait(remaining)
+
+    def _finish_query(self, fair: bool) -> None:
+        """Publish one completed query: advance the turnstile, count
+        progress, and fire the checkpoint callback on the boundary."""
+        with self._cond:
+            if fair:
+                self._next_seq += 1
+                self._cond.notify_all()
+            self._completed += 1
+            fire = (
+                self.checkpoint_every > 0
+                and self.on_checkpoint is not None
+                and self._completed % self.checkpoint_every == 0
+            )
+            count = self._completed
+        if fire:
+            assert self.on_checkpoint is not None
+            self.on_checkpoint(count)
+            with self._cond:
+                self._checkpoints_fired += 1
+
+    def _abort(self, error: BaseException) -> None:
+        with self._cond:
+            if self._failure is None:
+                self._failure = error
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _run_worker(
+        self,
+        tasks: list[tuple[int, str, StarQuery]],
+        per_stream: dict[str, StreamMetrics],
+        merged: list[tuple[int, StreamMetrics]],
+        sim_seconds: list[float],
+        worker_index: int,
+        deadline: float,
+    ) -> None:
+        fair = self.schedule == FAIR
+        pipeline = self.manager.pipeline
+        try:
+            for seq, stream_name, query in tasks:
+                if fair:
+                    self._await_turn(seq, deadline)
+                elif self._failure is not None:
+                    raise ServeError(
+                        "serving session aborted by another worker"
+                    ) from self._failure
+                result = pipeline.execute(query)
+                per_stream[stream_name].record(
+                    result.record, result.trace
+                )
+                single = StreamMetrics()
+                single.record(result.record, result.trace)
+                merged.append((seq, single))
+                sim_seconds[worker_index] += result.record.time
+                self._finish_query(fair)
+        except BaseException as error:
+            self._abort(error)
+            raise
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> ServeReport:
+        """Execute every stream to completion and merge the results."""
+        self._next_seq = 0
+        self._completed = 0
+        self._checkpoints_fired = 0
+        self._failure = None
+        per_worker = self._tickets()
+        per_stream = {
+            stream.name: StreamMetrics() for stream in self.streams
+        }
+        merged_parts: list[list[tuple[int, StreamMetrics]]] = [
+            [] for _ in range(self.max_workers)
+        ]
+        sim_seconds = [0.0] * self.max_workers
+        deadline = time.monotonic() + self.timeout_seconds
+        backend = self.manager.backend
+        previous_recorder = backend.lock_wait_recorder
+        backend.lock_wait_recorder = record_blocked_wait
+        started = time.perf_counter()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="serve",
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._run_worker,
+                        per_worker[index],
+                        per_stream,
+                        merged_parts[index],
+                        sim_seconds,
+                        index,
+                        deadline,
+                    )
+                    for index in range(self.max_workers)
+                ]
+                for future in futures:
+                    remaining = deadline - time.monotonic()
+                    try:
+                        future.result(timeout=max(remaining, 0.01))
+                    except TimeoutError as error:
+                        self._abort(error)
+                        raise ServeError(
+                            "serving session exceeded its "
+                            f"{self.timeout_seconds}s deadline"
+                        ) from error
+        finally:
+            backend.lock_wait_recorder = previous_recorder
+        wall = time.perf_counter() - started
+
+        # Merge in canonical order.  The sequence numbers come from the
+        # name-sorted interleave, so the merge is a pure function of the
+        # streams — never of thread completion order — and in fair mode
+        # it reproduces the sequential interleaved run record-for-record.
+        metrics = StreamMetrics()
+        ordered = sorted(
+            (part for parts in merged_parts for part in parts),
+            key=lambda item: item[0],
+        )
+        for _, single in ordered:
+            metrics.absorb(single)
+
+        makespan = max(sim_seconds) if sim_seconds else 0.0
+        queries = len(metrics)
+        throughput = queries / makespan if makespan > 0.0 else 0.0
+        return ServeReport(
+            queries=queries,
+            max_workers=self.max_workers,
+            schedule=self.schedule,
+            wall_seconds=wall,
+            simulated_worker_seconds=tuple(sim_seconds),
+            simulated_makespan=makespan,
+            simulated_throughput=throughput,
+            metrics=metrics,
+            per_stream=per_stream,
+            contention=self._contention(),
+            checkpoints=self._checkpoints_fired,
+        )
+
+    def _contention(self) -> dict[str, object]:
+        """Contention counters from the shared cache and the backend."""
+        out: dict[str, object] = {
+            "backend": {
+                "lock_wait_seconds": self.manager.backend.lock_wait_seconds,
+                "lock_acquisitions": self.manager.backend.lock_acquisitions,
+            }
+        }
+        contention = getattr(self.manager.cache, "contention", None)
+        if callable(contention):
+            out["cache"] = contention()
+        return out

@@ -1,0 +1,360 @@
+"""The lock-striped sharded chunk cache.
+
+:class:`ShardedChunkCache` implements the
+:class:`~repro.core.cache.ChunkStore` protocol by striping the key space
+over N independent :class:`~repro.core.cache.ChunkCache` shards, each
+guarded by its own lock and carrying its own slice of the byte budget
+and its own benefit-CLOCK replacement state.  Concurrent serving workers
+touching different shards never contend; a single shard behaves exactly
+like today's single-threaded cache (``num_shards=1`` is bit-identical to
+a plain :class:`~repro.core.cache.ChunkCache` of the same budget).
+
+Routing uses :func:`stable_key_hash`, a CRC-32 over a canonical
+rendering of the key — **not** the builtin ``hash()``, whose string
+hashing is randomized per process (``PYTHONHASHSEED``) and would make
+shard placement, and therefore eviction behaviour, unreproducible.
+
+Locking discipline
+------------------
+Two lock levels, always acquired in the same order:
+
+1. a **shard lock** (one per shard) serializes all access to that
+   shard's ``ChunkCache`` and replacement state;
+2. the **accounting lock** guards the global byte counter; mutators
+   take it *nested inside* their shard lock to publish the shard's byte
+   delta.
+
+:meth:`ShardedChunkCache.check_conservation` — the only multi-shard
+critical section — acquires *all* shard locks in ascending index order
+and then the accounting lock, matching the mutator order, so the
+hierarchy is acyclic and deadlock-free.  Contended shard acquisitions
+are counted per shard and credited to the pipeline's blocked clock
+(:func:`repro.pipeline.trace.record_blocked_wait`) so lock waits show
+up, attributed to the right stage, in execution traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro import invariants
+from repro.core.cache import ChunkCache, ChunkCacheStats
+from repro.core.chunk import CachedChunk, ChunkKey
+from repro.core.replacement import ReplacementPolicy
+from repro.exceptions import ServeError
+from repro.pipeline.trace import record_blocked_wait
+
+__all__ = ["stable_key_hash", "CacheShard", "ShardedChunkCache"]
+
+
+def stable_key_hash(key: ChunkKey) -> int:
+    """A process-independent hash of a chunk key for shard routing.
+
+    CRC-32 over the canonical textual rendering of the key's components,
+    with the (unordered) predicate set sorted first.  Deterministic
+    across runs, processes and ``PYTHONHASHSEED`` values — required so
+    that shard placement, and everything downstream of it (eviction
+    order, per-shard stats), reproduces exactly.
+    """
+    canonical = repr(
+        (
+            tuple(key.groupby),
+            key.number,
+            key.aggregates,
+            tuple(sorted(key.fixed_predicates)),
+        )
+    )
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class CacheShard:
+    """One lock-striped slice of a sharded cache.
+
+    Pairs a private :class:`~repro.core.cache.ChunkCache` with its lock
+    and contention counters.  All access to the wrapped cache must go
+    through :meth:`held`.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        capacity_bytes: int,
+        policy: ReplacementPolicy | str,
+    ) -> None:
+        self.index = index
+        self.cache = ChunkCache(capacity_bytes, policy)
+        self.lock = threading.Lock()
+        self.lock_wait_seconds = 0.0
+        self.lock_acquisitions = 0
+
+    @contextmanager
+    def held(self) -> Iterator[ChunkCache]:
+        """Acquire the shard lock, yielding the guarded cache.
+
+        Contended waits are added to this shard's counters and credited
+        to the calling thread's blocked clock, so the enclosing pipeline
+        stage's ``lock_wait_seconds`` reflects them.
+        """
+        start = time.perf_counter()
+        self.lock.acquire()
+        try:
+            waited = time.perf_counter() - start
+            self.lock_acquisitions += 1
+            self.lock_wait_seconds += waited
+            if waited > 0.0:
+                record_blocked_wait(waited)
+            yield self.cache
+        finally:
+            self.lock.release()
+
+
+class ShardedChunkCache:
+    """A thread-safe chunk store striped over independent shards.
+
+    Args:
+        capacity_bytes: Total byte budget, split across shards as evenly
+            as integer arithmetic allows (the first ``capacity %
+            num_shards`` shards get one extra byte); the shard budgets
+            always sum to ``capacity_bytes`` exactly.
+        policy: Replacement policy *name* (each shard builds its own
+            instance) or a zero-argument factory returning a fresh
+            policy per shard.  A ready-made policy instance is accepted
+            only for ``num_shards=1`` — sharing one policy's mutable
+            state across shards would corrupt it.
+        num_shards: Number of lock stripes (>= 1).
+
+    With ``num_shards=1`` every operation routes to one full-budget
+    :class:`~repro.core.cache.ChunkCache`, making this store
+    bit-identical to the unsharded cache — the determinism bridge the
+    serving tests pin.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: (
+            ReplacementPolicy | str | Callable[[], ReplacementPolicy]
+        ) = "benefit",
+        num_shards: int = 1,
+    ) -> None:
+        if num_shards < 1:
+            raise ServeError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if isinstance(policy, ReplacementPolicy) and num_shards > 1:
+            raise ServeError(
+                "a shared policy instance cannot serve multiple shards; "
+                "pass a policy name or a factory"
+            )
+        self.num_shards = num_shards
+        self._capacity_bytes = capacity_bytes
+        base, extra = divmod(capacity_bytes, num_shards)
+        self._shards = tuple(
+            CacheShard(
+                index,
+                base + (1 if index < extra else 0),
+                policy() if callable(policy) else policy,
+            )
+            for index in range(num_shards)
+        )
+        self._accounting_lock = threading.Lock()
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Routing and accounting internals
+    # ------------------------------------------------------------------
+    def _shard_for(self, key: ChunkKey) -> CacheShard:
+        return self._shards[stable_key_hash(key) % self.num_shards]
+
+    def _publish_delta(self, delta: int) -> None:
+        """Apply a shard's byte delta to the global counter.
+
+        Called with the mutating shard's lock held — the accounting lock
+        nests inside shard locks, never the reverse.
+        """
+        if delta == 0:
+            return
+        with self._accounting_lock:
+            self._used_bytes += delta
+
+    # ------------------------------------------------------------------
+    # ChunkStore protocol
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Total byte budget across all shards."""
+        return self._capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently charged, from the global counter."""
+        with self._accounting_lock:
+            return self._used_bytes
+
+    @property
+    def stats(self) -> ChunkCacheStats:
+        """Counters summed over all shards (point-in-time)."""
+        total = ChunkCacheStats()
+        for shard in self._shards:
+            with shard.held() as cache:
+                total.hits += cache.stats.hits
+                total.misses += cache.stats.misses
+                total.insertions += cache.stats.insertions
+                total.evictions += cache.stats.evictions
+                total.rejected += cache.stats.rejected
+        return total
+
+    def __len__(self) -> int:
+        count = 0
+        for shard in self._shards:
+            with shard.held() as cache:
+                count += len(cache)
+        return count
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        with self._shard_for(key).held() as cache:
+            return key in cache
+
+    def get(self, key: ChunkKey) -> CachedChunk | None:
+        """Lookup one chunk; hits refresh its shard's replacement state."""
+        with self._shard_for(key).held() as cache:
+            return cache.get(key)
+
+    def peek(self, key: ChunkKey) -> CachedChunk | None:
+        """Entry lookup without touching stats or replacement state."""
+        with self._shard_for(key).held() as cache:
+            return cache.peek(key)
+
+    def put(self, entry: CachedChunk) -> bool:
+        """Insert into the key's shard, evicting there as needed.
+
+        Admission control is per shard: an entry larger than its shard's
+        budget is rejected, exactly as the unsharded cache rejects
+        entries larger than the whole budget.
+        """
+        with self._shard_for(entry.key).held() as cache:
+            before = cache.used_bytes
+            admitted = cache.put(entry)
+            self._publish_delta(cache.used_bytes - before)
+            return admitted
+
+    def invalidate(self, key: ChunkKey) -> bool:
+        """Drop one entry from its shard; False if absent."""
+        with self._shard_for(key).held() as cache:
+            before = cache.used_bytes
+            removed = cache.invalidate(key)
+            self._publish_delta(cache.used_bytes - before)
+            return removed
+
+    def clear(self) -> None:
+        """Drop everything, shard by shard (stats are kept)."""
+        for shard in self._shards:
+            with shard.held() as cache:
+                before = cache.used_bytes
+                cache.clear()
+                self._publish_delta(cache.used_bytes - before)
+
+    def keys(self) -> list[ChunkKey]:
+        """All resident chunk keys, in shard order (snapshot)."""
+        found: list[ChunkKey] = []
+        for shard in self._shards:
+            with shard.held() as cache:
+                found.extend(cache.keys())
+        return found
+
+    def snapshot(self) -> list[tuple[ChunkKey, CachedChunk]]:
+        """Point-in-time ``(key, entry)`` pairs, in shard order."""
+        pairs: list[tuple[ChunkKey, CachedChunk]] = []
+        for shard in self._shards:
+            with shard.held() as cache:
+                pairs.extend(cache.snapshot())
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Concurrency observability
+    # ------------------------------------------------------------------
+    def contention(self) -> dict[str, object]:
+        """Lock-contention and skew metrics for reports.
+
+        ``hit_skew`` is the ratio of the busiest shard's lookup count to
+        the mean across shards (1.0 = perfectly even; meaningful only
+        once lookups happened).
+        """
+        per_shard: list[dict[str, object]] = []
+        lookups: list[int] = []
+        for shard in self._shards:
+            with shard.held() as cache:
+                stats = cache.stats
+                lookups.append(stats.lookups)
+                per_shard.append(
+                    {
+                        "shard": shard.index,
+                        "capacity_bytes": cache.capacity_bytes,
+                        "used_bytes": cache.used_bytes,
+                        "entries": len(cache),
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "evictions": stats.evictions,
+                        "lock_wait_seconds": shard.lock_wait_seconds,
+                        "lock_acquisitions": shard.lock_acquisitions,
+                    }
+                )
+        total_lookups = sum(lookups)
+        skew = 0.0
+        if total_lookups:
+            mean = total_lookups / self.num_shards
+            skew = max(lookups) / mean
+        return {
+            "num_shards": self.num_shards,
+            "lock_wait_seconds": sum(
+                shard.lock_wait_seconds for shard in self._shards
+            ),
+            "lock_acquisitions": sum(
+                shard.lock_acquisitions for shard in self._shards
+            ),
+            "hit_skew": skew,
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------
+    # Cross-shard conservation
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> None:
+        """Verify shard-local and global byte conservation atomically.
+
+        Takes every shard lock in ascending index order, then the
+        accounting lock (the same order mutators use, so this cannot
+        deadlock against them), and checks each shard's accounting
+        (per-entry in deep mode) plus the cross-shard sum against the
+        global counter.  Raises
+        :class:`~repro.exceptions.InvariantViolation` on any mismatch.
+        """
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            with self._accounting_lock:
+                for shard in self._shards:
+                    cache = shard.cache
+                    invariants.check_cache_accounting(
+                        cache.used_bytes,
+                        cache.capacity_bytes,
+                        (
+                            [entry for _, entry in cache.snapshot()]
+                            if invariants.deep()
+                            else None
+                        ),
+                        owner=f"cache shard {shard.index}",
+                    )
+                invariants.check_shard_accounting(
+                    [s.cache.used_bytes for s in self._shards],
+                    [s.cache.capacity_bytes for s in self._shards],
+                    self._used_bytes,
+                    self._capacity_bytes,
+                )
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()

@@ -1,0 +1,139 @@
+"""The concurrency soak harness.
+
+:func:`run_soak` hammers one shared
+:class:`~repro.core.manager.ChunkCacheManager` (whose store must be a
+:class:`~repro.serve.ShardedChunkCache`) with racing multi-user streams
+under the **free** schedule and ``REPRO_INVARIANTS=deep``, and verifies
+the properties that must hold under *any* thread interleaving:
+
+- no :class:`~repro.exceptions.InvariantViolation` anywhere — every
+  cache mutation re-checks byte/benefit conservation shard-locally, and
+  a periodic checkpoint (every ``checkpoint_every`` completed queries)
+  plus a final pass run the cross-shard conservation check
+  (:meth:`~repro.serve.ShardedChunkCache.check_conservation`);
+- **global I/O conservation**: the sum of ``pages_read`` over every
+  worker's accounting records equals the backend disk's read-counter
+  delta exactly.  The backend's big lock makes every
+  :func:`~repro.backend.plans.measure_cost` window disjoint, so this
+  equality is exact, not approximate — any cross-thread leakage of
+  I/O accounting breaks it.
+
+The harness composes over a manager and streams built by the caller
+(the experiments layer or a test): the serving layer itself never
+builds systems or workloads, keeping it importable from anywhere above
+the pipeline (R001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import invariants
+from repro.core.manager import ChunkCacheManager
+from repro.exceptions import ServeError
+from repro.serve.session import FREE, ServeReport, ServeSession
+from repro.workload.stream import QueryStream
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Tuning knobs of one soak run.
+
+    Attributes:
+        checkpoint_every: Queries between cross-shard conservation
+            checkpoints (0 disables mid-run checkpoints; the final check
+            always runs).
+        max_workers: Worker threads (default: one per stream).
+        timeout_seconds: Hard deadline — a deadlocked worker becomes a
+            :class:`~repro.exceptions.ServeError`, never a hung test.
+    """
+
+    checkpoint_every: int = 100
+    max_workers: int | None = None
+    timeout_seconds: float = 300.0
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Everything a soak run verified.
+
+    Attributes:
+        queries: Queries executed across all streams.
+        checkpoints: Mid-run conservation checkpoints that fired.
+        pages_read: Sum of per-record backend pages over all workers.
+        disk_read_delta: The backend disk's read-counter delta over the
+            run (equals ``pages_read`` — asserted).
+        deep_checks: Deep invariant checks executed during the run.
+        serve: The underlying session report (contention, throughput).
+    """
+
+    queries: int
+    checkpoints: int
+    pages_read: int
+    disk_read_delta: int
+    deep_checks: int
+    serve: ServeReport
+
+
+def run_soak(
+    manager: ChunkCacheManager,
+    streams: Sequence[QueryStream],
+    config: SoakConfig = SoakConfig(),
+) -> SoakReport:
+    """Race the streams against the manager and verify conservation.
+
+    Forces deep invariant checking for the duration of the run (the
+    previous mode is restored afterwards) and the free schedule — the
+    point is genuine races, not reproducible interleavings.
+
+    Raises:
+        ServeError: If the manager's store has no cross-shard
+            conservation check (i.e. is not sharded), or on deadline.
+        InvariantViolation: On any conservation failure, shard-local,
+            cross-shard, or global.
+    """
+    conserve = getattr(manager.cache, "check_conservation", None)
+    if not callable(conserve):
+        raise ServeError(
+            "soak testing requires a sharded store with a "
+            "check_conservation() method; got "
+            f"{type(manager.cache).__name__}"
+        )
+    previous_mode = invariants.set_mode(invariants.DEEP)
+    checks_before = invariants.counters()["deep"]
+    try:
+        session = ServeSession(
+            manager,
+            streams,
+            max_workers=config.max_workers,
+            schedule=FREE,
+            checkpoint_every=config.checkpoint_every,
+            on_checkpoint=lambda _count: conserve(),
+            timeout_seconds=config.timeout_seconds,
+        )
+        disk = manager.backend.disk
+        reads_before = disk.stats.reads
+        report = session.run()
+        conserve()
+        delta = disk.stats.reads - reads_before
+        pages = report.metrics.total_pages_read()
+        invariants.require(
+            pages == delta,
+            f"global I/O conservation broken: records sum to {pages} "
+            f"pages read but the disk counter advanced by {delta} "
+            "(a cost window leaked across threads)",
+        )
+        deep_checks = invariants.counters()["deep"] - checks_before
+    finally:
+        invariants.set_mode(previous_mode)
+    return SoakReport(
+        queries=report.queries,
+        checkpoints=report.checkpoints,
+        pages_read=pages,
+        disk_read_delta=delta,
+        deep_checks=deep_checks,
+        serve=report,
+    )

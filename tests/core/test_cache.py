@@ -190,6 +190,17 @@ class TestChunkCache:
         cache.get(ChunkKey((1, 1), 99, (("v", "sum"),)))
         assert cache.stats.hit_ratio == pytest.approx(0.5)
 
+    def test_hit_ratio_is_zero_at_zero_lookups(self):
+        # Pinned: an untouched cache reports 0.0, never a ZeroDivision
+        # and never NaN — serving reports aggregate this per shard, and
+        # freshly-built shards legitimately have no lookups yet.
+        from repro.core.cache import ChunkCacheStats
+
+        stats = ChunkCacheStats()
+        assert stats.lookups == 0
+        assert repr(stats.hit_ratio) == "0.0"
+        assert repr(ChunkCache(1000).stats.hit_ratio) == "0.0"
+
 
 @settings(max_examples=30, deadline=None)
 @given(

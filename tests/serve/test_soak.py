@@ -1,0 +1,73 @@
+"""The multi-user soak gate — tier-1 regression test for concurrency.
+
+Eight user streams of 250 queries each race on eight worker threads
+against one shared sharded cache with ``REPRO_INVARIANTS=deep`` forced
+on.  The run must produce zero invariant violations and account for
+every disk page exactly, at every 100-query checkpoint and at the end.
+This is the property that must hold under *any* thread interleaving —
+the test is a genuine race, not a reproducible schedule.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import invariants
+from repro.exceptions import ServeError
+from repro.experiments.configs import SMOKE_SCALE
+from repro.experiments.harness import get_system, make_chunk_manager
+from repro.experiments.multiuser import user_streams
+from repro.serve import ShardedChunkCache, SoakConfig, run_soak
+
+NUM_STREAMS = 8
+PER_USER = 250
+CHECKPOINT_EVERY = 100
+# Hard deadline: a deadlock becomes a ServeError, never a hung suite.
+TIMEOUT_SECONDS = 150.0
+
+
+def test_multiuser_soak_conserves_everything():
+    system = get_system(SMOKE_SCALE)
+    streams = user_streams(
+        system, num_users=NUM_STREAMS, per_user=PER_USER
+    )
+    cache = ShardedChunkCache(system.cache_bytes, num_shards=8)
+    manager = make_chunk_manager(system, cache=cache)
+
+    previous_mode = invariants.mode()
+    report = run_soak(
+        manager,
+        streams,
+        SoakConfig(
+            checkpoint_every=CHECKPOINT_EVERY,
+            timeout_seconds=TIMEOUT_SECONDS,
+        ),
+    )
+
+    assert report.queries == NUM_STREAMS * PER_USER
+    # A checkpoint fired at every 100-query boundary...
+    assert report.checkpoints == report.queries // CHECKPOINT_EVERY
+    # ...each running the cross-shard conservation check in deep mode.
+    assert report.deep_checks > 0
+    # Global I/O conservation: worker records account for every page
+    # the backend disk actually served — exactly, not approximately.
+    assert report.pages_read == report.disk_read_delta
+    assert report.pages_read > 0
+    # The harness restored the invariant mode it found.
+    assert invariants.mode() == previous_mode
+
+    serve = report.serve
+    assert serve.schedule == "free"
+    assert serve.max_workers == NUM_STREAMS
+    assert sorted(serve.per_stream) == [s.name for s in sorted(
+        streams, key=lambda s: s.name
+    )]
+    contention = serve.contention["cache"]
+    assert contention["num_shards"] == 8
+    assert contention["lock_acquisitions"] > 0
+
+
+def test_soak_requires_a_conservation_checking_store():
+    manager = SimpleNamespace(cache=object())
+    with pytest.raises(ServeError):
+        run_soak(manager, [])

@@ -1,0 +1,81 @@
+"""Tests for tools.checkcov — the stdlib coverage measurer."""
+
+import threading
+
+from tools.checkcov import LineCollector, executable_lines, measure_tree
+
+
+class TestExecutableLines:
+    def test_counts_statements_not_blanks_or_comments(self):
+        source = (
+            "x = 1\n"          # line 1: executable
+            "\n"               # line 2: blank
+            "# comment\n"      # line 3: comment
+            "y = x + 1\n"      # line 4: executable
+        )
+        assert executable_lines(source) == {1, 4}
+
+    def test_recurses_into_nested_code_objects(self):
+        source = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        )
+        lines = executable_lines(source)
+        assert {1, 2, 3, 4} <= lines
+
+
+class TestLineCollector:
+    def test_records_only_files_under_root(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("a = 1\nb = 2\n", encoding="utf-8")
+        collector = LineCollector(tmp_path)
+        collector.install()
+        try:
+            code = compile(
+                target.read_text(encoding="utf-8"),
+                str(target.resolve()),
+                "exec",
+            )
+            exec(code, {})
+            # This very frame is outside tmp_path, so it is pruned.
+        finally:
+            collector.uninstall()
+        assert collector.hits == {str(target.resolve()): {1, 2}}
+
+    def test_traces_worker_threads(self, tmp_path):
+        target = tmp_path / "threaded.py"
+        target.write_text("value = 40 + 2\n", encoding="utf-8")
+        code = compile(
+            target.read_text(encoding="utf-8"),
+            str(target.resolve()),
+            "exec",
+        )
+        collector = LineCollector(tmp_path)
+        collector.install()
+        try:
+            worker = threading.Thread(target=exec, args=(code, {}))
+            worker.start()
+            worker.join()
+        finally:
+            collector.uninstall()
+        assert collector.hits == {str(target.resolve()): {1}}
+
+
+class TestMeasureTree:
+    def test_unexecuted_files_count_as_zero(self, tmp_path):
+        ran = tmp_path / "ran.py"
+        ran.write_text("a = 1\nb = 2\n", encoding="utf-8")
+        skipped = tmp_path / "skipped.py"
+        skipped.write_text("c = 3\n", encoding="utf-8")
+        hits = {str(ran.resolve()): {1}}
+        report = measure_tree(tmp_path, hits)
+        assert report[str(ran.resolve())] == (1, 2)
+        assert report[str(skipped.resolve())] == (0, 1)
+
+    def test_spurious_hits_do_not_inflate_coverage(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("a = 1\n", encoding="utf-8")
+        hits = {str(mod.resolve()): {1, 99}}  # 99 is not executable
+        assert measure_tree(tmp_path, hits)[str(mod.resolve())] == (1, 1)

@@ -84,6 +84,49 @@ class TestR001Layering:
         src = "from repro.storage import groupby_record_format\n"
         assert only(src, "src/repro/experiments/configs.py", "R001") == []
 
+    # Facet 4 — the serving layer composes, never digs below.
+    def test_serve_importing_backend_fires(self):
+        src = "from repro.backend.engine import BackendEngine\n"
+        assert only(src, "src/repro/serve/sharded.py", "R001") == ["R001"]
+
+    def test_serve_importing_storage_fires(self):
+        src = "import repro.storage.disk\n"
+        assert only(src, "src/repro/serve/session.py", "R001") == ["R001"]
+
+    def test_serve_importing_experiments_fires(self):
+        src = "from repro.experiments.harness import get_system\n"
+        assert only(src, "src/repro/serve/soak.py", "R001") == ["R001"]
+
+    def test_serve_importing_pipeline_and_core_is_fine(self):
+        src = (
+            "from repro.core.manager import ChunkCacheManager\n"
+            "from repro.pipeline.trace import record_blocked_wait\n"
+            "from repro.workload.stream import QueryStream\n"
+        )
+        assert only(src, "src/repro/serve/session.py", "R001") == []
+
+    def test_serve_importing_bare_facade_is_fine(self):
+        src = "from repro import invariants\n"
+        assert only(src, "src/repro/serve/sharded.py", "R001") == []
+
+    def test_bare_facade_allowance_is_not_a_prefix(self):
+        # "repro" being allowed must not make "repro.<anything>" pass.
+        src = "import repro.backend\n"
+        assert only(src, "src/repro/serve/sharded.py", "R001") == ["R001"]
+
+    # Facet 5 — nothing below experiments may know about serve.
+    def test_core_importing_serve_fires(self):
+        src = "from repro.serve import ShardedChunkCache\n"
+        assert only(src, "src/repro/core/manager.py", "R001") == ["R001"]
+
+    def test_pipeline_importing_serve_fires(self):
+        src = "import repro.serve.session\n"
+        assert only(src, "src/repro/pipeline/executor.py", "R001") == ["R001"]
+
+    def test_experiments_importing_serve_is_fine(self):
+        src = "from repro.serve import ServeSession\n"
+        assert only(src, "src/repro/experiments/multiuser.py", "R001") == []
+
 
 class TestR002FloatEquality:
     def test_float_literal_equality_fires(self):

@@ -1,6 +1,7 @@
 """Tests for repro.workload.stream."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import ExperimentError
 from repro.workload.generator import EQPR
@@ -63,3 +64,96 @@ class TestInterleave:
 
         with pytest.raises(ExperimentError):
             interleave_streams("none", [])
+
+
+class TestInterleaveProperties:
+    """Hypothesis checks of the canonical order the serving layer pins.
+
+    The fair schedule in :mod:`repro.serve` replays exactly this
+    interleave, so its fairness and completeness are load-bearing for
+    the concurrency determinism contract, not just for reporting.
+    """
+
+    @staticmethod
+    def label_streams(lengths):
+        """Streams of distinguishable (stream, position) tokens."""
+        return [
+            QueryStream(
+                name=f"s{index}",
+                queries=tuple(
+                    (index, position) for position in range(length)
+                ),
+            )
+            for index, length in enumerate(lengths)
+        ]
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=1,
+                    max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_round_robin_reference(self, lengths):
+        from itertools import zip_longest
+
+        from repro.workload.stream import interleave_streams
+
+        streams = self.label_streams(lengths)
+        combined = interleave_streams("all", streams)
+        sentinel = object()
+        expected = [
+            query
+            for round_ in zip_longest(*streams, fillvalue=sentinel)
+            for query in round_
+            if query is not sentinel
+        ]
+        assert list(combined) == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=1,
+                    max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_output_multiset_is_union_of_inputs(self, lengths):
+        from collections import Counter
+
+        from repro.workload.stream import interleave_streams
+
+        streams = self.label_streams(lengths)
+        combined = interleave_streams("all", streams)
+        assert Counter(combined) == Counter(
+            query for stream in streams for query in stream
+        )
+        assert len(combined) == sum(lengths)
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=2,
+                    max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_round_robin_fairness(self, lengths):
+        """In every prefix, no unexhausted stream falls more than one
+        query behind any other — the round-robin fairness invariant."""
+        from repro.workload.stream import interleave_streams
+
+        streams = self.label_streams(lengths)
+        combined = interleave_streams("all", streams)
+        taken = [0] * len(streams)
+        for stream_index, _ in combined:
+            taken[stream_index] += 1
+            active = [
+                count
+                for count, length in zip(taken, lengths)
+                if count < length
+            ]
+            if active:
+                assert max(active) - min(active) <= 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=1,
+                    max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_each_stream_stays_in_order(self, lengths):
+        from repro.workload.stream import interleave_streams
+
+        streams = self.label_streams(lengths)
+        combined = interleave_streams("all", streams)
+        for index, length in enumerate(lengths):
+            positions = [
+                position
+                for stream_index, position in combined
+                if stream_index == index
+            ]
+            assert positions == list(range(length))

@@ -1,0 +1,104 @@
+"""A dependency-free line-coverage measurer for the repro library.
+
+CI runs the real ``pytest-cov``/``coverage.py`` gate; this tool exists
+so the same number can be measured *locally* with nothing but the
+standard library (the dev container deliberately installs no coverage
+packages).  It is a plain ``sys.settrace`` collector:
+
+- :func:`executable_lines` statically enumerates the traceable lines of
+  a source file from the compiled code object's ``co_lines`` tables
+  (recursing into nested functions/classes/comprehensions);
+- :class:`LineCollector` records, per file under ``src/repro``, which
+  of those lines fired a ``line`` trace event — on every thread, via
+  ``threading.settrace`` (the serving-layer suites execute most of
+  their lines on worker threads).
+
+Usage::
+
+    python -m tools.checkcov [--fail-under PCT] [pytest args ...]
+
+installs the collector, runs pytest in-process, prints a per-package
+summary and exits non-zero if total coverage is below ``--fail-under``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from types import CodeType, FrameType
+from typing import Iterator
+
+__all__ = ["executable_lines", "LineCollector", "measure_tree"]
+
+
+def _code_objects(code: CodeType) -> Iterator[CodeType]:
+    """The code object and every code object nested inside it."""
+    yield code
+    for const in code.co_consts:
+        if isinstance(const, CodeType):
+            yield from _code_objects(const)
+
+
+def executable_lines(source: str, filename: str = "<src>") -> set[int]:
+    """Line numbers that can fire a ``line`` trace event.
+
+    Compiled rather than parsed: ``co_lines`` is exactly the table the
+    interpreter consults when emitting trace events, so the denominator
+    matches the collector's numerator by construction.
+    """
+    lines: set[int] = set()
+    for code in _code_objects(compile(source, filename, "exec")):
+        for _start, _end, line in code.co_lines():
+            if line is not None and line > 0:
+                lines.add(line)
+    return lines
+
+
+class LineCollector:
+    """Records executed line numbers for files under one directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = str(root.resolve()) + "/"
+        self.hits: dict[str, set[int]] = {}
+        self._lock = threading.Lock()
+
+    def trace(
+        self, frame: FrameType, event: str, arg: object
+    ) -> object:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.root):
+            return None  # prune: no line events for this frame
+        if event == "line":
+            with self._lock:
+                self.hits.setdefault(filename, set()).add(frame.f_lineno)
+        return self.trace
+
+    def install(self) -> None:
+        """Start tracing on the current thread and all future threads."""
+        threading.settrace(self.trace)
+        sys.settrace(self.trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def measure_tree(
+    root: Path, hits: dict[str, set[int]]
+) -> dict[str, tuple[int, int]]:
+    """Per-file ``(covered, executable)`` counts for a source tree.
+
+    Files that never produced a trace event still appear, with zero
+    covered lines — unimported modules count against the total, exactly
+    as coverage.py scores them.
+    """
+    out: dict[str, tuple[int, int]] = {}
+    for path in sorted(root.rglob("*.py")):
+        resolved = str(path.resolve())
+        expected = executable_lines(
+            path.read_text(encoding="utf-8"), resolved
+        )
+        covered = hits.get(resolved, set()) & expected
+        out[resolved] = (len(covered), len(expected))
+    return out

@@ -1,0 +1,87 @@
+"""CLI: measure line coverage of src/repro over a pytest run.
+
+``python -m tools.checkcov [--fail-under PCT] [pytest args ...]``
+
+Everything after the checkcov options is handed to pytest verbatim
+(default: ``-x -q``).  Must run from the repo root with ``src`` on
+``PYTHONPATH`` (or installed), like the test suite itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.checkcov import LineCollector, measure_tree
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="checkcov",
+        description="stdlib line coverage of src/repro under pytest",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="exit non-zero if total coverage is below this percentage",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to pytest (default: -x -q)",
+    )
+    options = parser.parse_args(argv)
+
+    root = Path("src/repro")
+    if not root.is_dir():
+        print("checkcov: run from the repo root (src/repro not found)",
+              file=sys.stderr)
+        return 2
+
+    import pytest
+
+    collector = LineCollector(root)
+    collector.install()
+    try:
+        exit_code = pytest.main(options.pytest_args or ["-x", "-q"])
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print(f"checkcov: pytest failed (exit {exit_code}); "
+              "coverage not evaluated", file=sys.stderr)
+        return int(exit_code)
+
+    per_file = measure_tree(root, collector.hits)
+    covered = sum(hit for hit, _ in per_file.values())
+    executable = sum(total for _, total in per_file.values())
+    percent = 100.0 * covered / executable if executable else 100.0
+
+    width = max(len(_rel(name)) for name in per_file)
+    for name, (hit, total) in sorted(per_file.items()):
+        pct = 100.0 * hit / total if total else 100.0
+        print(f"{_rel(name):<{width}}  {hit:>5}/{total:<5} {pct:6.1f}%")
+    print(f"{'TOTAL':<{width}}  {covered:>5}/{executable:<5} "
+          f"{percent:6.1f}%")
+
+    if percent < options.fail_under:
+        print(
+            f"checkcov: coverage {percent:.1f}% is below the "
+            f"--fail-under floor {options.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _rel(filename: str) -> str:
+    try:
+        return str(Path(filename).relative_to(Path.cwd()))
+    except ValueError:
+        return filename
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,11 @@ The repro codebase is layered::
         ^
     pipeline  ->  core                           (staged answering, caches)
         ^
+    serve                                        (concurrent serving)
+        ^
     experiments                                  (harness, figures)
 
-Three machine-checkable facets:
+Five machine-checkable facets:
 
 1. ``repro.chunks`` and ``repro.storage`` must not import ``repro.core``
    or ``repro.pipeline`` — geometry and the storage engine sit *below*
@@ -28,6 +30,15 @@ Three machine-checkable facets:
 3. ``repro.experiments`` may not reach into ``repro.storage`` submodules
    — it must import through the ``repro.storage`` facade, so storage
    internals can be reorganized without breaking experiment code.
+4. ``repro.serve`` may import only the layers it composes — the core,
+   pipeline and workload layers plus the leaves — never the backend,
+   storage, chunks or experiments packages.  The serving layer adds
+   concurrency *around* the pipeline; if it needs physical work it must
+   go through a resolver, so the backend-call discipline (facet 2)
+   survives threading.
+5. Nothing below the experiments layer may import ``repro.serve`` —
+   core, pipeline, backend, chunks and storage must all stay usable in
+   single-threaded form without the serving machinery.
 """
 
 from __future__ import annotations
@@ -64,6 +75,40 @@ BACKEND_CALLERS = ("repro.pipeline.resolvers", "repro.pipeline.work")
 
 #: Receiver names that denote "the backend engine" at a call site.
 _BACKEND_RECEIVERS = frozenset({"backend", "engine", "_backend", "_engine"})
+
+#: Package prefixes the serving layer may import (facet 4); the bare
+#: ``repro`` facade (``from repro import invariants``) is also allowed.
+SERVE_ALLOWED_IMPORTS = (
+    "repro.serve",
+    "repro.core",
+    "repro.pipeline",
+    "repro.workload",
+    "repro.query",
+    "repro.schema",
+    "repro.analysis",
+    "repro.exceptions",
+    "repro.invariants",
+)
+
+#: Layers that must not know about the serving layer (facet 5).
+_BELOW_SERVE = (
+    "repro.core",
+    "repro.pipeline",
+    "repro.backend",
+    "repro.chunks",
+    "repro.storage",
+    "repro.workload",
+    "repro.query",
+    "repro.schema",
+    "repro.analysis",
+)
+
+
+def _in_modules(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
 
 
 def _imported_modules(tree: ast.Module) -> Iterator[tuple[str, int, int]]:
@@ -134,4 +179,32 @@ def check(ctx: FileContext) -> Iterator[Violation]:
                     f"experiments reach into storage internals "
                     f"({module}); import through the repro.storage "
                     "facade instead",
+                )
+
+    # Facet 4: serve composes core/pipeline/workload + leaves, nothing else.
+    if ctx.in_package("repro.serve"):
+        for module, line, col in _imported_modules(ctx.tree):
+            if not module.startswith("repro"):
+                continue
+            if module == "repro" or _in_modules(
+                module, SERVE_ALLOWED_IMPORTS
+            ):
+                continue
+            yield Violation(
+                ctx.path, line, col, CODE,
+                f"layer violation: {ctx.module} (serving layer) imports "
+                f"{module}; serve/ may only compose the core, pipeline "
+                "and workload layers — backend access stays behind the "
+                "pipeline's resolvers",
+            )
+
+    # Facet 5: layers below experiments must not import serve.
+    if ctx.in_package(*_BELOW_SERVE):
+        for module, line, col in _imported_modules(ctx.tree):
+            if _in_modules(module, ("repro.serve",)):
+                yield Violation(
+                    ctx.path, line, col, CODE,
+                    f"layer violation: {ctx.module} imports {module}; "
+                    "only the experiments layer (and callers above it) "
+                    "may depend on the serving machinery",
                 )
