@@ -5,11 +5,14 @@ Subcommands:
 - ``list`` — show the reproducible experiments;
 - ``run [ids...] [--smoke|--paper]`` — regenerate tables/figures
   (all of them when no ids are given);
+- ``soak`` — the concurrency soak; with ``--chaos`` the fault-injected
+  chaos soak (the nightly job's entry point);
 - ``info`` — print version and the configured default scale.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from repro import __version__
@@ -24,6 +27,10 @@ commands:
   list                 list reproducible experiments
   run [ids...]         run experiments (default: all); --smoke / --paper
   report [path]        run everything and write a Markdown report
+  soak                 concurrency soak; --chaos for fault injection,
+                       --rate low|mid|high, --seed N, --users N,
+                       --per-user N, --shards N, --report PATH (JSON),
+                       --smoke / --paper
   info                 version and default scale
 """
 
@@ -94,6 +101,67 @@ def _markdown_body(result: ExperimentResult) -> str:
     return format_markdown(result.columns, result.rows)
 
 
+def _flag_value(argv: list[str], name: str) -> tuple[list[str], str | None]:
+    """Pop ``name VALUE`` from the argument list, if present."""
+    if name not in argv:
+        return argv, None
+    index = argv.index(name)
+    if index + 1 >= len(argv):
+        raise SystemExit(f"{name} needs a value")
+    value = argv[index + 1]
+    return argv[:index] + argv[index + 2 :], value
+
+
+def _cmd_soak(argv: list[str]) -> int:
+    # The composition root for fault plans lives in the experiments
+    # layer (R006); import it lazily so `python -m repro list` stays
+    # cheap.
+    from repro.experiments.soakjob import run_chaos_job, run_soak_job
+
+    scale = DEFAULT_SCALE
+    if "--smoke" in argv:
+        scale = SMOKE_SCALE
+        argv = [a for a in argv if a != "--smoke"]
+    if "--paper" in argv:
+        scale = PAPER_SCALE
+        argv = [a for a in argv if a != "--paper"]
+    chaos = "--chaos" in argv
+    argv = [a for a in argv if a != "--chaos"]
+    argv, rate = _flag_value(argv, "--rate")
+    argv, seed = _flag_value(argv, "--seed")
+    argv, users = _flag_value(argv, "--users")
+    argv, per_user = _flag_value(argv, "--per-user")
+    argv, shards = _flag_value(argv, "--shards")
+    argv, report_path = _flag_value(argv, "--report")
+    if argv:
+        print(f"unknown soak arguments: {argv}", file=sys.stderr)
+        return 2
+    kwargs: dict[str, object] = {"scale": scale}
+    if users is not None:
+        kwargs["num_users"] = int(users)
+    if per_user is not None:
+        kwargs["per_user"] = int(per_user)
+    if shards is not None:
+        kwargs["num_shards"] = int(shards)
+    if chaos:
+        if rate is not None:
+            kwargs["rate"] = rate
+        if seed is not None:
+            kwargs["seed"] = int(seed)
+        summary = run_chaos_job(**kwargs)  # type: ignore[arg-type]
+    else:
+        summary = run_soak_job(**kwargs)  # type: ignore[arg-type]
+    for key in sorted(summary):
+        if key != "contention":
+            print(f"  {key}: {summary[key]}")
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"soak report written to {report_path}")
+    return 0
+
+
 def _cmd_info() -> int:
     print(f"repro {__version__}")
     print(
@@ -116,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(rest)
     if command == "report":
         return _cmd_report(rest)
+    if command == "soak":
+        return _cmd_soak(rest)
     if command == "info":
         return _cmd_info()
     print(USAGE, file=sys.stderr)

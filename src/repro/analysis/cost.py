@@ -52,11 +52,18 @@ class CostModel:
             raise ExperimentError("cost constants must be non-negative")
 
     def time(self, report: "CostReport", tuples_from_cache: int = 0) -> float:
-        """Modelled execution time of one operation."""
+        """Modelled execution time of one operation.
+
+        Injected fault latency and retry backoff (both exactly ``0.0``
+        on fault-free runs) are simulated seconds already, so they add
+        directly without a constant.
+        """
         return (
             self.io_page_cost * report.pages_read
             + self.cpu_tuple_cost * report.tuples_scanned
             + self.cache_tuple_cost * tuples_from_cache
+            + report.fault_latency
+            + report.backoff_time
         )
 
     def backend_time(self, pages: float, tuples: float = 0.0) -> float:

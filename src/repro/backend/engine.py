@@ -46,7 +46,7 @@ from repro.backend.aggregate import (
 from repro.backend.plans import CostReport, measure_cost
 from repro.chunks.closure import source_spans
 from repro.chunks.grid import ChunkSpace
-from repro.exceptions import BackendError, QueryError
+from repro.exceptions import BackendError, InjectedFault, QueryError
 from repro.query.model import StarQuery
 from repro.schema.star import GroupBy, StarSchema
 from repro.storage.bitmap import BitmapIndex, combine_and
@@ -156,6 +156,10 @@ class BackendEngine:
         # Optional hook (installed by the serving layer) receiving each
         # contended wait, e.g. the pipeline trace's blocked clock.
         self.lock_wait_recorder: Callable[[float], None] | None = None
+        # Fault-injection hook (repro.faults installs it; production code
+        # never does).  Called with the entry-point name; may raise a
+        # BackendFault to simulate a query-level failure.
+        self.fault_hook: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -297,6 +301,7 @@ class BackendEngine:
         delta = self.disk.stats.delta(before)
         self.disk.stats.reads -= delta.reads
         self.disk.stats.writes -= delta.writes
+        self.disk.stats.fault_latency -= delta.fault_latency
         self.buffer_pool.flush()
 
     def _choose_source(
@@ -339,6 +344,7 @@ class BackendEngine:
         numbers: Sequence[int],
         aggregates: Sequence[tuple[str, str]],
         leaf_filters: Sequence | None = None,
+        prefer_base: bool = False,
     ) -> tuple[dict[int, np.ndarray], CostReport]:
         """Compute the requested chunks of a group-by from source chunks.
 
@@ -349,9 +355,17 @@ class BackendEngine:
         ``leaf_filters`` (per-dimension leaf intervals) are the query's
         non-group-by selections, folded in before aggregating — they
         force the base-table source, and the resulting chunks are only
-        cacheable under a key carrying the same filters.  Returns a
-        mapping from chunk number to its aggregated rows (empty chunks
-        map to empty arrays) and the combined cost.
+        cacheable under a key carrying the same filters.
+        ``prefer_base`` forces the base-table source even when a cheaper
+        materialized table exists — the degrade path the pipeline takes
+        after an aggregate-level read fault.  Returns a mapping from
+        chunk number to its aggregated rows (empty chunks map to empty
+        arrays) and the combined cost.
+
+        An :class:`~repro.exceptions.InjectedFault` escaping this method
+        carries the attempt's :class:`CostReport` (``cost_report``) and
+        the source level that faulted (``source_level``), so callers can
+        conserve the wasted I/O and pick a recovery path.
         """
         self._require_loaded()
         if self.chunked_file is None:
@@ -360,61 +374,77 @@ class BackendEngine:
             )
         groupby = self.schema.validate_groupby(groupby)
         numbers = list(numbers)
-        source = self._choose_source(groupby, leaf_filters)
+        if prefer_base:
+            source = None
+        else:
+            source = self._choose_source(groupby, leaf_filters)
         results: dict[int, np.ndarray] = {}
-        with measure_cost(self.disk, access_path="chunk") as report:
-            if source is None:
-                source_groupby: GroupBy = self.schema.base_groupby
-                source_file = self.chunked_file
-            else:
-                source_groupby, source_file = source
-            source_numbers = self._union_source_chunks(
-                groupby, numbers, source_groupby
-            )
-            source_records = source_file.read_chunks(source_numbers)
-            if source is None:
-                delta = self._delta_for_base_chunks(set(source_numbers))
-                if len(delta):
-                    source_records = np.concatenate(
-                        [source_records, delta]
+        try:
+            with measure_cost(self.disk, access_path="chunk") as report:
+                if self.fault_hook is not None:
+                    self.fault_hook("compute_chunks")
+                if source is None:
+                    source_groupby: GroupBy = self.schema.base_groupby
+                    source_file = self.chunked_file
+                else:
+                    source_groupby, source_file = source
+                source_numbers = self._union_source_chunks(
+                    groupby, numbers, source_groupby
+                )
+                source_records = source_file.read_chunks(source_numbers)
+                if source is None:
+                    delta = self._delta_for_base_chunks(set(source_numbers))
+                    if len(delta):
+                        source_records = np.concatenate(
+                            [source_records, delta]
+                        )
+                report.tuples_scanned += len(source_records)
+                report.chunks_computed += len(numbers)
+                if source is None:
+                    rows = aggregate_records(
+                        self.schema,
+                        source_records,
+                        groupby,
+                        aggregates,
+                        self.mapper,
+                        leaf_filters=leaf_filters,
                     )
-            report.tuples_scanned += len(source_records)
-            report.chunks_computed += len(numbers)
-            if source is None:
-                rows = aggregate_records(
-                    self.schema,
-                    source_records,
-                    groupby,
-                    aggregates,
-                    self.mapper,
-                    leaf_filters=leaf_filters,
+                else:
+                    rows = finalize_partials(
+                        self.schema,
+                        source_records,
+                        source_groupby,
+                        groupby,
+                        aggregates,
+                        self.mapper,
+                    )
+                target_grid = self.space.grid(groupby)
+                row_numbers = tuple_chunk_numbers(
+                    target_grid,
+                    rows,
+                    tuple(d.name for d in self.schema.dimensions),
                 )
-            else:
-                rows = finalize_partials(
-                    self.schema,
-                    source_records,
-                    source_groupby,
-                    groupby,
-                    aggregates,
-                    self.mapper,
+                wanted = set(numbers)
+                for number in numbers:
+                    results[number] = rows[row_numbers == number]
+                # Rows landing in un-requested chunks can only arise from a
+                # caller bug (source chunks exactly tile the targets).
+                stray = set(np.unique(row_numbers).tolist()) - wanted
+                if stray:
+                    raise BackendError(
+                        f"aggregated rows fell into unrequested chunks {stray}"
+                    )
+                report.result_tuples += sum(len(r) for r in results.values())
+        except InjectedFault as fault:
+            # measure_cost.__exit__ already ran, so ``report`` holds the
+            # I/O of the failed attempt.  Attach it once (the innermost
+            # computation wins when answer() routed through here).
+            if fault.cost_report is None:
+                fault.cost_report = report
+                fault.source_level = (
+                    "base" if source is None else "aggregate"
                 )
-            target_grid = self.space.grid(groupby)
-            row_numbers = tuple_chunk_numbers(
-                target_grid,
-                rows,
-                tuple(d.name for d in self.schema.dimensions),
-            )
-            wanted = set(numbers)
-            for number in numbers:
-                results[number] = rows[row_numbers == number]
-            # Rows landing in un-requested chunks can only arise from a
-            # caller bug (source chunks exactly tile the targets).
-            stray = set(np.unique(row_numbers).tolist()) - wanted
-            if stray:
-                raise BackendError(
-                    f"aggregated rows fell into unrequested chunks {stray}"
-                )
-            report.result_tuples += sum(len(r) for r in results.values())
+            raise
         return results, report
 
     def _union_source_chunks(
@@ -577,6 +607,7 @@ class BackendEngine:
         delta = self.disk.stats.delta(before)
         self.disk.stats.writes -= delta.writes  # appends are write I/O the
         self.disk.stats.reads -= delta.reads    # experiments do not measure
+        self.disk.stats.fault_latency -= delta.fault_latency
         self.materialized.clear()
         self.space.set_base_tuples(
             self.space.base_tuples + len(records)
@@ -638,6 +669,7 @@ class BackendEngine:
         delta = self.disk.stats.delta(before)
         self.disk.stats.reads -= delta.reads
         self.disk.stats.writes -= delta.writes
+        self.disk.stats.fault_latency -= delta.fault_latency
         self.buffer_pool.flush()
 
     # ------------------------------------------------------------------
@@ -656,6 +688,8 @@ class BackendEngine:
                 are built; otherwise scan).
         """
         self._require_loaded()
+        if self.fault_hook is not None:
+            self.fault_hook("answer")
         if access_path == "auto":
             has_selection = (
                 any(s is not None for s in query.selections)

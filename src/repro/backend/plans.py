@@ -33,6 +33,16 @@ class CostReport:
         chunks_computed: Chunks materialized by this operation.
         access_path: Human-readable tag (``"chunk"``, ``"bitmap"``,
             ``"scan"``, ``"cache"``).
+        faults: Injected faults absorbed while producing this result.
+        retries: Retry attempts the recovery policy made.
+        degraded: Times the degrade path (recompute from base chunks)
+            was taken after an aggregate-level fault.
+        fault_latency: Simulated seconds of injected slow-read latency.
+        backoff_time: Simulated seconds of deterministic retry backoff.
+
+    The five fault fields stay exactly zero on fault-free runs, so the
+    modelled time they feed (:class:`repro.analysis.cost.CostModel`) is
+    bit-identical with the fault layer absent.
     """
 
     pages_read: int = 0
@@ -41,6 +51,11 @@ class CostReport:
     result_tuples: int = 0
     chunks_computed: int = 0
     access_path: str = ""
+    faults: int = 0
+    retries: int = 0
+    degraded: int = 0
+    fault_latency: float = 0.0
+    backoff_time: float = 0.0
 
     def __add__(self, other: "CostReport") -> "CostReport":
         paths = {p for p in (self.access_path, other.access_path) if p}
@@ -51,6 +66,11 @@ class CostReport:
             result_tuples=self.result_tuples + other.result_tuples,
             chunks_computed=self.chunks_computed + other.chunks_computed,
             access_path="+".join(sorted(paths)),
+            faults=self.faults + other.faults,
+            retries=self.retries + other.retries,
+            degraded=self.degraded + other.degraded,
+            fault_latency=self.fault_latency + other.fault_latency,
+            backoff_time=self.backoff_time + other.backoff_time,
         )
 
     def merge(self, other: "CostReport") -> None:
@@ -60,6 +80,11 @@ class CostReport:
         self.tuples_scanned += other.tuples_scanned
         self.result_tuples += other.result_tuples
         self.chunks_computed += other.chunks_computed
+        self.faults += other.faults
+        self.retries += other.retries
+        self.degraded += other.degraded
+        self.fault_latency += other.fault_latency
+        self.backoff_time += other.backoff_time
 
 
 class measure_cost:
@@ -88,3 +113,4 @@ class measure_cost:
         delta = self._disk.stats.delta(self._before)
         self.report.pages_read += delta.reads
         self.report.pages_written += delta.writes
+        self.report.fault_latency += delta.fault_latency

@@ -11,7 +11,7 @@ queries — the split of a query into present and missing chunks lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro import invariants
 from repro.core.chunk import CachedChunk, ChunkKey
@@ -20,16 +20,28 @@ from repro.exceptions import CacheError
 
 __all__ = ["ChunkCacheStats", "ChunkStore", "ChunkCache"]
 
+#: A cache fault hook inspects a put and returns None (no fault),
+#: ``("poison", 0)`` (reject the put, cache unchanged) or
+#: ``("pressure", n)`` (forcibly evict up to ``n`` entries first).
+FaultHook = Callable[[CachedChunk], "tuple[str, int] | None"]
+
 
 @dataclass
 class ChunkCacheStats:
-    """Hit/miss/eviction counters of a chunk cache."""
+    """Hit/miss/eviction counters of a chunk cache.
+
+    ``poisoned`` and ``pressure_evictions`` count injected-fault
+    outcomes (see :mod:`repro.faults`); both stay zero on fault-free
+    runs.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
     rejected: int = 0
+    poisoned: int = 0
+    pressure_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -125,6 +137,9 @@ class ChunkCache:
         self.stats = ChunkCacheStats()
         self._entries: dict[ChunkKey, CachedChunk] = {}
         self._used_bytes = 0
+        # Fault-injection hook (repro.faults installs it; production
+        # code never does).  Consulted at the top of put().
+        self.fault_hook: FaultHook | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,7 +194,24 @@ class ChunkCache:
         state at the entry's *current* benefit, can never evict itself,
         and an over-budget refresh leaves the key absent rather than
         silently serving the stale payload.
+
+        An installed fault hook is consulted first: a poisoned put is
+        rejected with the cache byte-for-byte unchanged; a pressure
+        fault forcibly sheds entries before the put proceeds normally.
         """
+        if self.fault_hook is not None:
+            fault = self.fault_hook(entry)
+            if fault is not None:
+                fault_kind, amount = fault
+                if fault_kind == "poison":
+                    self.stats.poisoned += 1
+                    return False
+                if fault_kind == "pressure":
+                    self.shed(amount)
+                else:
+                    raise CacheError(
+                        f"unknown cache fault kind {fault_kind!r}"
+                    )
         size = entry.size_bytes
         existing = self._entries.pop(entry.key, None)
         if existing is not None:
@@ -212,6 +244,23 @@ class ChunkCache:
         """Drop everything (stats are kept)."""
         for key in list(self._entries):
             self.invalidate(key)
+
+    def shed(self, count: int) -> int:
+        """Forcibly evict up to ``count`` entries (injected pressure).
+
+        Victims are what the replacement policy values least (the
+        benefit-weighted policy takes its bounded weakest-entry path for
+        a non-positive incoming weight, leaving other entries' sweep
+        state untouched).  Returns the number actually evicted (bounded
+        by residency); byte accounting is re-checked after.
+        """
+        shed = 0
+        while shed < count and self._entries:
+            self._evict_one(0.0)
+            self.stats.pressure_evictions += 1
+            shed += 1
+        self._check_accounting()
+        return shed
 
     def _evict_one(self, incoming_benefit: float) -> None:
         if not self._entries:

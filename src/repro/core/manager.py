@@ -275,7 +275,8 @@ class ChunkCacheManager:
         the stream's per-stage / per-resolver trace aggregates.  When
         the store is sharded (exposes a callable ``contention()``), the
         snapshot gains a ``"shards"`` entry with lock-contention and
-        shard-skew metrics.
+        shard-skew metrics.  A ``"faults"`` entry summarizes injected
+        faults and recoveries (all zeros on fault-free runs).
         """
         per_groupby: dict[GroupBy, dict[str, float]] = {}
         for key, entry in self.cache.snapshot():
@@ -285,12 +286,14 @@ class ChunkCacheManager:
             bucket["chunks"] += 1
             bucket["bytes"] += entry.size_bytes
             bucket["benefit"] += entry.benefit
+        stages = self.metrics.stage_summary()
+        stats = self.cache.stats
         out: dict[str, object] = {
             "used_bytes": self.cache.used_bytes,
             "capacity_bytes": self.cache.capacity_bytes,
             "entries": len(self.cache),
-            "hit_ratio": self.cache.stats.hit_ratio,
-            "evictions": self.cache.stats.evictions,
+            "hit_ratio": stats.hit_ratio,
+            "evictions": stats.evictions,
             "per_groupby": dict(
                 sorted(
                     per_groupby.items(),
@@ -298,8 +301,18 @@ class ChunkCacheManager:
                     reverse=True,
                 )
             ),
-            "stages": self.metrics.stage_summary(),
+            "stages": stages,
             "resolved_by": self.metrics.resolver_summary(),
+        }
+        out["faults"] = {
+            "poisoned_puts": stats.poisoned,
+            "pressure_evictions": stats.pressure_evictions,
+            "faults": sum(b["faults"] for b in stages.values()),
+            "retries": sum(b["retries"] for b in stages.values()),
+            "degraded": sum(b["degraded"] for b in stages.values()),
+            "backoff_seconds": sum(
+                b["backoff_seconds"] for b in stages.values()
+            ),
         }
         contention = getattr(self.cache, "contention", None)
         if callable(contention):

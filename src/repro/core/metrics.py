@@ -214,9 +214,11 @@ class StreamMetrics:
 
         Returns ``stage name -> {"calls", "wall_seconds",
         "modelled_time", "partitions", "pages_read", "tuples_scanned",
-        "lock_wait_seconds"}`` summed across the stream, in first-seen
-        stage order.  ``lock_wait_seconds`` is read duck-typed (defaults
-        to 0.0) so pre-serving traces aggregate unchanged.
+        "lock_wait_seconds", "faults", "retries", "degraded",
+        "backoff_seconds"}`` summed across the stream, in first-seen
+        stage order.  ``lock_wait_seconds`` and the fault counters are
+        read duck-typed (defaulting to 0) so pre-serving and pre-fault
+        traces aggregate unchanged.
         """
         totals: dict[str, dict[str, float]] = {}
         for trace in self._traces:
@@ -231,6 +233,10 @@ class StreamMetrics:
                         "pages_read": 0.0,
                         "tuples_scanned": 0.0,
                         "lock_wait_seconds": 0.0,
+                        "faults": 0.0,
+                        "retries": 0.0,
+                        "degraded": 0.0,
+                        "backoff_seconds": 0.0,
                     },
                 )
                 bucket["calls"] += 1
@@ -241,6 +247,14 @@ class StreamMetrics:
                 bucket["tuples_scanned"] += entry.tuples_scanned
                 bucket["lock_wait_seconds"] += float(
                     getattr(entry, "lock_wait_seconds", 0.0)
+                )
+                bucket["faults"] += float(getattr(entry, "faults", 0))
+                bucket["retries"] += float(getattr(entry, "retries", 0))
+                bucket["degraded"] += float(
+                    getattr(entry, "degraded", 0)
+                )
+                bucket["backoff_seconds"] += float(
+                    getattr(entry, "backoff_seconds", 0.0)
                 )
         return totals
 

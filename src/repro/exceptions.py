@@ -82,6 +82,76 @@ class ServeError(ReproError):
     """
 
 
+class FaultError(ReproError):
+    """A fault-injection plan or injector was configured incorrectly."""
+
+
+class InjectedFault(ReproError):
+    """Base class for deliberately injected faults (:mod:`repro.faults`).
+
+    Raised only by fault-injection hooks, never by production code paths
+    on their own.  Carries the recovery-relevant metadata the pipeline's
+    retry/degrade policy inspects:
+
+    Attributes:
+        transient: Whether a retry may succeed (transient faults are
+            retried with deterministic backoff; permanent ones are not).
+        site: The decision site that rolled the fault (e.g.
+            ``"disk.read"``), for counters and reports.
+        source_level: Filled in by the backend when the fault surfaced
+            during chunk computation: ``"aggregate"`` when a
+            materialized aggregate table was being read (the degrade
+            path recomputes from base chunks), ``"base"`` otherwise.
+        cost_report: Physical work charged to the failed attempt(s),
+            attached by the backend / resolver so even failed queries
+            conserve global I/O accounting.  Duck-typed (a
+            :class:`repro.backend.plans.CostReport`) to keep this module
+            a leaf.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        transient: bool = True,
+        site: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.transient = transient
+        self.site = site
+        self.source_level: str | None = None
+        self.cost_report: object | None = None
+
+
+class DiskFault(InjectedFault, StorageError):
+    """An injected page-read failure of the simulated disk.
+
+    Attributes:
+        page_id: The page whose read faulted.
+    """
+
+    def __init__(
+        self, message: str, page_id: int, transient: bool, site: str = ""
+    ) -> None:
+        super().__init__(message, transient=transient, site=site)
+        self.page_id = page_id
+
+
+class BackendFault(InjectedFault, BackendError):
+    """An injected query-level failure of the backend engine.
+
+    Attributes:
+        operation: The engine entry point that faulted
+            (``"compute_chunks"`` or ``"answer"``).
+    """
+
+    def __init__(
+        self, message: str, operation: str, transient: bool = True,
+        site: str = "",
+    ) -> None:
+        super().__init__(message, transient=transient, site=site)
+        self.operation = operation
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant check failed (see :mod:`repro.invariants`).
 

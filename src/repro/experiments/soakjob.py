@@ -1,0 +1,154 @@
+"""Soak and chaos-soak jobs — the nightly entry points.
+
+This module is the **composition root** for fault injection: it builds
+the system, the workload, the sharded store and (for chaos runs) the
+:class:`~repro.faults.FaultPlan` / :class:`~repro.faults.FaultInjector`
+pair, then hands everything to the serving layer's harnesses.  Under
+reprolint rule R006 it is one of the only production modules allowed to
+import :mod:`repro.faults` — the storage, backend, cache and serving
+layers receive fault hooks duck-typed and never construct a plan
+themselves.
+
+Both jobs return plain JSON-able dictionaries so the CLI (``python -m
+repro soak``) and the nightly GitHub Actions workflow can archive the
+outcome as an artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments.configs import DEFAULT_SCALE, Scale
+from repro.experiments.harness import get_system, make_chunk_manager
+from repro.experiments.multiuser import user_streams
+from repro.faults import FaultInjector, FaultPlan, standard_specs
+from repro.query.model import StarQuery
+from repro.serve import (
+    ChaosConfig,
+    ChaosReport,
+    ShardedChunkCache,
+    SoakConfig,
+    SoakReport,
+    run_chaos_soak,
+    run_soak,
+)
+
+__all__ = ["run_soak_job", "run_chaos_job"]
+
+NUM_SHARDS = 8
+NUM_USERS = 8
+
+
+def run_soak_job(
+    scale: Scale = DEFAULT_SCALE,
+    num_users: int = NUM_USERS,
+    per_user: int | None = None,
+    num_shards: int = NUM_SHARDS,
+    config: SoakConfig = SoakConfig(),
+) -> dict[str, Any]:
+    """Run the fault-free concurrency soak and summarize it.
+
+    Builds K user streams over one hot region, races them under the
+    free schedule with deep invariants, and returns the verified
+    totals as a JSON-able dictionary.
+    """
+    system = get_system(scale)
+    streams = user_streams(system, num_users=num_users, per_user=per_user)
+    cache = ShardedChunkCache(system.cache_bytes, num_shards=num_shards)
+    manager = make_chunk_manager(system, cache=cache)
+    report = run_soak(manager, streams, config)
+    return {
+        "job": "soak",
+        "scale_tuples": scale.num_tuples,
+        "num_users": num_users,
+        "per_user": len(streams[0]),
+        "num_shards": num_shards,
+        **_soak_summary(report),
+    }
+
+
+def run_chaos_job(
+    scale: Scale = DEFAULT_SCALE,
+    rate: str = "mid",
+    seed: int = 20260806,
+    num_users: int = NUM_USERS,
+    per_user: int | None = None,
+    num_shards: int = NUM_SHARDS,
+    config: ChaosConfig = ChaosConfig(),
+    with_oracle: bool = True,
+) -> dict[str, Any]:
+    """Run the chaos soak under a standard fault plan and summarize it.
+
+    Args:
+        scale: System/workload scale.
+        rate: Fault-plan preset (``"low"``, ``"mid"``, ``"high"``).
+        seed: The fault plan's seed — same seed, workload and config
+            reproduce the same digest.
+        num_users: Concurrent user streams.
+        per_user: Queries per stream (default: scale-derived).
+        num_shards: Cache shards.
+        config: Harness knobs (schedule, checkpoints, deadline).
+        with_oracle: When true (the default), every answered query is
+            replayed fault-free after the run and must match — the
+            "never a wrong answer" half of the degradation contract.
+    """
+    system = get_system(scale)
+    streams = user_streams(system, num_users=num_users, per_user=per_user)
+    oracle: Callable[[StarQuery], Any] | None = None
+    if with_oracle:
+        oracle_manager = make_chunk_manager(system)
+
+        def _replay(query: StarQuery) -> Any:
+            return oracle_manager.pipeline.execute(query).rows
+
+        oracle = _replay
+
+    cache = ShardedChunkCache(system.cache_bytes, num_shards=num_shards)
+    manager = make_chunk_manager(system, cache=cache)
+    plan = FaultPlan(seed=seed, specs=standard_specs(rate))
+    injector = FaultInjector(plan)
+    report = run_chaos_soak(
+        manager, streams, injector, config, oracle=oracle
+    )
+    return {
+        "job": "chaos-soak",
+        "scale_tuples": scale.num_tuples,
+        "rate": rate,
+        "seed": seed,
+        "num_users": num_users,
+        "per_user": len(streams[0]),
+        "num_shards": num_shards,
+        "schedule": config.schedule,
+        "oracle_replayed": with_oracle,
+        **_chaos_summary(report),
+    }
+
+
+def _soak_summary(report: SoakReport) -> dict[str, Any]:
+    return {
+        "queries": report.queries,
+        "checkpoints": report.checkpoints,
+        "pages_read": report.pages_read,
+        "disk_read_delta": report.disk_read_delta,
+        "deep_checks": report.deep_checks,
+        "csr": report.serve.metrics.cost_saving_ratio(),
+        "simulated_throughput": report.serve.simulated_throughput,
+        "contention": report.serve.contention,
+    }
+
+
+def _chaos_summary(report: ChaosReport) -> dict[str, Any]:
+    return {
+        "queries": report.queries,
+        "failures": report.failures,
+        "checkpoints": report.checkpoints,
+        "pages_read": report.pages_read,
+        "failed_pages": report.failed_pages,
+        "disk_read_delta": report.disk_read_delta,
+        "deep_checks": report.deep_checks,
+        "wrong_answers": report.wrong_answers,
+        "digest": report.digest,
+        "fault_counters": report.fault_counters,
+        "csr": report.serve.metrics.cost_saving_ratio(),
+        "contention": report.serve.contention,
+    }

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the chunk-cache stack.
+
+This package is the *only* place fault plans are constructed and hooks
+are installed (reprolint rule R006 enforces the boundary).  Production
+modules merely expose hook points that stay ``None`` — and therefore
+behave bit-identically to a tree without this package — until a test or
+chaos harness activates a :class:`FaultInjector` around a manager.
+
+See ``docs/FAULTS.md`` for the fault taxonomy, the determinism
+contract, and how to write a chaos test.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BACKEND_QUERY,
+    CACHE_POISON,
+    CACHE_PRESSURE,
+    DISK_PERMANENT,
+    DISK_SLOW,
+    DISK_TRANSIENT,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    standard_specs,
+)
+
+__all__ = [
+    "BACKEND_QUERY",
+    "CACHE_POISON",
+    "CACHE_PRESSURE",
+    "DISK_PERMANENT",
+    "DISK_SLOW",
+    "DISK_TRANSIENT",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "standard_specs",
+]

@@ -1,0 +1,163 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultPlan` is a *pure function* from ``(seed, kind, site,
+sequence-number)`` to a fault decision: no wall clock, no hidden RNG
+state, no ordering dependence beyond the sequence numbers the injector
+hands in.  Two runs that present the same sequence of decision points
+therefore fault at exactly the same points — the determinism contract
+the chaos-soak digest and the Hypothesis property suite pin down (see
+``docs/FAULTS.md``).
+
+The decision function hashes the tuple with SHA-256 and compares the
+leading 64 bits, scaled to ``[0, 1)``, against the configured rate.
+This keeps the schedule resumable (decision ``n`` never depends on
+decision ``n - 1``) and platform-independent (no ``random`` module
+state, no float accumulation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import FaultError
+
+__all__ = [
+    "BACKEND_QUERY",
+    "CACHE_POISON",
+    "CACHE_PRESSURE",
+    "DISK_PERMANENT",
+    "DISK_SLOW",
+    "DISK_TRANSIENT",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "standard_specs",
+]
+
+#: A page read fails once; a retry may succeed.
+DISK_TRANSIENT = "disk-transient"
+#: A specific page is dead forever (keyed by page id, not by sequence).
+DISK_PERMANENT = "disk-permanent"
+#: A page read succeeds but charges extra simulated latency.
+DISK_SLOW = "disk-slow"
+#: A backend entry point fails at query level before doing any I/O.
+BACKEND_QUERY = "backend-query"
+#: A cache put is rejected as poisoned (cache state unchanged).
+CACHE_POISON = "cache-poison"
+#: A cache put first sheds entries under forced eviction pressure.
+CACHE_PRESSURE = "cache-pressure"
+
+FAULT_KINDS = (
+    DISK_TRANSIENT,
+    DISK_PERMANENT,
+    DISK_SLOW,
+    BACKEND_QUERY,
+    CACHE_POISON,
+    CACHE_PRESSURE,
+)
+
+_SCALE = float(2**64)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind armed at a given rate.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        rate: Probability in ``[0, 1]`` that a decision point faults.
+        latency: Simulated seconds a :data:`DISK_SLOW` fault charges.
+        pressure: Entries a :data:`CACHE_PRESSURE` fault forcibly evicts
+            before the put proceeds.
+    """
+
+    kind: str
+    rate: float
+    latency: float = 0.0
+    pressure: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(
+                f"fault rate must be in [0, 1], got {self.rate!r}"
+            )
+        if self.latency < 0.0:
+            raise FaultError(
+                f"fault latency must be >= 0, got {self.latency!r}"
+            )
+        if self.pressure < 1:
+            raise FaultError(
+                f"eviction pressure must be >= 1, got {self.pressure!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, pure-function fault schedule over a set of specs."""
+
+    seed: int
+    specs: tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        kinds = [spec.kind for spec in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise FaultError(f"duplicate fault kinds in plan: {kinds}")
+
+    def spec(self, kind: str) -> FaultSpec | None:
+        """The armed spec for ``kind``, or None when the kind is off."""
+        for candidate in self.specs:
+            if candidate.kind == kind:
+                return candidate
+        return None
+
+    def roll(self, kind: str, site: str, sequence: int) -> bool:
+        """Decide whether decision point ``(site, sequence)`` faults.
+
+        Pure: the answer depends only on the plan's seed and the
+        arguments, never on prior calls.
+        """
+        spec = self.spec(kind)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        token = f"{self.seed}:{kind}:{site}:{sequence}".encode()
+        digest = hashlib.sha256(token).digest()
+        value = int.from_bytes(digest[:8], "big") / _SCALE
+        return value < spec.rate
+
+
+#: Base per-decision rates of the named presets.
+_PRESET_RATES = {"low": 0.01, "mid": 0.05, "high": 0.15}
+
+
+def standard_specs(rate: str = "mid") -> tuple[FaultSpec, ...]:
+    """The standard chaos mix at a named intensity.
+
+    ``"low"``, ``"mid"`` and ``"high"`` arm five fault kinds at scaled
+    rates; ``"high"`` additionally arms a small population of
+    permanently dead pages.  The mix always has at least three distinct
+    kinds active, which is what the tier-1 chaos smoke requires.
+    """
+    try:
+        base = _PRESET_RATES[rate]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault rate preset {rate!r}; "
+            f"expected one of {sorted(_PRESET_RATES)}"
+        ) from None
+    specs = [
+        FaultSpec(DISK_TRANSIENT, base),
+        FaultSpec(DISK_SLOW, base, latency=2.0),
+        FaultSpec(BACKEND_QUERY, base / 4.0),
+        FaultSpec(CACHE_POISON, base),
+        FaultSpec(CACHE_PRESSURE, base / 2.0, pressure=2),
+    ]
+    if rate == "high":
+        specs.append(FaultSpec(DISK_PERMANENT, base / 100.0))
+    return tuple(specs)

@@ -172,6 +172,10 @@ class StagedPipeline:
                     stage.modelled_time = self.cost_model.time(
                         outcome.report
                     )
+                    stage.faults = outcome.report.faults
+                    stage.retries = outcome.report.retries
+                    stage.degraded = outcome.report.degraded
+                    stage.backoff_seconds = outcome.report.backoff_time
             trace.resolved_by[resolver.name] = len(outcome.parts)
         if outstanding:
             raise PipelineError(

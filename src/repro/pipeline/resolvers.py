@@ -21,16 +21,19 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from repro.backend.aggregate import reaggregate
 from repro.backend.engine import BackendEngine
+from repro.backend.plans import CostReport
 from repro.chunks.closure import source_chunk_numbers
 from repro.chunks.grid import ChunkSpace
 from repro.core.cache import ChunkStore
 from repro.core.chunk import CachedChunk, CachedQuery
+from repro.exceptions import InjectedFault, PipelineError
 from repro.pipeline.stages import (
     AnalyzedQuery,
     ResolvedPart,
@@ -48,6 +51,7 @@ __all__ = [
     "CacheHitResolver",
     "DerivationResolver",
     "PrefetchResolver",
+    "RetryPolicy",
     "BackendChunkResolver",
     "QueryResultStore",
     "QueryHitResolver",
@@ -372,11 +376,64 @@ class PrefetchResolver(PartitionResolver):
         return ResolverOutcome(parts=parts, report=report)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    Backoff is charged in *simulated* seconds (it lands in
+    ``CostReport.backoff_time`` and from there in modelled query time);
+    nothing ever sleeps, so retries are free in wall-clock terms and
+    byte-for-byte reproducible.
+
+    Attributes:
+        max_attempts: Attempts per source level (>= 1); the degrade path
+            gets a fresh budget.
+        backoff_base: Simulated seconds before the first retry.
+        backoff_factor: Multiplier applied per subsequent retry.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PipelineError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_factor < 0.0:
+            raise PipelineError(
+                "backoff_base and backoff_factor must be >= 0, got "
+                f"{self.backoff_base} and {self.backoff_factor}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+
 class BackendChunkResolver(PartitionResolver):
     """Terminal link: compute missing chunks through the chunk interface.
 
     Total by construction — every partition it is offered comes back with
     rows — so a chain ending in this resolver always completes.
+
+    Recovery (exercised only under :mod:`repro.faults` injection; the
+    no-fault path is value-identical to a plain backend call):
+
+    - a **transient** :class:`~repro.exceptions.InjectedFault` is
+      retried up to ``retry.max_attempts`` times with deterministic
+      backoff charged to the outcome's ``backoff_time``;
+    - a fault that exhausts its retries (or is permanent) while reading
+      a materialized **aggregate** table degrades: the chunks are
+      recomputed from base chunks (``prefer_base=True``) under a fresh
+      retry budget;
+    - a fault that survives both paths is re-raised with the *combined*
+      cost of every attempt attached, so even a failed query conserves
+      global I/O accounting.
+
+    Wasted I/O from failed attempts is merged into the final outcome
+    report, keeping trace conservation exact under faults.
     """
 
     name = "backend"
@@ -386,19 +443,54 @@ class BackendChunkResolver(PartitionResolver):
         schema: StarSchema,
         backend: BackendEngine,
         admitter: ChunkAdmitter,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.schema = schema
         self.backend = backend
         self.admitter = admitter
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def resolve(
         self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
     ) -> ResolverOutcome:
         query = analyzed.query
-        computed, report = self.backend.compute_chunks(
-            analyzed.groupby, list(outstanding), analyzed.aggregates,
-            leaf_filters=query.effective_dim_filters(self.schema),
-        )
+        leaf_filters = query.effective_dim_filters(self.schema)
+        total = CostReport(access_path="chunk")
+        attempts = 0
+        prefer_base = False
+        while True:
+            try:
+                computed, report = self.backend.compute_chunks(
+                    analyzed.groupby,
+                    list(outstanding),
+                    analyzed.aggregates,
+                    leaf_filters=leaf_filters,
+                    prefer_base=prefer_base,
+                )
+            except InjectedFault as fault:
+                attempts += 1
+                total.faults += 1
+                wasted = fault.cost_report
+                if isinstance(wasted, CostReport):
+                    total.merge(wasted)
+                if fault.transient and attempts < self.retry.max_attempts:
+                    total.retries += 1
+                    total.backoff_time += self.retry.backoff(attempts - 1)
+                    continue
+                if not prefer_base and fault.source_level == "aggregate":
+                    # Graceful degradation: the aggregate table is
+                    # unreadable — recompute from base chunks with a
+                    # fresh retry budget.
+                    prefer_base = True
+                    attempts = 0
+                    total.degraded += 1
+                    continue
+                # Out of options: surface the typed fault carrying the
+                # combined cost of every attempt.
+                fault.cost_report = total
+                raise
+            break
+        total.merge(report)
         self.admitter.admit(query, computed)
         parts = {
             number: ResolvedPart(
@@ -406,7 +498,7 @@ class BackendChunkResolver(PartitionResolver):
             )
             for number, rows in computed.items()
         }
-        return ResolverOutcome(parts=parts, report=report)
+        return ResolverOutcome(parts=parts, report=total)
 
 
 class QueryResultStore(Protocol):

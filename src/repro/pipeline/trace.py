@@ -77,6 +77,13 @@ class StageTrace:
         lock_wait_seconds: Portion of ``wall_seconds`` spent blocked on
             shared locks (drained from the thread's blocked clock; 0.0
             outside the concurrent serving layer).
+        faults: Injected faults the stage absorbed (0 outside
+            :mod:`repro.faults` injection, like the three below).
+        retries: Retry attempts the stage's recovery policy made.
+        degraded: Times the stage fell back to recomputing from base
+            chunks.
+        backoff_seconds: Simulated retry-backoff seconds charged to the
+            stage.
     """
 
     def __init__(
@@ -88,6 +95,10 @@ class StageTrace:
         pages_read: int = 0,
         tuples_scanned: int = 0,
         lock_wait_seconds: float = 0.0,
+        faults: int = 0,
+        retries: int = 0,
+        degraded: int = 0,
+        backoff_seconds: float = 0.0,
     ) -> None:
         self.name = name
         self.wall_seconds = wall_seconds
@@ -96,6 +107,10 @@ class StageTrace:
         self.pages_read = pages_read
         self.tuples_scanned = tuples_scanned
         self.lock_wait_seconds = lock_wait_seconds
+        self.faults = faults
+        self.retries = retries
+        self.degraded = degraded
+        self.backoff_seconds = backoff_seconds
 
     def __repr__(self) -> str:
         return (
@@ -105,7 +120,11 @@ class StageTrace:
             f"partitions={self.partitions!r}, "
             f"pages_read={self.pages_read!r}, "
             f"tuples_scanned={self.tuples_scanned!r}, "
-            f"lock_wait_seconds={self.lock_wait_seconds!r})"
+            f"lock_wait_seconds={self.lock_wait_seconds!r}, "
+            f"faults={self.faults!r}, "
+            f"retries={self.retries!r}, "
+            f"degraded={self.degraded!r}, "
+            f"backoff_seconds={self.backoff_seconds!r})"
         )
 
 
@@ -203,7 +222,8 @@ def aggregate_stage_traces(
 
     Returns a mapping ``stage name -> {"calls", "wall_seconds",
     "modelled_time", "partitions", "pages_read", "tuples_scanned",
-    "lock_wait_seconds"}`` summed over all traces, in first-seen stage
+    "lock_wait_seconds", "faults", "retries", "degraded",
+    "backoff_seconds"}`` summed over all traces, in first-seen stage
     order.
     """
     totals: dict[str, dict[str, float]] = {}
@@ -219,6 +239,10 @@ def aggregate_stage_traces(
                     "pages_read": 0.0,
                     "tuples_scanned": 0.0,
                     "lock_wait_seconds": 0.0,
+                    "faults": 0.0,
+                    "retries": 0.0,
+                    "degraded": 0.0,
+                    "backoff_seconds": 0.0,
                 },
             )
             bucket["calls"] += 1
@@ -228,6 +252,10 @@ def aggregate_stage_traces(
             bucket["pages_read"] += entry.pages_read
             bucket["tuples_scanned"] += entry.tuples_scanned
             bucket["lock_wait_seconds"] += entry.lock_wait_seconds
+            bucket["faults"] += entry.faults
+            bucket["retries"] += entry.retries
+            bucket["degraded"] += entry.degraded
+            bucket["backoff_seconds"] += entry.backoff_seconds
     return totals
 
 

@@ -9,30 +9,54 @@ simultaneous users on real threads:
 - :class:`ServeSession` — K user streams on a thread pool through the
   existing staged pipeline, with a deterministic **fair** schedule and a
   racing **free** schedule;
-- :func:`run_soak` — the invariant-hammering stress harness.
+- :func:`run_soak` — the invariant-hammering stress harness;
+- :func:`run_chaos_soak` — the same soak under a deterministic fault
+  plan, asserting graceful degradation (correct answer or typed
+  failure, exact I/O conservation, reproducible digest).
 
 The layer sits strictly *above* the pipeline: it composes the manager,
 cache and workload layers and never touches the backend or storage
-directly (enforced by reprolint rule R001).
+directly (enforced by reprolint rule R001); fault injectors arrive
+duck-typed from the composition root so this layer never imports
+:mod:`repro.faults` either (rule R006).
 """
 
-from repro.serve.session import FAIR, FREE, ServeReport, ServeSession
+from repro.serve.session import (
+    FAIR,
+    FREE,
+    QueryFailure,
+    ServeReport,
+    ServeSession,
+)
 from repro.serve.sharded import (
     CacheShard,
     ShardedChunkCache,
     stable_key_hash,
 )
-from repro.serve.soak import SoakConfig, SoakReport, run_soak
+from repro.serve.soak import (
+    ChaosConfig,
+    ChaosReport,
+    FaultSource,
+    SoakConfig,
+    SoakReport,
+    run_chaos_soak,
+    run_soak,
+)
 
 __all__ = [
     "FAIR",
     "FREE",
     "CacheShard",
+    "ChaosConfig",
+    "ChaosReport",
+    "FaultSource",
+    "QueryFailure",
     "ServeReport",
     "ServeSession",
     "ShardedChunkCache",
     "SoakConfig",
     "SoakReport",
+    "run_chaos_soak",
     "run_soak",
     "stable_key_hash",
 ]

@@ -48,11 +48,32 @@ from repro.pipeline.trace import record_blocked_wait
 from repro.query.model import StarQuery
 from repro.workload.stream import QueryStream
 
-__all__ = ["ServeReport", "ServeSession", "FAIR", "FREE"]
+__all__ = ["QueryFailure", "ServeReport", "ServeSession", "FAIR", "FREE"]
 
 FAIR = "fair"
 FREE = "free"
 _SCHEDULES = (FAIR, FREE)
+
+
+@dataclass(frozen=True)
+class QueryFailure:
+    """One query that raised a tolerated exception instead of answering.
+
+    Attributes:
+        seq: The query's canonical sequence number.
+        stream: Owning stream's name.
+        kind: Exception class name (e.g. ``"DiskFault"``).
+        message: The exception's message.
+        pages_read: Physical pages the failed attempt(s) consumed (from
+            the exception's attached cost report, when present) — what
+            the soak harness adds back to conserve global I/O.
+    """
+
+    seq: int
+    stream: str
+    kind: str
+    message: str
+    pages_read: int
 
 
 @dataclass(frozen=True)
@@ -74,6 +95,9 @@ class ServeReport:
         per_stream: Each stream's own metrics, keyed by stream name.
         contention: Cache-shard and backend lock contention counters.
         checkpoints: How many checkpoint callbacks fired.
+        failures: Tolerated per-query failures in canonical order
+            (empty unless the session was given exception types to
+            tolerate — see :class:`ServeSession`).
     """
 
     queries: int
@@ -87,6 +111,7 @@ class ServeReport:
     per_stream: dict[str, StreamMetrics]
     contention: dict[str, object]
     checkpoints: int
+    failures: tuple[QueryFailure, ...] = ()
 
 
 class ServeSession:
@@ -112,6 +137,16 @@ class ServeSession:
         timeout_seconds: Hard deadline for the whole run; a stuck worker
             turns into a :class:`~repro.exceptions.ServeError`, never a
             hang.
+        tolerate: Exception types that fail a *query* without failing
+            the session: the query is recorded as a
+            :class:`QueryFailure`, the turnstile advances, and the
+            worker moves on.  Empty (the default) tolerates nothing —
+            any exception aborts the session as before.  The chaos-soak
+            harness passes :class:`~repro.exceptions.InjectedFault`.
+        on_answer: Callback receiving ``(seq, stream, query, rows)`` for
+            every successfully answered query (under the fair schedule
+            this is fully serialized in canonical order).  The chaos
+            harness uses it to capture answers for oracle replay.
     """
 
     def __init__(
@@ -123,6 +158,10 @@ class ServeSession:
         checkpoint_every: int = 0,
         on_checkpoint: Callable[[int], None] | None = None,
         timeout_seconds: float = 300.0,
+        tolerate: tuple[type[BaseException], ...] = (),
+        on_answer: (
+            Callable[[int, str, StarQuery, object], None] | None
+        ) = None,
     ) -> None:
         if not streams:
             raise ServeError("a serving session needs at least one stream")
@@ -150,12 +189,15 @@ class ServeSession:
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
         self.timeout_seconds = timeout_seconds
+        self.tolerate = tuple(tolerate)
+        self.on_answer = on_answer
         # Turnstile / progress state (rebuilt per run()).
         self._cond = threading.Condition()
         self._next_seq = 0
         self._completed = 0
         self._checkpoints_fired = 0
         self._failure: BaseException | None = None
+        self._failures: list[QueryFailure] = []
 
     # ------------------------------------------------------------------
     # Canonical order
@@ -260,7 +302,27 @@ class ServeSession:
                     raise ServeError(
                         "serving session aborted by another worker"
                     ) from self._failure
-                result = pipeline.execute(query)
+                try:
+                    result = pipeline.execute(query)
+                except self.tolerate as error:
+                    # A tolerated failure still holds its turnstile slot:
+                    # record it, advance, and move on.  The pages its
+                    # failed attempts read are carried on the exception's
+                    # attached cost report so the soak harness can keep
+                    # global I/O conservation exact.
+                    report = getattr(error, "cost_report", None)
+                    pages = int(getattr(report, "pages_read", 0) or 0)
+                    failure = QueryFailure(
+                        seq=seq,
+                        stream=stream_name,
+                        kind=type(error).__name__,
+                        message=str(error),
+                        pages_read=pages,
+                    )
+                    with self._cond:
+                        self._failures.append(failure)
+                    self._finish_query(fair)
+                    continue
                 per_stream[stream_name].record(
                     result.record, result.trace
                 )
@@ -268,6 +330,8 @@ class ServeSession:
                 single.record(result.record, result.trace)
                 merged.append((seq, single))
                 sim_seconds[worker_index] += result.record.time
+                if self.on_answer is not None:
+                    self.on_answer(seq, stream_name, query, result.rows)
                 self._finish_query(fair)
         except BaseException as error:
             self._abort(error)
@@ -282,6 +346,7 @@ class ServeSession:
         self._completed = 0
         self._checkpoints_fired = 0
         self._failure = None
+        self._failures = []
         per_worker = self._tickets()
         per_stream = {
             stream.name: StreamMetrics() for stream in self.streams
@@ -353,6 +418,9 @@ class ServeSession:
             per_stream=per_stream,
             contention=self._contention(),
             checkpoints=self._checkpoints_fired,
+            failures=tuple(
+                sorted(self._failures, key=lambda f: f.seq)
+            ),
         )
 
     def _contention(self) -> dict[str, object]:

@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro import invariants
-from repro.core.cache import ChunkCache, ChunkCacheStats
+from repro.core.cache import ChunkCache, ChunkCacheStats, FaultHook
 from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy
 from repro.exceptions import ServeError
@@ -77,6 +77,12 @@ class CacheShard:
     Pairs a private :class:`~repro.core.cache.ChunkCache` with its lock
     and contention counters.  All access to the wrapped cache must go
     through :meth:`held`.
+
+    A shard can be **quarantined** after a streak of poisoned puts: its
+    entries are dropped (bytes published back to the global counter, so
+    totals conserve exactly), further puts are rejected, and after a
+    fixed number of operations the shard is re-admitted.  All quarantine
+    state is guarded by the shard lock.
     """
 
     def __init__(
@@ -90,6 +96,13 @@ class CacheShard:
         self.lock = threading.Lock()
         self.lock_wait_seconds = 0.0
         self.lock_acquisitions = 0
+        # Quarantine state (shard lock held for all access).
+        self.quarantined = False
+        self.poison_streak = 0
+        self.readmit_countdown = 0
+        self.quarantines = 0
+        self.readmissions = 0
+        self.quarantine_rejects = 0
 
     @contextmanager
     def held(self) -> Iterator[ChunkCache]:
@@ -126,11 +139,17 @@ class ShardedChunkCache:
             only for ``num_shards=1`` — sharing one policy's mutable
             state across shards would corrupt it.
         num_shards: Number of lock stripes (>= 1).
+        quarantine_after: Consecutive poisoned puts on one shard before
+            it is quarantined (cleared and closed to writes).
+        quarantine_ops: Operations routed at a quarantined shard before
+            it is re-admitted.
 
     With ``num_shards=1`` every operation routes to one full-budget
     :class:`~repro.core.cache.ChunkCache`, making this store
     bit-identical to the unsharded cache — the determinism bridge the
-    serving tests pin.
+    serving tests pin.  Quarantine only ever triggers off poisoned puts,
+    which only an installed fault hook can produce, so fault-free
+    operation is untouched by the quarantine machinery.
     """
 
     def __init__(
@@ -140,6 +159,8 @@ class ShardedChunkCache:
             ReplacementPolicy | str | Callable[[], ReplacementPolicy]
         ) = "benefit",
         num_shards: int = 1,
+        quarantine_after: int = 3,
+        quarantine_ops: int = 32,
     ) -> None:
         if num_shards < 1:
             raise ServeError(
@@ -150,7 +171,14 @@ class ShardedChunkCache:
                 "a shared policy instance cannot serve multiple shards; "
                 "pass a policy name or a factory"
             )
+        if quarantine_after < 1 or quarantine_ops < 1:
+            raise ServeError(
+                "quarantine_after and quarantine_ops must be >= 1, got "
+                f"{quarantine_after} and {quarantine_ops}"
+            )
         self.num_shards = num_shards
+        self.quarantine_after = quarantine_after
+        self.quarantine_ops = quarantine_ops
         self._capacity_bytes = capacity_bytes
         base, extra = divmod(capacity_bytes, num_shards)
         self._shards = tuple(
@@ -181,6 +209,34 @@ class ShardedChunkCache:
         with self._accounting_lock:
             self._used_bytes += delta
 
+    def _note_op(self, shard: CacheShard) -> None:
+        """Advance a quarantined shard toward re-admission (lock held)."""
+        if not shard.quarantined:
+            return
+        shard.readmit_countdown -= 1
+        if shard.readmit_countdown <= 0:
+            shard.quarantined = False
+            shard.poison_streak = 0
+            shard.readmissions += 1
+
+    def _quarantine_locked(self, shard: CacheShard, cache: ChunkCache) -> None:
+        """Quarantine a shard: drop its entries, close it to writes.
+
+        The shard lock is held.  Dropped bytes are published back to the
+        global counter (in a ``finally`` — a mid-clear invariant failure
+        must not strand the accounting), so cross-shard conservation
+        holds throughout.
+        """
+        before = cache.used_bytes
+        try:
+            cache.clear()
+        finally:
+            self._publish_delta(cache.used_bytes - before)
+        shard.quarantined = True
+        shard.poison_streak = 0
+        shard.readmit_countdown = self.quarantine_ops
+        shard.quarantines += 1
+
     # ------------------------------------------------------------------
     # ChunkStore protocol
     # ------------------------------------------------------------------
@@ -206,6 +262,8 @@ class ShardedChunkCache:
                 total.insertions += cache.stats.insertions
                 total.evictions += cache.stats.evictions
                 total.rejected += cache.stats.rejected
+                total.poisoned += cache.stats.poisoned
+                total.pressure_evictions += cache.stats.pressure_evictions
         return total
 
     def __len__(self) -> int:
@@ -220,8 +278,16 @@ class ShardedChunkCache:
             return key in cache
 
     def get(self, key: ChunkKey) -> CachedChunk | None:
-        """Lookup one chunk; hits refresh its shard's replacement state."""
-        with self._shard_for(key).held() as cache:
+        """Lookup one chunk; hits refresh its shard's replacement state.
+
+        Lookups against a quarantined shard are misses by construction
+        (the quarantine dropped its entries), so the resolver chain
+        routes around the shard to the backend; each one also advances
+        the shard toward re-admission.
+        """
+        shard = self._shard_for(key)
+        with shard.held() as cache:
+            self._note_op(shard)
             return cache.get(key)
 
     def peek(self, key: ChunkKey) -> CachedChunk | None:
@@ -234,20 +300,43 @@ class ShardedChunkCache:
 
         Admission control is per shard: an entry larger than its shard's
         budget is rejected, exactly as the unsharded cache rejects
-        entries larger than the whole budget.
+        entries larger than the whole budget.  A quarantined shard
+        rejects every put outright.  A streak of
+        ``quarantine_after`` consecutive poisoned puts (an injected
+        fault — see :mod:`repro.faults`) quarantines the shard.
+
+        The byte delta is published in a ``finally`` so an exception
+        escaping the inner cache (e.g. an injected pressure fault
+        tripping an invariant) can never strand the global counter.
         """
-        with self._shard_for(entry.key).held() as cache:
+        shard = self._shard_for(entry.key)
+        with shard.held() as cache:
+            self._note_op(shard)
+            if shard.quarantined:
+                shard.quarantine_rejects += 1
+                return False
             before = cache.used_bytes
-            admitted = cache.put(entry)
-            self._publish_delta(cache.used_bytes - before)
+            poisoned_before = cache.stats.poisoned
+            try:
+                admitted = cache.put(entry)
+            finally:
+                self._publish_delta(cache.used_bytes - before)
+            if cache.stats.poisoned > poisoned_before:
+                shard.poison_streak += 1
+                if shard.poison_streak >= self.quarantine_after:
+                    self._quarantine_locked(shard, cache)
+            elif admitted:
+                shard.poison_streak = 0
             return admitted
 
     def invalidate(self, key: ChunkKey) -> bool:
         """Drop one entry from its shard; False if absent."""
         with self._shard_for(key).held() as cache:
             before = cache.used_bytes
-            removed = cache.invalidate(key)
-            self._publish_delta(cache.used_bytes - before)
+            try:
+                removed = cache.invalidate(key)
+            finally:
+                self._publish_delta(cache.used_bytes - before)
             return removed
 
     def clear(self) -> None:
@@ -255,8 +344,20 @@ class ShardedChunkCache:
         for shard in self._shards:
             with shard.held() as cache:
                 before = cache.used_bytes
-                cache.clear()
-                self._publish_delta(cache.used_bytes - before)
+                try:
+                    cache.clear()
+                finally:
+                    self._publish_delta(cache.used_bytes - before)
+
+    def set_fault_hook(self, hook: FaultHook | None) -> None:
+        """Install (or remove, with None) the put fault hook shard-wide.
+
+        Each shard's inner cache gets the hook under that shard's lock;
+        only :mod:`repro.faults` calls this (reprolint R006).
+        """
+        for shard in self._shards:
+            with shard.held() as cache:
+                cache.fault_hook = hook
 
     def keys(self) -> list[ChunkKey]:
         """All resident chunk keys, in shard order (snapshot)."""
@@ -301,6 +402,10 @@ class ShardedChunkCache:
                         "evictions": stats.evictions,
                         "lock_wait_seconds": shard.lock_wait_seconds,
                         "lock_acquisitions": shard.lock_acquisitions,
+                        "quarantined": shard.quarantined,
+                        "quarantines": shard.quarantines,
+                        "readmissions": shard.readmissions,
+                        "quarantine_rejects": shard.quarantine_rejects,
                     }
                 )
         total_lookups = sum(lookups)
@@ -317,6 +422,15 @@ class ShardedChunkCache:
                 shard.lock_acquisitions for shard in self._shards
             ),
             "hit_skew": skew,
+            "quarantines": sum(
+                shard.quarantines for shard in self._shards
+            ),
+            "readmissions": sum(
+                shard.readmissions for shard in self._shards
+            ),
+            "quarantine_rejects": sum(
+                shard.quarantine_rejects for shard in self._shards
+            ),
             "per_shard": per_shard,
         }
 
@@ -333,9 +447,11 @@ class ShardedChunkCache:
         global counter.  Raises
         :class:`~repro.exceptions.InvariantViolation` on any mismatch.
         """
-        for shard in self._shards:
-            shard.lock.acquire()
+        acquired = 0
         try:
+            for shard in self._shards:
+                shard.lock.acquire()
+                acquired += 1
             with self._accounting_lock:
                 for shard in self._shards:
                     cache = shard.cache
@@ -356,5 +472,5 @@ class ShardedChunkCache:
                     self._capacity_bytes,
                 )
         finally:
-            for shard in reversed(self._shards):
+            for shard in reversed(self._shards[:acquired]):
                 shard.lock.release()

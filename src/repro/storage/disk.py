@@ -17,6 +17,7 @@ single counter captures the whole backend's I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.exceptions import PageError
 
@@ -27,15 +28,24 @@ DEFAULT_PAGE_SIZE = 4096
 
 @dataclass
 class DiskStats:
-    """Cumulative I/O counters of a :class:`SimulatedDisk`."""
+    """Cumulative I/O counters of a :class:`SimulatedDisk`.
+
+    ``fault_latency`` is extra *simulated* seconds charged by an injected
+    slow-read fault (see :mod:`repro.faults`); it stays exactly ``0.0``
+    unless a fault hook is installed, so fault-free accounting is
+    bit-identical with or without the fault layer present.
+    """
 
     reads: int = 0
     writes: int = 0
     allocations: int = 0
+    fault_latency: float = 0.0
 
     def copy(self) -> "DiskStats":
         """An independent snapshot of the counters."""
-        return DiskStats(self.reads, self.writes, self.allocations)
+        return DiskStats(
+            self.reads, self.writes, self.allocations, self.fault_latency
+        )
 
     def delta(self, earlier: "DiskStats") -> "DiskStats":
         """Counter increments since an ``earlier`` snapshot."""
@@ -43,6 +53,7 @@ class DiskStats:
             reads=self.reads - earlier.reads,
             writes=self.writes - earlier.writes,
             allocations=self.allocations - earlier.allocations,
+            fault_latency=self.fault_latency - earlier.fault_latency,
         )
 
 
@@ -63,6 +74,10 @@ class SimulatedDisk:
         self.page_size = page_size
         self._pages: list[bytes | None] = []
         self.stats = DiskStats()
+        # Fault-injection hook (repro.faults installs it; production code
+        # never does).  Called before a read is counted; may raise a
+        # DiskFault, or return extra simulated latency in seconds.
+        self.read_hook: Callable[[int], float] | None = None
 
     @property
     def num_pages(self) -> int:
@@ -79,9 +94,21 @@ class SimulatedDisk:
         return first
 
     def read_page(self, page_id: int) -> bytes:
-        """Read one page (counted as one I/O)."""
+        """Read one page (counted as one I/O).
+
+        An installed ``read_hook`` runs first: a hook that raises aborts
+        the read before any counter moves (a faulted read served no
+        page); a hook that returns a positive latency charges that many
+        simulated seconds to ``stats.fault_latency`` on top of the
+        normal read count.
+        """
         self._check(page_id)
+        extra = 0.0
+        if self.read_hook is not None:
+            extra = self.read_hook(page_id)
         self.stats.reads += 1
+        if extra > 0.0:
+            self.stats.fault_latency += extra
         data = self._pages[page_id]
         if data is None:
             return bytes(self.page_size)

@@ -1,0 +1,19 @@
+"""Fixtures for the fault-injection suites: small managers to break."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+
+
+@pytest.fixture()
+def small_manager(small_schema, fresh_small_engine):
+    """A chunk-cache manager over a private small engine."""
+    return ChunkCacheManager(
+        small_schema,
+        fresh_small_engine.space,
+        fresh_small_engine,
+        ChunkCache(256_000),
+    )

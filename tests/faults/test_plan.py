@@ -1,0 +1,167 @@
+"""Tests for repro.faults.plan — the seeded pure-function schedule."""
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults import (
+    BACKEND_QUERY,
+    CACHE_POISON,
+    CACHE_PRESSURE,
+    DISK_PERMANENT,
+    DISK_SLOW,
+    DISK_TRANSIENT,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    standard_specs,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultSpec("disk-explodes", 0.1)
+
+    @pytest.mark.parametrize("rate", [-0.01, 1.01, 2.0])
+    def test_rate_outside_unit_interval_rejected(self, rate):
+        with pytest.raises(FaultError, match="rate"):
+            FaultSpec(DISK_TRANSIENT, rate)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(FaultError, match="latency"):
+            FaultSpec(DISK_SLOW, 0.1, latency=-1.0)
+
+    def test_zero_pressure_rejected(self):
+        with pytest.raises(FaultError, match="pressure"):
+            FaultSpec(CACHE_PRESSURE, 0.1, pressure=0)
+
+    def test_boundary_rates_accepted(self):
+        FaultSpec(DISK_TRANSIENT, 0.0)
+        FaultSpec(DISK_TRANSIENT, 1.0)
+
+
+class TestFaultPlan:
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultPlan(
+                seed=1,
+                specs=(
+                    FaultSpec(DISK_TRANSIENT, 0.1),
+                    FaultSpec(DISK_TRANSIENT, 0.2),
+                ),
+            )
+
+    def test_specs_coerced_to_tuple(self):
+        plan = FaultPlan(seed=1, specs=[FaultSpec(CACHE_POISON, 0.5)])
+        assert isinstance(plan.specs, tuple)
+
+    def test_spec_lookup(self):
+        spec = FaultSpec(BACKEND_QUERY, 0.25)
+        plan = FaultPlan(seed=1, specs=(spec,))
+        assert plan.spec(BACKEND_QUERY) is spec
+        assert plan.spec(DISK_SLOW) is None
+
+    def test_empty_plan_never_faults(self):
+        plan = FaultPlan(seed=1, specs=())
+        assert not any(
+            plan.roll(kind, "site", n)
+            for kind in FAULT_KINDS
+            for n in range(50)
+        )
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(DISK_TRANSIENT, 1.0),))
+        assert all(
+            plan.roll(DISK_TRANSIENT, "disk.read", n) for n in range(50)
+        )
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(DISK_TRANSIENT, 0.0),))
+        assert not any(
+            plan.roll(DISK_TRANSIENT, "disk.read", n) for n in range(50)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=42, specs=standard_specs("mid"))
+        b = FaultPlan(seed=42, specs=standard_specs("mid"))
+        decisions_a = [
+            a.roll(DISK_TRANSIENT, "disk.read", n) for n in range(500)
+        ]
+        decisions_b = [
+            b.roll(DISK_TRANSIENT, "disk.read", n) for n in range(500)
+        ]
+        assert decisions_a == decisions_b
+
+    def test_rolls_are_order_independent(self):
+        plan = FaultPlan(seed=7, specs=standard_specs("mid"))
+        forward = [
+            plan.roll(DISK_TRANSIENT, "disk.read", n) for n in range(100)
+        ]
+        backward = [
+            plan.roll(DISK_TRANSIENT, "disk.read", n)
+            for n in reversed(range(100))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan(seed=1, specs=(FaultSpec(DISK_TRANSIENT, 0.5),))
+        b = FaultPlan(seed=2, specs=(FaultSpec(DISK_TRANSIENT, 0.5),))
+        decisions_a = [
+            a.roll(DISK_TRANSIENT, "disk.read", n) for n in range(200)
+        ]
+        decisions_b = [
+            b.roll(DISK_TRANSIENT, "disk.read", n) for n in range(200)
+        ]
+        assert decisions_a != decisions_b
+
+    def test_sites_roll_independently(self):
+        plan = FaultPlan(seed=9, specs=(FaultSpec(DISK_TRANSIENT, 0.5),))
+        site_a = [
+            plan.roll(DISK_TRANSIENT, "disk.read", n) for n in range(200)
+        ]
+        site_b = [
+            plan.roll(DISK_TRANSIENT, "other.site", n) for n in range(200)
+        ]
+        assert site_a != site_b
+
+    def test_empirical_rate_tracks_configured_rate(self):
+        plan = FaultPlan(seed=3, specs=(FaultSpec(DISK_TRANSIENT, 0.2),))
+        fired = sum(
+            plan.roll(DISK_TRANSIENT, "disk.read", n) for n in range(5000)
+        )
+        assert 0.15 < fired / 5000 < 0.25
+
+
+class TestStandardSpecs:
+    @pytest.mark.parametrize("rate", ["low", "mid", "high"])
+    def test_presets_arm_at_least_three_kinds(self, rate):
+        specs = standard_specs(rate)
+        armed = [spec.kind for spec in specs if spec.rate > 0.0]
+        assert len(set(armed)) >= 3
+
+    def test_high_arms_permanent_faults(self):
+        kinds = {spec.kind for spec in standard_specs("high")}
+        assert DISK_PERMANENT in kinds
+        assert DISK_PERMANENT not in {
+            spec.kind for spec in standard_specs("mid")
+        }
+
+    def test_presets_scale_monotonically(self):
+        def rate_of(preset, kind):
+            plan = FaultPlan(seed=1, specs=standard_specs(preset))
+            spec = plan.spec(kind)
+            assert spec is not None
+            return spec.rate
+
+        for kind in (DISK_TRANSIENT, BACKEND_QUERY, CACHE_POISON):
+            assert (
+                rate_of("low", kind)
+                < rate_of("mid", kind)
+                < rate_of("high", kind)
+            )
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(FaultError, match="preset"):
+            standard_specs("catastrophic")

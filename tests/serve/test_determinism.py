@@ -13,6 +13,7 @@ strings, so any last-ulp drift fails loudly):
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.experiments import fig9, multiuser
 from repro.experiments.configs import SMOKE_SCALE
@@ -21,6 +22,8 @@ from repro.experiments.harness import (
     make_chunk_manager,
     run_stream,
 )
+from repro.faults import FaultInjector, FaultPlan, standard_specs
+from repro.serve import ChaosConfig, ShardedChunkCache, run_chaos_soak
 from repro.workload.stream import interleave_streams
 
 
@@ -71,6 +74,46 @@ class TestSharedConcurrentMatchesSequential:
         assert repr(shared["csr"]) == repr(concurrent["csr"])
         assert repr(shared["mean_time"]) == repr(concurrent["mean_time"])
         assert shared["pages_read"] == concurrent["pages_read"]
+
+
+@pytest.fixture(scope="module")
+def chaos_streams(system):
+    return multiuser.user_streams(system, num_users=4, per_user=8)
+
+
+class TestChaosDigestIsSeedDeterministic:
+    """Property: the chaos digest is a pure function of the seed.
+
+    For any fault-plan seed, running the chaos soak under the fair
+    schedule yields the *same* digest on every run and at every worker
+    count — the whole point of hashing the plan instead of sampling a
+    shared RNG.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_same_seed_same_digest_at_any_worker_count(
+        self, system, chaos_streams, seed
+    ):
+        digests = []
+        for max_workers in (1, 2, 4):
+            cache = ShardedChunkCache(system.cache_bytes, num_shards=4)
+            manager = make_chunk_manager(system, cache=cache)
+            injector = FaultInjector(
+                FaultPlan(seed=seed, specs=standard_specs("mid"))
+            )
+            report = run_chaos_soak(
+                manager,
+                chaos_streams,
+                injector,
+                ChaosConfig(
+                    checkpoint_every=10,
+                    max_workers=max_workers,
+                    timeout_seconds=120.0,
+                ),
+            )
+            digests.append(report.digest)
+        assert len(set(digests)) == 1
 
 
 class TestExistingExperimentsUnperturbed:

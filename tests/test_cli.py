@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -35,3 +37,51 @@ class TestCLI:
 
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 2
+
+
+class TestSoakCommand:
+    def test_soak_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "soak", "--smoke", "--users", "4",
+                    "--per-user", "8", "--shards", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "job: soak" in out
+        assert "queries: 32" in out
+
+    def test_chaos_soak_writes_json_report(self, capsys, tmp_path):
+        report_path = tmp_path / "chaos.json"
+        assert (
+            main(
+                [
+                    "soak", "--smoke", "--chaos", "--rate", "mid",
+                    "--seed", "7", "--users", "4", "--per-user", "8",
+                    "--shards", "2", "--report", str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "job: chaos-soak" in out
+        summary = json.loads(report_path.read_text(encoding="utf-8"))
+        assert summary["job"] == "chaos-soak"
+        assert summary["seed"] == 7
+        assert summary["wrong_answers"] == 0
+        assert summary["queries"] + summary["failures"] == 32
+        assert (
+            summary["pages_read"] + summary["failed_pages"]
+            == summary["disk_read_delta"]
+        )
+
+    def test_soak_unknown_argument_rejected(self, capsys):
+        assert main(["soak", "--bogus"]) == 2
+        assert "unknown soak arguments" in capsys.readouterr().err
+
+    def test_soak_flag_missing_value_rejected(self):
+        with pytest.raises(SystemExit, match="--seed needs a value"):
+            main(["soak", "--chaos", "--seed"])

@@ -41,8 +41,10 @@ class TestSuppression:
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert sorted(RULES_BY_CODE) == ["R001", "R002", "R003", "R004", "R005"]
+    def test_all_rules_registered(self):
+        assert sorted(RULES_BY_CODE) == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
 
     def test_rules_have_summaries(self):
         for rule in ALL_RULES:

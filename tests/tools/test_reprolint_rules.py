@@ -317,3 +317,48 @@ class TestR005MetricsAccounting:
             "                chunks_total=1, chunks_hit=1)\n"
         )
         assert only(src, "tests/core/test_metrics.py", "R005") == []
+
+
+class TestR006FaultBoundary:
+    def test_serve_importing_faults_fires(self):
+        src = "from repro.faults import FaultInjector\n"
+        assert only(src, "src/repro/serve/soak.py", "R006") == ["R006"]
+
+    def test_plain_import_of_faults_fires(self):
+        src = "import repro.faults.injector\n"
+        assert only(src, "src/repro/core/manager.py", "R006") == ["R006"]
+
+    def test_core_constructing_plan_fires(self):
+        src = (
+            "def f(specs):\n"
+            "    return FaultPlan(seed=1, specs=specs)\n"
+        )
+        assert only(src, "src/repro/core/cache.py", "R006") == ["R006"]
+
+    def test_attribute_construction_fires(self):
+        src = (
+            "import repro\n"
+            "def f(plan):\n"
+            "    return repro.FaultInjector(plan)\n"
+        )
+        assert only(src, "src/repro/storage/disk.py", "R006") == ["R006"]
+
+    def test_experiments_layer_is_a_composition_root(self):
+        src = (
+            "from repro.faults import FaultInjector, FaultPlan\n"
+            "def f(specs):\n"
+            "    return FaultInjector(FaultPlan(seed=1, specs=specs))\n"
+        )
+        assert only(src, "src/repro/experiments/soakjob.py", "R006") == []
+
+    def test_faults_package_may_know_itself(self):
+        src = "from repro.faults.plan import FaultPlan\n"
+        assert only(src, "src/repro/faults/injector.py", "R006") == []
+
+    def test_tests_are_exempt(self):
+        src = (
+            "from repro.faults import FaultPlan\n"
+            "def test_plan():\n"
+            "    FaultPlan(seed=1, specs=())\n"
+        )
+        assert only(src, "tests/faults/test_plan.py", "R006") == []

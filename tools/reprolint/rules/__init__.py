@@ -14,6 +14,7 @@ from tools.reprolint.rules import (
     r003_frozen,
     r004_hygiene,
     r005_metrics,
+    r006_faults,
 )
 
 ALL_RULES = (
@@ -22,6 +23,7 @@ ALL_RULES = (
     r003_frozen,
     r004_hygiene,
     r005_metrics,
+    r006_faults,
 )
 
 RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}

@@ -1,0 +1,93 @@
+"""R006 — fault injection stays behind the ``repro.faults`` boundary.
+
+The fault-injection layer is deliberately *pluggable, not pervasive*:
+production modules expose passive hooks (``SimulatedDisk.read_hook``,
+``BackendEngine.fault_hook``, ``ChunkCache.fault_hook``) and the only
+code that builds a :class:`~repro.faults.FaultPlan` or
+:class:`~repro.faults.FaultInjector` and wires it in is a *composition
+root* — the experiments layer (``repro.experiments``) or a test.  That
+keeps three properties machine-checkable:
+
+- with no injector active, the production stack contains **zero**
+  fault-injection code paths beyond a ``None`` hook check, so the
+  faults-disabled bit-identity contract is structural, not accidental;
+- no production module can "helpfully" inject faults into itself — the
+  schedule of injected faults is always owned by the caller, which is
+  what makes chaos runs reproducible;
+- the serving layer consumes injectors duck-typed
+  (:class:`repro.serve.soak.FaultSource`), so the layering DAG (R001)
+  never grows a serve→faults edge.
+
+Concretely: inside ``src/repro``, only ``repro.faults`` itself and
+``repro.experiments`` may import ``repro.faults`` (or name its
+``FaultPlan`` / ``FaultInjector`` types).  Tests and tools are exempt —
+they are composition roots by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R006"
+SUMMARY = (
+    "fault injection stays behind repro.faults: only the faults package "
+    "itself and the experiments layer (composition roots) may import "
+    "repro.faults or construct FaultPlan/FaultInjector"
+)
+
+#: Packages allowed to know about the fault-injection layer.
+FAULT_COMPOSITION_ROOTS = ("repro.faults", "repro.experiments")
+
+#: Names whose construction marks a module as a composition root.
+_FAULT_TYPES = frozenset({"FaultPlan", "FaultInjector"})
+
+
+def _is_fault_module(module: str) -> bool:
+    return module == "repro.faults" or module.startswith("repro.faults.")
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.module is None or not ctx.in_package("repro"):
+        return
+    if ctx.in_package(*FAULT_COMPOSITION_ROOTS):
+        return
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_fault_module(alias.name):
+                    yield Violation(
+                        ctx.path, node.lineno, node.col_offset, CODE,
+                        f"{ctx.module} imports {alias.name}; only the "
+                        "faults package and the experiments layer may "
+                        "construct fault plans — accept hooks or a "
+                        "duck-typed injector instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0 and _is_fault_module(
+                node.module
+            ):
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    f"{ctx.module} imports from {node.module}; only the "
+                    "faults package and the experiments layer may "
+                    "construct fault plans — accept hooks or a "
+                    "duck-typed injector instead",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _FAULT_TYPES:
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    f"{ctx.module} constructs {name}; fault schedules "
+                    "are owned by composition roots (experiments layer "
+                    "or tests), never by the production stack itself",
+                )
