@@ -7,6 +7,7 @@ PYTHON ?= python
 lint:
 	$(PYTHON) -m compileall -q src tools
 	$(PYTHON) -m tools.reprolint src tests
+	PYTHONPATH=src $(PYTHON) -m tools.apicheck
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy; \
 	else \

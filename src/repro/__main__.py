@@ -7,6 +7,8 @@ Subcommands:
   (all of them when no ids are given);
 - ``soak`` — the concurrency soak; with ``--chaos`` the fault-injected
   chaos soak (the nightly job's entry point);
+- ``front`` — the async admission front door over a duplicate-heavy
+  workload; with ``--chaos`` under fault injection (also nightly);
 - ``info`` — print version and the configured default scale.
 """
 
@@ -30,6 +32,12 @@ commands:
   soak                 concurrency soak; --chaos for fault injection,
                        --rate low|mid|high, --seed N, --users N,
                        --per-user N, --shards N, --report PATH (JSON),
+                       --smoke / --paper
+  front                async admission front door with single-flight
+                       coalescing; --chaos for fault injection,
+                       --rate low|mid|high, --seed N, --users N,
+                       --per-user N, --window N, --workers N,
+                       --no-coalesce, --report PATH (JSON),
                        --smoke / --paper
   info                 version and default scale
 """
@@ -162,6 +170,66 @@ def _cmd_soak(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_front(argv: list[str]) -> int:
+    # Like soak, the composition root (workload, cache, fault plan)
+    # lives in the experiments layer (R006/R007); import it lazily so
+    # `python -m repro list` stays cheap.
+    from repro.experiments.frontjob import (
+        run_front_chaos_job,
+        run_front_job,
+    )
+    from repro.serve import FrontConfig
+
+    scale = DEFAULT_SCALE
+    if "--smoke" in argv:
+        scale = SMOKE_SCALE
+        argv = [a for a in argv if a != "--smoke"]
+    if "--paper" in argv:
+        scale = PAPER_SCALE
+        argv = [a for a in argv if a != "--paper"]
+    chaos = "--chaos" in argv
+    argv = [a for a in argv if a != "--chaos"]
+    coalesce = "--no-coalesce" not in argv
+    argv = [a for a in argv if a != "--no-coalesce"]
+    argv, rate = _flag_value(argv, "--rate")
+    argv, seed = _flag_value(argv, "--seed")
+    argv, users = _flag_value(argv, "--users")
+    argv, per_user = _flag_value(argv, "--per-user")
+    argv, window = _flag_value(argv, "--window")
+    argv, workers = _flag_value(argv, "--workers")
+    argv, report_path = _flag_value(argv, "--report")
+    if argv:
+        print(f"unknown front arguments: {argv}", file=sys.stderr)
+        return 2
+    config = FrontConfig(
+        window=int(window) if window is not None else 8,
+        max_workers=int(workers) if workers is not None else None,
+        coalesce=coalesce,
+    )
+    kwargs: dict[str, object] = {"scale": scale, "config": config}
+    if users is not None:
+        kwargs["num_users"] = int(users)
+    if per_user is not None:
+        kwargs["per_user"] = int(per_user)
+    if chaos:
+        if rate is not None:
+            kwargs["rate"] = rate
+        if seed is not None:
+            kwargs["seed"] = int(seed)
+        summary = run_front_chaos_job(**kwargs)  # type: ignore[arg-type]
+    else:
+        summary = run_front_job(**kwargs)  # type: ignore[arg-type]
+    for key in sorted(summary):
+        if key != "fault_counters":
+            print(f"  {key}: {summary[key]}")
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"front report written to {report_path}")
+    return 0
+
+
 def _cmd_info() -> int:
     print(f"repro {__version__}")
     print(
@@ -186,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(rest)
     if command == "soak":
         return _cmd_soak(rest)
+    if command == "front":
+        return _cmd_front(rest)
     if command == "info":
         return _cmd_info()
     print(USAGE, file=sys.stderr)

@@ -54,9 +54,10 @@ class CostModel:
     def time(self, report: "CostReport", tuples_from_cache: int = 0) -> float:
         """Modelled execution time of one operation.
 
-        Injected fault latency and retry backoff (both exactly ``0.0``
-        on fault-free runs) are simulated seconds already, so they add
-        directly without a constant.
+        Injected fault latency, retry backoff, and the single-flight
+        coalescing adjustment (all exactly ``0.0`` on plain runs) are
+        simulated seconds already, so they add directly without a
+        constant.
         """
         return (
             self.io_page_cost * report.pages_read
@@ -64,6 +65,7 @@ class CostModel:
             + self.cache_tuple_cost * tuples_from_cache
             + report.fault_latency
             + report.backoff_time
+            + report.coalesce_time
         )
 
     def backend_time(self, pages: float, tuples: float = 0.0) -> float:

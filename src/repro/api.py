@@ -1,0 +1,262 @@
+"""The stable public facade: build a caching stack from one config.
+
+Composing a working middle tier takes four layers in the right order —
+schema → chunk geometry → loaded backend → cache → manager — and every
+composition root used to wire them by hand (and drift apart in how).
+This module is the one supported way in:
+
+- :func:`build_stack` returns a fully wired :class:`Stack` (schema,
+  chunk space, backend, cache, manager) for either caching scheme,
+  driven by a frozen :class:`StackConfig`;
+- :func:`build_backend` and :func:`build_cache` expose the two layers
+  experiments sometimes need individually (multiple engines over one
+  fact table, a shared sharded cache).
+
+Everything here is **stable** API (see ``docs/API.md`` for the tier
+definitions); the constructors it wraps remain importable but are
+internal — reprolint rule R007 keeps in-tree composition roots on this
+facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cost import CostModel
+from repro.backend.engine import BackendEngine
+from repro.chunks.grid import ChunkSpace
+from repro.core.cache import ChunkCache, ChunkStore
+from repro.core.manager import ChunkCacheManager
+from repro.core.query_cache import QueryCacheManager
+from repro.exceptions import StackError
+from repro.schema.star import StarSchema
+from repro.serve.sharded import ShardedChunkCache
+
+__all__ = [
+    "CHUNK",
+    "QUERY",
+    "Stack",
+    "StackConfig",
+    "build_backend",
+    "build_cache",
+    "build_stack",
+]
+
+#: The paper's chunk-based caching scheme.
+CHUNK = "chunk"
+#: The query-level (containment) caching baseline.
+QUERY = "query"
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Everything :func:`build_stack` needs beyond schema and data.
+
+    Attributes:
+        scheme: ``"chunk"`` (the paper's scheme) or ``"query"`` (the
+            containment baseline).
+        chunk_ratio: Chunk-size ratio for the chunk geometry (only used
+            when no pre-built :class:`~repro.chunks.grid.ChunkSpace` is
+            supplied).
+        organization: Backend file organization (``"chunked"`` or
+            ``"dimension"``); the chunk scheme requires ``"chunked"``.
+        page_size: Backend page size in bytes.
+        buffer_pool_pages: Backend buffer-pool capacity in pages.
+        build_bitmaps: Build bitmap indexes at load time.
+        cache_bytes: Cache byte budget.
+        policy: Replacement policy name (``"lru"``, ``"clock"``,
+            ``"benefit"``).
+        num_shards: ``0`` builds a plain single-threaded
+            :class:`~repro.core.cache.ChunkCache`; ``>= 1`` builds a
+            lock-striped :class:`~repro.serve.ShardedChunkCache` with
+            that many shards (required for the concurrent serving
+            layer).  Chunk scheme only.
+        aggregate_in_cache: Enable in-cache derivation (Section 7).
+        prefetch_drilldown: Enable drill-down prefetching (implies
+            derivation).  Chunk scheme only.
+        miss_path: Query-scheme miss access path (``"auto"``,
+            ``"bitmap"``, ``"scan"``).
+    """
+
+    scheme: str = CHUNK
+    chunk_ratio: float = 0.1
+    organization: str = "chunked"
+    page_size: int = 4096
+    buffer_pool_pages: int = 256
+    build_bitmaps: bool = True
+    cache_bytes: int = 1 << 20
+    policy: str = "benefit"
+    num_shards: int = 0
+    aggregate_in_cache: bool = False
+    prefetch_drilldown: bool = False
+    miss_path: str = "auto"
+
+
+@dataclass(frozen=True)
+class Stack:
+    """One fully wired caching middle tier.
+
+    Attributes:
+        config: The configuration it was built from.
+        schema: The star schema.
+        space: The shared chunk geometry.
+        backend: The loaded ground-truth engine.
+        cache: The chunk store (``None`` for the query scheme, whose
+            result cache lives inside its manager).
+        manager: The scheme's cache manager — a
+            :class:`~repro.pipeline.protocol.QueryAnswerer`.
+    """
+
+    config: StackConfig
+    schema: StarSchema
+    space: ChunkSpace
+    backend: BackendEngine
+    cache: ChunkStore | None
+    manager: ChunkCacheManager | QueryCacheManager
+
+    @property
+    def chunk_manager(self) -> ChunkCacheManager:
+        """The manager, asserted to be the chunk scheme's."""
+        if not isinstance(self.manager, ChunkCacheManager):
+            raise StackError(
+                f"stack was built with scheme={self.config.scheme!r}, "
+                "not the chunk scheme"
+            )
+        return self.manager
+
+    @property
+    def query_manager(self) -> QueryCacheManager:
+        """The manager, asserted to be the query-caching baseline's."""
+        if not isinstance(self.manager, QueryCacheManager):
+            raise StackError(
+                f"stack was built with scheme={self.config.scheme!r}, "
+                "not the query scheme"
+            )
+        return self.manager
+
+
+def build_backend(
+    schema: StarSchema,
+    space: ChunkSpace,
+    records: np.ndarray,
+    organization: str = "chunked",
+    page_size: int = 4096,
+    buffer_pool_pages: int = 256,
+    build_bitmaps: bool = True,
+) -> BackendEngine:
+    """Build and bulk-load a backend engine from raw fact records.
+
+    The facade over :meth:`repro.backend.engine.BackendEngine.build`;
+    load-time I/O is excluded from the engine's counters.  Exposed
+    separately from :func:`build_stack` for experiments that compare
+    several organizations over one fact table (Figure 14).
+    """
+    return BackendEngine.build(
+        schema,
+        space,
+        records,
+        organization=organization,
+        page_size=page_size,
+        buffer_pool_pages=buffer_pool_pages,
+        build_bitmaps=build_bitmaps,
+    )
+
+
+def build_cache(config: StackConfig) -> ChunkStore:
+    """Build the configured chunk store (plain or sharded)."""
+    if config.num_shards > 0:
+        return ShardedChunkCache(
+            config.cache_bytes,
+            policy=config.policy,
+            num_shards=config.num_shards,
+        )
+    return ChunkCache(config.cache_bytes, config.policy)
+
+
+def build_stack(
+    schema: StarSchema,
+    records: np.ndarray | None = None,
+    config: StackConfig = StackConfig(),
+    *,
+    space: ChunkSpace | None = None,
+    backend: BackendEngine | None = None,
+    cache: ChunkStore | None = None,
+    cost_model: CostModel | None = None,
+) -> Stack:
+    """Wire a complete caching stack per ``config``.
+
+    Args:
+        schema: The star schema.
+        records: Raw fact records, required unless a loaded ``backend``
+            is supplied.
+        config: All composition knobs (scheme, geometry, budgets).
+        space: Pre-built chunk geometry to share (defaults to a fresh
+            ``ChunkSpace(schema, config.chunk_ratio)``).
+        backend: Pre-built engine to reuse (several stacks over one
+            loaded backend is the normal experiment shape).
+        cache: Pre-built chunk store to use instead of
+            :func:`build_cache` (chunk scheme only).
+        cost_model: Override cost model (defaults to the paper's).
+
+    Returns:
+        The wired :class:`Stack`.
+    """
+    if config.scheme not in (CHUNK, QUERY):
+        raise StackError(
+            f"unknown caching scheme {config.scheme!r}; "
+            f"expected {CHUNK!r} or {QUERY!r}"
+        )
+    if space is None:
+        space = ChunkSpace(schema, config.chunk_ratio)
+    if backend is None:
+        if records is None:
+            raise StackError(
+                "build_stack needs fact records unless a loaded "
+                "backend is supplied"
+            )
+        backend = build_backend(
+            schema,
+            space,
+            records,
+            organization=config.organization,
+            page_size=config.page_size,
+            buffer_pool_pages=config.buffer_pool_pages,
+            build_bitmaps=config.build_bitmaps,
+        )
+    manager: ChunkCacheManager | QueryCacheManager
+    if config.scheme == CHUNK:
+        if cache is None:
+            cache = build_cache(config)
+        manager = ChunkCacheManager(
+            schema,
+            space,
+            backend,
+            cache,
+            cost_model=cost_model,
+            aggregate_in_cache=config.aggregate_in_cache,
+            prefetch_drilldown=config.prefetch_drilldown,
+        )
+    else:
+        if cache is not None:
+            raise StackError(
+                "the query scheme keeps its result cache inside the "
+                "manager; a pre-built chunk store cannot be attached"
+            )
+        manager = QueryCacheManager(
+            schema,
+            backend,
+            config.cache_bytes,
+            cost_model=cost_model,
+            policy=config.policy,
+            miss_path=config.miss_path,
+        )
+    return Stack(
+        config=config,
+        schema=schema,
+        space=space,
+        backend=backend,
+        cache=cache,
+        manager=manager,
+    )

@@ -39,10 +39,16 @@ class CostReport:
             was taken after an aggregate-level fault.
         fault_latency: Simulated seconds of injected slow-read latency.
         backoff_time: Simulated seconds of deterministic retry backoff.
+        coalesce_time: Signed modelled-time adjustment from single-flight
+            chunk coalescing.  A flight leader is credited (negative) for
+            the share of its fetch that coalesced waiters absorb; each
+            waiter is charged (positive) its fair share.  Sums to zero
+            across a flight, and stays exactly ``0.0`` when the front
+            door (``repro.serve.front``) is not in use.
 
-    The five fault fields stay exactly zero on fault-free runs, so the
-    modelled time they feed (:class:`repro.analysis.cost.CostModel`) is
-    bit-identical with the fault layer absent.
+    The fault and coalesce fields stay exactly zero on plain runs, so
+    the modelled time they feed (:class:`repro.analysis.cost.CostModel`)
+    is bit-identical with those layers absent.
     """
 
     pages_read: int = 0
@@ -56,6 +62,7 @@ class CostReport:
     degraded: int = 0
     fault_latency: float = 0.0
     backoff_time: float = 0.0
+    coalesce_time: float = 0.0
 
     def __add__(self, other: "CostReport") -> "CostReport":
         paths = {p for p in (self.access_path, other.access_path) if p}
@@ -71,6 +78,7 @@ class CostReport:
             degraded=self.degraded + other.degraded,
             fault_latency=self.fault_latency + other.fault_latency,
             backoff_time=self.backoff_time + other.backoff_time,
+            coalesce_time=self.coalesce_time + other.coalesce_time,
         )
 
     def merge(self, other: "CostReport") -> None:
@@ -85,6 +93,7 @@ class CostReport:
         self.degraded += other.degraded
         self.fault_latency += other.fault_latency
         self.backoff_time += other.backoff_time
+        self.coalesce_time += other.coalesce_time
 
 
 class measure_cost:

@@ -33,6 +33,17 @@ from repro.core.replacement import (
     ReplacementPolicy,
     make_policy,
 )
+from repro.core.snapshot import (
+    CacheContention,
+    ChunkCacheSnapshot,
+    FaultStats,
+    GroupByUsage,
+    QueryCacheSnapshot,
+    ShapeUsage,
+    ShardStats,
+    Snapshot,
+    StageStats,
+)
 
 __all__ = [
     "ChunkRange",
@@ -60,4 +71,13 @@ __all__ = [
     "QueryCacheManager",
     "QueryRecord",
     "StreamMetrics",
+    "CacheContention",
+    "ChunkCacheSnapshot",
+    "FaultStats",
+    "GroupByUsage",
+    "QueryCacheSnapshot",
+    "ShapeUsage",
+    "ShardStats",
+    "Snapshot",
+    "StageStats",
 ]

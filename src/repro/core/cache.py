@@ -114,6 +114,16 @@ class ChunkStore(Protocol):
         """Point-in-time ``(key, entry)`` pairs."""
         ...
 
+    def contention(self) -> dict[str, object]:
+        """Lock-contention / shard-skew counters.
+
+        Declared on the protocol so consumers (the serving layer, the
+        snapshot tree) never probe for it with ``getattr``.  Unsharded
+        stores return ``{}`` — "nothing to report", distinct from a
+        sharded store's populated mapping.
+        """
+        ...
+
 
 class ChunkCache:
     """A byte-budgeted cache of chunks with pluggable replacement.
@@ -171,6 +181,10 @@ class ChunkCache:
         ``describe_cache()``-style reporting.
         """
         return list(self._entries.items())
+
+    def contention(self) -> dict[str, object]:
+        """No contention counters: this store is single-threaded."""
+        return {}
 
     # ------------------------------------------------------------------
     # Access

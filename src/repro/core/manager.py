@@ -43,6 +43,7 @@ from repro.chunks.grid import ChunkSpace
 from repro.chunks.closure import source_spans
 from repro.core.cache import ChunkStore
 from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
+from repro.core.snapshot import Snapshot, build_chunk_snapshot
 from repro.exceptions import CacheError
 from repro.pipeline.executor import StagedPipeline
 from repro.pipeline.resolvers import (
@@ -266,58 +267,27 @@ class ChunkCacheManager:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def describe_cache(self) -> dict[str, object]:
-        """A snapshot of cache composition for debugging and reports.
+    def snapshot(self) -> Snapshot:
+        """A typed snapshot of cache composition and stream aggregates.
 
-        Returns a dictionary with the byte usage, entry count, a
-        per-group-by breakdown (resident chunks, bytes, total benefit) —
-        handy for seeing what the replacement policy is protecting — and
-        the stream's per-stage / per-resolver trace aggregates.  When
-        the store is sharded (exposes a callable ``contention()``), the
-        snapshot gains a ``"shards"`` entry with lock-contention and
-        shard-skew metrics.  A ``"faults"`` entry summarizes injected
-        faults and recoveries (all zeros on fault-free runs).
+        The tree (:class:`repro.core.snapshot.Snapshot`) covers byte
+        usage, entry count, a per-group-by breakdown (resident chunks,
+        bytes, total benefit) — handy for seeing what the replacement
+        policy is protecting — the stream's per-stage / per-resolver
+        trace aggregates, the injected-fault summary, and (for sharded
+        stores; see :meth:`repro.core.cache.ChunkStore.contention`)
+        lock-contention and shard-skew metrics.
         """
-        per_groupby: dict[GroupBy, dict[str, float]] = {}
-        for key, entry in self.cache.snapshot():
-            bucket = per_groupby.setdefault(
-                key.groupby, {"chunks": 0, "bytes": 0, "benefit": 0.0}
-            )
-            bucket["chunks"] += 1
-            bucket["bytes"] += entry.size_bytes
-            bucket["benefit"] += entry.benefit
-        stages = self.metrics.stage_summary()
-        stats = self.cache.stats
-        out: dict[str, object] = {
-            "used_bytes": self.cache.used_bytes,
-            "capacity_bytes": self.cache.capacity_bytes,
-            "entries": len(self.cache),
-            "hit_ratio": stats.hit_ratio,
-            "evictions": stats.evictions,
-            "per_groupby": dict(
-                sorted(
-                    per_groupby.items(),
-                    key=lambda item: item[1]["bytes"],
-                    reverse=True,
-                )
-            ),
-            "stages": stages,
-            "resolved_by": self.metrics.resolver_summary(),
-        }
-        out["faults"] = {
-            "poisoned_puts": stats.poisoned,
-            "pressure_evictions": stats.pressure_evictions,
-            "faults": sum(b["faults"] for b in stages.values()),
-            "retries": sum(b["retries"] for b in stages.values()),
-            "degraded": sum(b["degraded"] for b in stages.values()),
-            "backoff_seconds": sum(
-                b["backoff_seconds"] for b in stages.values()
-            ),
-        }
-        contention = getattr(self.cache, "contention", None)
-        if callable(contention):
-            out["shards"] = contention()
-        return out
+        return build_chunk_snapshot(self.cache, self.metrics)
+
+    def describe_cache(self) -> dict[str, object]:
+        """Deprecated: the pre-:class:`Snapshot` report dictionary.
+
+        A thin shim over :meth:`snapshot` that reproduces the legacy
+        shape bit-for-bit (same keys, same order, same numeric types).
+        New code should use the typed tree.
+        """
+        return self.snapshot().legacy_dict()
 
     # ------------------------------------------------------------------
     # Invalidation after base-table updates

@@ -215,10 +215,11 @@ class StreamMetrics:
         Returns ``stage name -> {"calls", "wall_seconds",
         "modelled_time", "partitions", "pages_read", "tuples_scanned",
         "lock_wait_seconds", "faults", "retries", "degraded",
-        "backoff_seconds"}`` summed across the stream, in first-seen
-        stage order.  ``lock_wait_seconds`` and the fault counters are
-        read duck-typed (defaulting to 0) so pre-serving and pre-fault
-        traces aggregate unchanged.
+        "backoff_seconds", "coalesce_seconds"}`` summed across the
+        stream, in first-seen stage order.  ``lock_wait_seconds``, the
+        fault counters and ``coalesce_seconds`` are read duck-typed
+        (defaulting to 0) so pre-serving and pre-fault traces aggregate
+        unchanged.
         """
         totals: dict[str, dict[str, float]] = {}
         for trace in self._traces:
@@ -237,6 +238,7 @@ class StreamMetrics:
                         "retries": 0.0,
                         "degraded": 0.0,
                         "backoff_seconds": 0.0,
+                        "coalesce_seconds": 0.0,
                     },
                 )
                 bucket["calls"] += 1
@@ -255,6 +257,9 @@ class StreamMetrics:
                 )
                 bucket["backoff_seconds"] += float(
                     getattr(entry, "backoff_seconds", 0.0)
+                )
+                bucket["coalesce_seconds"] += float(
+                    getattr(entry, "coalesce_seconds", 0.0)
                 )
         return totals
 

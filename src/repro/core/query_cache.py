@@ -40,6 +40,13 @@ from repro.core.chunk import CachedQuery
 from repro.core.manager import Answer
 from repro.core.metrics import QueryRecord, StreamMetrics, account_answer
 from repro.core.replacement import ReplacementPolicy, make_policy
+from repro.core.snapshot import (
+    QueryCacheSnapshot,
+    ShapeUsage,
+    Snapshot,
+    collect_resolved,
+    collect_stages,
+)
 from repro.exceptions import CacheError, QueryError
 from repro.pipeline.executor import StagedPipeline
 from repro.pipeline.resolvers import (
@@ -186,13 +193,13 @@ class QueryCacheManager:
         """Bytes currently charged against the budget."""
         return self._used_bytes
 
-    def describe_cache(self) -> dict[str, object]:
-        """A snapshot of cache composition for debugging and reports.
+    def snapshot(self) -> Snapshot:
+        """A typed snapshot of cache composition and stream aggregates.
 
         Single pass over the entries, mirroring the chunk scheme's
         snapshot: byte usage, entry count, a per-shape breakdown, the
         redundancy ratio, and the stream's per-stage / per-resolver
-        trace aggregates.
+        trace aggregates — as a :class:`repro.core.snapshot.Snapshot`.
         """
         per_shape: dict[QueryKey, dict[str, float]] = {}
         for entry in self._entries.values():
@@ -203,21 +210,39 @@ class QueryCacheManager:
             bucket["results"] += 1
             bucket["bytes"] += entry.size_bytes
             bucket["benefit"] += entry.benefit
-        return {
-            "used_bytes": self._used_bytes,
-            "capacity_bytes": self.capacity_bytes,
-            "entries": len(self._entries),
-            "redundancy_ratio": self.redundancy_ratio(),
-            "per_shape": dict(
-                sorted(
-                    per_shape.items(),
-                    key=lambda item: item[1]["bytes"],
-                    reverse=True,
-                )
+        usages = tuple(
+            ShapeUsage(
+                key=key,
+                results=int(bucket["results"]),
+                bytes=int(bucket["bytes"]),
+                benefit=bucket["benefit"],
+            )
+            for key, bucket in sorted(
+                per_shape.items(),
+                key=lambda item: item[1]["bytes"],
+                reverse=True,
+            )
+        )
+        return Snapshot(
+            kind="query",
+            cache=QueryCacheSnapshot(
+                used_bytes=self._used_bytes,
+                capacity_bytes=self.capacity_bytes,
+                entries=len(self._entries),
+                redundancy_ratio=self.redundancy_ratio(),
+                per_shape=usages,
+                stages=collect_stages(self.metrics),
+                resolved_by=collect_resolved(self.metrics),
             ),
-            "stages": self.metrics.stage_summary(),
-            "resolved_by": self.metrics.resolver_summary(),
-        }
+        )
+
+    def describe_cache(self) -> dict[str, object]:
+        """Deprecated: the pre-:class:`Snapshot` report dictionary.
+
+        A thin shim over :meth:`snapshot` that reproduces the legacy
+        shape bit-for-bit.  New code should use the typed tree.
+        """
+        return self.snapshot().legacy_dict()
 
     def redundancy_ratio(self) -> float:
         """Stored cells over distinct cells across cached results.

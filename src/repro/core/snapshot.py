@@ -1,0 +1,511 @@
+"""The typed snapshot tree behind every cache-report surface.
+
+Historically each report surface grew its own ``dict[str, object]``:
+``ChunkCacheManager.describe_cache()``,
+``QueryCacheManager.describe_cache()``,
+``StreamMetrics.stage_summary()`` and the sharded store's
+``contention()`` all returned ad-hoc nested dictionaries whose shapes
+lived only in docstrings.  This module consolidates them behind one
+frozen dataclass tree rooted at :class:`Snapshot`:
+
+- ``manager.snapshot()`` (both schemes) returns a :class:`Snapshot`;
+- :meth:`Snapshot.to_json` renders one canonical JSON-serializable
+  form for tooling;
+- :meth:`Snapshot.legacy_dict` reproduces the exact pre-snapshot
+  dictionary — same keys, same insertion order, same numeric types —
+  so ``describe_cache()`` survives as a thin deprecation shim and
+  every existing consumer (fig9, csr_sim, the fault reports) stays
+  bit-for-bit identical.
+
+The tree is built *from* the same accumulation passes the legacy
+dictionaries used (same iteration order), so even float sums are
+bit-identical, not merely approximately equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.cache import ChunkStore
+from repro.core.metrics import StreamMetrics
+from repro.schema.star import GroupBy
+
+__all__ = [
+    "CacheContention",
+    "ChunkCacheSnapshot",
+    "FaultStats",
+    "GroupByUsage",
+    "QueryCacheSnapshot",
+    "ShapeUsage",
+    "ShardStats",
+    "Snapshot",
+    "StageStats",
+    "build_chunk_snapshot",
+]
+
+#: The fixed per-stage bucket key order of the legacy
+#: ``stage_summary()`` dictionaries (and of ``StageStats`` fields).
+_STAGE_FIELDS = (
+    "calls",
+    "wall_seconds",
+    "modelled_time",
+    "partitions",
+    "pages_read",
+    "tuples_scanned",
+    "lock_wait_seconds",
+    "faults",
+    "retries",
+    "degraded",
+    "backoff_seconds",
+    "coalesce_seconds",
+)
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Per-stage totals over a stream's execution traces.
+
+    One entry per pipeline stage, in first-seen stage order — the typed
+    form of one ``stage_summary()`` bucket.
+    """
+
+    name: str
+    calls: float
+    wall_seconds: float
+    modelled_time: float
+    partitions: float
+    pages_read: float
+    tuples_scanned: float
+    lock_wait_seconds: float
+    faults: float
+    retries: float
+    degraded: float
+    backoff_seconds: float
+    coalesce_seconds: float
+
+    @classmethod
+    def from_bucket(
+        cls, name: str, bucket: Mapping[str, float]
+    ) -> "StageStats":
+        """Typed view of one legacy ``stage_summary()`` bucket."""
+        return cls(name=name, **{f: bucket[f] for f in _STAGE_FIELDS})
+
+    def legacy_bucket(self) -> dict[str, float]:
+        """The original ``stage_summary()`` bucket, key order included."""
+        return {f: getattr(self, f) for f in _STAGE_FIELDS}
+
+
+@dataclass(frozen=True)
+class GroupByUsage:
+    """Cache residency of one group-by (chunk scheme).
+
+    ``chunks`` and ``bytes`` are exact integers; ``benefit`` is the
+    float sum of the resident entries' benefit values, accumulated in
+    cache-snapshot order.
+    """
+
+    groupby: GroupBy
+    chunks: int
+    bytes: int
+    benefit: float
+
+
+@dataclass(frozen=True)
+class ShapeUsage:
+    """Cache residency of one query shape (query-caching baseline).
+
+    ``key`` is the shape's cache-compatibility key (an opaque hashable;
+    stringified by :meth:`Snapshot.to_json`).
+    """
+
+    key: object
+    results: int
+    bytes: int
+    benefit: float
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Injected-fault outcomes summed over the stream (zeros when
+    fault-free).
+
+    The counters mirror the legacy ``describe_cache()["faults"]``
+    entry: cache-level outcomes (``poisoned_puts``,
+    ``pressure_evictions``) come from the store's statistics, the rest
+    are sums over the per-stage totals.
+    """
+
+    poisoned_puts: int
+    pressure_evictions: int
+    faults: float
+    retries: float
+    degraded: float
+    backoff_seconds: float
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's counters inside a sharded store's contention report."""
+
+    shard: int
+    capacity_bytes: int
+    used_bytes: int
+    entries: int
+    hits: int
+    misses: int
+    evictions: int
+    lock_wait_seconds: float
+    lock_acquisitions: int
+    quarantined: bool
+    quarantines: int
+    readmissions: int
+    quarantine_rejects: int
+
+    def legacy_bucket(self) -> dict[str, object]:
+        return {
+            "shard": self.shard,
+            "capacity_bytes": self.capacity_bytes,
+            "used_bytes": self.used_bytes,
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lock_wait_seconds": self.lock_wait_seconds,
+            "lock_acquisitions": self.lock_acquisitions,
+            "quarantined": self.quarantined,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+            "quarantine_rejects": self.quarantine_rejects,
+        }
+
+
+@dataclass(frozen=True)
+class CacheContention:
+    """A sharded store's lock-contention and skew report, typed.
+
+    The typed form of :meth:`repro.serve.ShardedChunkCache.contention`;
+    an unsharded store (``contention() == {}``) simply has no
+    contention node in its snapshot.
+    """
+
+    num_shards: int
+    lock_wait_seconds: float
+    lock_acquisitions: int
+    hit_skew: float
+    quarantines: int
+    readmissions: int
+    quarantine_rejects: int
+    per_shard: tuple[ShardStats, ...]
+
+    @classmethod
+    def from_mapping(
+        cls, raw: Mapping[str, object]
+    ) -> "CacheContention":
+        """Parse a store's ``contention()`` dictionary."""
+        shards = []
+        per_shard = raw.get("per_shard")
+        if isinstance(per_shard, Sequence):
+            for entry in per_shard:
+                if isinstance(entry, Mapping):
+                    shards.append(
+                        ShardStats(
+                            shard=int(entry["shard"]),  # type: ignore[call-overload]
+                            capacity_bytes=int(entry["capacity_bytes"]),  # type: ignore[call-overload]
+                            used_bytes=int(entry["used_bytes"]),  # type: ignore[call-overload]
+                            entries=int(entry["entries"]),  # type: ignore[call-overload]
+                            hits=int(entry["hits"]),  # type: ignore[call-overload]
+                            misses=int(entry["misses"]),  # type: ignore[call-overload]
+                            evictions=int(entry["evictions"]),  # type: ignore[call-overload]
+                            lock_wait_seconds=float(
+                                entry["lock_wait_seconds"]  # type: ignore[arg-type]
+                            ),
+                            lock_acquisitions=int(
+                                entry["lock_acquisitions"]  # type: ignore[call-overload]
+                            ),
+                            quarantined=bool(entry["quarantined"]),
+                            quarantines=int(entry["quarantines"]),  # type: ignore[call-overload]
+                            readmissions=int(entry["readmissions"]),  # type: ignore[call-overload]
+                            quarantine_rejects=int(
+                                entry["quarantine_rejects"]  # type: ignore[call-overload]
+                            ),
+                        )
+                    )
+        return cls(
+            num_shards=int(raw.get("num_shards", 0)),  # type: ignore[call-overload]
+            lock_wait_seconds=float(raw.get("lock_wait_seconds", 0.0)),  # type: ignore[arg-type]
+            lock_acquisitions=int(raw.get("lock_acquisitions", 0)),  # type: ignore[call-overload]
+            hit_skew=float(raw.get("hit_skew", 0.0)),  # type: ignore[arg-type]
+            quarantines=int(raw.get("quarantines", 0)),  # type: ignore[call-overload]
+            readmissions=int(raw.get("readmissions", 0)),  # type: ignore[call-overload]
+            quarantine_rejects=int(raw.get("quarantine_rejects", 0)),  # type: ignore[call-overload]
+            per_shard=tuple(shards),
+        )
+
+    def legacy_dict(self) -> dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "lock_wait_seconds": self.lock_wait_seconds,
+            "lock_acquisitions": self.lock_acquisitions,
+            "hit_skew": self.hit_skew,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+            "quarantine_rejects": self.quarantine_rejects,
+            "per_shard": [s.legacy_bucket() for s in self.per_shard],
+        }
+
+
+@dataclass(frozen=True)
+class ChunkCacheSnapshot:
+    """Composition and stream aggregates of a chunk-cache manager."""
+
+    used_bytes: int
+    capacity_bytes: int
+    entries: int
+    hit_ratio: float
+    evictions: int
+    per_groupby: tuple[GroupByUsage, ...]
+    stages: tuple[StageStats, ...]
+    resolved_by: tuple[tuple[str, int], ...]
+    poisoned_puts: int
+    pressure_evictions: int
+    contention: CacheContention | None
+
+    def fault_stats(self) -> FaultStats:
+        """The fault summary, derived from the per-stage totals.
+
+        Sums are taken in stage order, exactly as the legacy
+        ``describe_cache()["faults"]`` entry computed them.
+        """
+        return FaultStats(
+            poisoned_puts=self.poisoned_puts,
+            pressure_evictions=self.pressure_evictions,
+            faults=sum(s.faults for s in self.stages),
+            retries=sum(s.retries for s in self.stages),
+            degraded=sum(s.degraded for s in self.stages),
+            backoff_seconds=sum(s.backoff_seconds for s in self.stages),
+        )
+
+    def legacy_dict(self) -> dict[str, object]:
+        """The pre-snapshot ``describe_cache()`` dictionary, exactly."""
+        faults = self.fault_stats()
+        out: dict[str, object] = {
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": self.entries,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "per_groupby": {
+                usage.groupby: {
+                    "chunks": usage.chunks,
+                    "bytes": usage.bytes,
+                    "benefit": usage.benefit,
+                }
+                for usage in self.per_groupby
+            },
+            "stages": {
+                stage.name: stage.legacy_bucket()
+                for stage in self.stages
+            },
+            "resolved_by": dict(self.resolved_by),
+        }
+        out["faults"] = {
+            "poisoned_puts": faults.poisoned_puts,
+            "pressure_evictions": faults.pressure_evictions,
+            "faults": faults.faults,
+            "retries": faults.retries,
+            "degraded": faults.degraded,
+            "backoff_seconds": faults.backoff_seconds,
+        }
+        if self.contention is not None:
+            out["shards"] = self.contention.legacy_dict()
+        return out
+
+    def to_json(self) -> dict[str, object]:
+        faults = self.fault_stats()
+        out: dict[str, object] = {
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": self.entries,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "per_groupby": [
+                {
+                    "groupby": list(usage.groupby),
+                    "chunks": usage.chunks,
+                    "bytes": usage.bytes,
+                    "benefit": usage.benefit,
+                }
+                for usage in self.per_groupby
+            ],
+            "stages": {
+                stage.name: stage.legacy_bucket()
+                for stage in self.stages
+            },
+            "resolved_by": dict(self.resolved_by),
+            "faults": {
+                "poisoned_puts": faults.poisoned_puts,
+                "pressure_evictions": faults.pressure_evictions,
+                "faults": float(faults.faults),
+                "retries": float(faults.retries),
+                "degraded": float(faults.degraded),
+                "backoff_seconds": float(faults.backoff_seconds),
+            },
+        }
+        if self.contention is not None:
+            out["contention"] = self.contention.legacy_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class QueryCacheSnapshot:
+    """Composition and stream aggregates of the query-caching baseline."""
+
+    used_bytes: int
+    capacity_bytes: int
+    entries: int
+    redundancy_ratio: float
+    per_shape: tuple[ShapeUsage, ...]
+    stages: tuple[StageStats, ...]
+    resolved_by: tuple[tuple[str, int], ...]
+
+    def legacy_dict(self) -> dict[str, object]:
+        """The pre-snapshot ``describe_cache()`` dictionary, exactly."""
+        return {
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": self.entries,
+            "redundancy_ratio": self.redundancy_ratio,
+            "per_shape": {
+                usage.key: {
+                    "results": usage.results,
+                    "bytes": usage.bytes,
+                    "benefit": usage.benefit,
+                }
+                for usage in self.per_shape
+            },
+            "stages": {
+                stage.name: stage.legacy_bucket()
+                for stage in self.stages
+            },
+            "resolved_by": dict(self.resolved_by),
+        }
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": self.entries,
+            "redundancy_ratio": self.redundancy_ratio,
+            "per_shape": [
+                {
+                    "key": str(usage.key),
+                    "results": usage.results,
+                    "bytes": usage.bytes,
+                    "benefit": usage.benefit,
+                }
+                for usage in self.per_shape
+            ],
+            "stages": {
+                stage.name: stage.legacy_bucket()
+                for stage in self.stages
+            },
+            "resolved_by": dict(self.resolved_by),
+        }
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Root of the typed report tree: one cache manager, one instant.
+
+    Attributes:
+        kind: ``"chunk"`` or ``"query"`` — which caching scheme the
+            snapshot describes.
+        cache: The scheme-specific subtree.
+    """
+
+    kind: str
+    cache: ChunkCacheSnapshot | QueryCacheSnapshot
+
+    def to_json(self) -> dict[str, object]:
+        """One canonical JSON-serializable rendering of the tree."""
+        return {"kind": self.kind, "cache": self.cache.to_json()}
+
+    def legacy_dict(self) -> dict[str, object]:
+        """The scheme's original ``describe_cache()`` dictionary.
+
+        Bit-for-bit identical to the pre-snapshot code path: same keys,
+        same insertion order, same numeric types and float values.
+        """
+        return self.cache.legacy_dict()
+
+
+def collect_stages(metrics: StreamMetrics) -> tuple[StageStats, ...]:
+    """Typed per-stage totals, in first-seen stage order."""
+    summary = metrics.stage_summary()
+    return tuple(
+        StageStats.from_bucket(name, bucket)
+        for name, bucket in summary.items()
+    )
+
+
+def collect_resolved(
+    metrics: StreamMetrics,
+) -> tuple[tuple[str, int], ...]:
+    """Typed per-resolver totals, in first-seen resolver order."""
+    return tuple(metrics.resolver_summary().items())
+
+
+def build_chunk_snapshot(
+    cache: ChunkStore, metrics: StreamMetrics
+) -> Snapshot:
+    """Snapshot a chunk-scheme cache and its stream aggregates.
+
+    Accumulates the per-group-by breakdown in the same single pass (and
+    order) the legacy ``describe_cache()`` used, so the float benefit
+    sums are bit-identical, then sorts by resident bytes descending
+    (stable, preserving first-seen order among ties).
+    """
+    per_groupby: dict[GroupBy, dict[str, float]] = {}
+    for key, entry in cache.snapshot():
+        bucket = per_groupby.setdefault(
+            key.groupby, {"chunks": 0, "bytes": 0, "benefit": 0.0}
+        )
+        bucket["chunks"] += 1
+        bucket["bytes"] += entry.size_bytes
+        bucket["benefit"] += entry.benefit
+    usages = tuple(
+        GroupByUsage(
+            groupby=groupby,
+            chunks=int(bucket["chunks"]),
+            bytes=int(bucket["bytes"]),
+            benefit=bucket["benefit"],
+        )
+        for groupby, bucket in sorted(
+            per_groupby.items(),
+            key=lambda item: item[1]["bytes"],
+            reverse=True,
+        )
+    )
+    stats = cache.stats
+    raw_contention = cache.contention()
+    return Snapshot(
+        kind="chunk",
+        cache=ChunkCacheSnapshot(
+            used_bytes=cache.used_bytes,
+            capacity_bytes=cache.capacity_bytes,
+            entries=len(cache),
+            hit_ratio=stats.hit_ratio,
+            evictions=stats.evictions,
+            per_groupby=usages,
+            stages=collect_stages(metrics),
+            resolved_by=collect_resolved(metrics),
+            poisoned_puts=stats.poisoned,
+            pressure_evictions=stats.pressure_evictions,
+            contention=(
+                CacheContention.from_mapping(raw_contention)
+                if raw_contention
+                else None
+            ),
+        ),
+    )

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cost import CostModel
+from repro.api import build_backend
 from repro.backend.engine import BackendEngine
 from repro.chunks.grid import ChunkSpace
 from repro.exceptions import ExperimentError
@@ -82,7 +83,7 @@ def build_bitmap_setup(
     engines = {}
     for organization in ("random", "chunked"):
         space = ChunkSpace(schema, chunk_ratio)
-        engines[organization] = BackendEngine.build(
+        engines[organization] = build_backend(
             schema,
             space,
             records,

@@ -22,8 +22,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.cost import CostModel
+from repro.api import (
+    CHUNK,
+    QUERY,
+    StackConfig,
+    build_backend,
+    build_stack,
+)
 from repro.backend.engine import BackendEngine
-from repro.core.cache import ChunkCache, ChunkStore
+from repro.core.cache import ChunkStore
 from repro.chunks.grid import ChunkSpace
 from repro.core.manager import ChunkCacheManager
 from repro.core.metrics import StreamMetrics
@@ -93,7 +100,7 @@ def build_system(
         1, (scale.num_tuples * 24) // scale.page_size  # ~24 B per record
     )
     pool_pages = max(8, int(fact_pages * scale.buffer_fraction_of_fact))
-    backend = BackendEngine.build(
+    backend = build_backend(
         schema,
         space,
         records,
@@ -157,19 +164,23 @@ def make_chunk_manager(
             serving); ``cache_bytes`` and ``policy`` are ignored then.
     """
     reset_backend(system)
-    if cache is None:
-        cache = ChunkCache(
-            cache_bytes if cache_bytes is not None else system.cache_bytes,
-            policy,
-        )
-    return ChunkCacheManager(
+    stack = build_stack(
         system.schema,
-        system.space,
-        system.backend,
-        cache,
+        config=StackConfig(
+            scheme=CHUNK,
+            cache_bytes=(
+                cache_bytes if cache_bytes is not None
+                else system.cache_bytes
+            ),
+            policy=policy,
+            aggregate_in_cache=aggregate_in_cache,
+        ),
+        space=system.space,
+        backend=system.backend,
+        cache=cache,
         cost_model=system.cost_model,
-        aggregate_in_cache=aggregate_in_cache,
     )
+    return stack.chunk_manager
 
 
 def make_query_manager(
@@ -180,14 +191,22 @@ def make_query_manager(
 ) -> QueryCacheManager:
     """A query-caching (containment) middle tier over the same backend."""
     reset_backend(system)
-    return QueryCacheManager(
+    stack = build_stack(
         system.schema,
-        system.backend,
-        cache_bytes if cache_bytes is not None else system.cache_bytes,
+        config=StackConfig(
+            scheme=QUERY,
+            cache_bytes=(
+                cache_bytes if cache_bytes is not None
+                else system.cache_bytes
+            ),
+            policy=policy,
+            miss_path=miss_path,
+        ),
+        space=system.space,
+        backend=system.backend,
         cost_model=system.cost_model,
-        policy=policy,
-        miss_path=miss_path,
     )
+    return stack.query_manager
 
 
 def run_stream(

@@ -25,6 +25,7 @@ concurrent arm matches it number for number.
 
 from __future__ import annotations
 
+from repro.api import StackConfig, build_cache
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import (
     System,
@@ -33,7 +34,7 @@ from repro.experiments.harness import (
     run_stream,
 )
 from repro.experiments.reporting import ExperimentResult
-from repro.serve import FAIR, ServeReport, ServeSession, ShardedChunkCache
+from repro.serve import FAIR, ServeReport, ServeSession
 from repro.workload.generator import Q80, QueryGenerator
 from repro.workload.stream import QueryStream, interleave_streams
 
@@ -84,8 +85,10 @@ def run_shared_concurrent(
     any worker count.  Tests also call this with ``max_workers=1`` to
     pin bit-identical equality, and with more shards for stress runs.
     """
-    cache = ShardedChunkCache(
-        system.cache_bytes, num_shards=num_shards
+    cache = build_cache(
+        StackConfig(
+            cache_bytes=system.cache_bytes, num_shards=num_shards
+        )
     )
     manager = make_chunk_manager(system, cache=cache)
     session = ServeSession(

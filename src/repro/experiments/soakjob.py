@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.api import StackConfig, build_cache
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import get_system, make_chunk_manager
 from repro.experiments.multiuser import user_streams
@@ -26,7 +27,6 @@ from repro.query.model import StarQuery
 from repro.serve import (
     ChaosConfig,
     ChaosReport,
-    ShardedChunkCache,
     SoakConfig,
     SoakReport,
     run_chaos_soak,
@@ -54,7 +54,11 @@ def run_soak_job(
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
-    cache = ShardedChunkCache(system.cache_bytes, num_shards=num_shards)
+    cache = build_cache(
+        StackConfig(
+            cache_bytes=system.cache_bytes, num_shards=num_shards
+        )
+    )
     manager = make_chunk_manager(system, cache=cache)
     report = run_soak(manager, streams, config)
     return {
@@ -103,7 +107,11 @@ def run_chaos_job(
 
         oracle = _replay
 
-    cache = ShardedChunkCache(system.cache_bytes, num_shards=num_shards)
+    cache = build_cache(
+        StackConfig(
+            cache_bytes=system.cache_bytes, num_shards=num_shards
+        )
+    )
     manager = make_chunk_manager(system, cache=cache)
     plan = FaultPlan(seed=seed, specs=standard_specs(rate))
     injector = FaultInjector(plan)

@@ -21,6 +21,12 @@ from repro.pipeline.executor import (
     ResultAssembler,
     StagedPipeline,
 )
+from repro.pipeline.flight import (
+    ChunkFlight,
+    FlightResolver,
+    FlightTable,
+    clone_fault,
+)
 from repro.pipeline.protocol import QueryAnswerer
 from repro.pipeline.resolvers import (
     DERIVABLE_AGGREGATES,
@@ -68,6 +74,10 @@ __all__ = [
     "DerivationResolver",
     "PrefetchResolver",
     "BackendChunkResolver",
+    "ChunkFlight",
+    "FlightTable",
+    "FlightResolver",
+    "clone_fault",
     "QueryAnalyzer",
     "ResultAssembler",
     "CostAccountant",

@@ -176,6 +176,7 @@ class StagedPipeline:
                     stage.retries = outcome.report.retries
                     stage.degraded = outcome.report.degraded
                     stage.backoff_seconds = outcome.report.backoff_time
+                    stage.coalesce_seconds = outcome.report.coalesce_time
             trace.resolved_by[resolver.name] = len(outcome.parts)
         if outstanding:
             raise PipelineError(

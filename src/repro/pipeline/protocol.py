@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # avoid the runtime cycle pipeline -> core.manager
     from repro.backend.engine import BackendEngine
     from repro.core.manager import Answer
     from repro.core.metrics import StreamMetrics
+    from repro.core.snapshot import Snapshot
 
 __all__ = ["QueryAnswerer"]
 
@@ -41,8 +42,12 @@ class QueryAnswerer(Protocol):
         """Answer one query, updating the cache and stream metrics."""
         ...
 
+    def snapshot(self) -> "Snapshot":
+        """A typed snapshot of cache composition and stream aggregates."""
+        ...
+
     def describe_cache(self) -> dict[str, object]:
-        """A snapshot of cache composition and per-stage aggregates."""
+        """Deprecated: the legacy report dictionary (see ``snapshot()``)."""
         ...
 
     def invalidate_base_chunks(self, base_numbers: list[int]) -> int:

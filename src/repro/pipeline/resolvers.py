@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.pipeline.stages import (
 from repro.pipeline.work import ChunkWorkEstimator
 from repro.query.model import StarQuery
 from repro.schema.star import GroupBy, StarSchema
+
+if TYPE_CHECKING:  # flight.py imports us; runtime edge stays one-way
+    from repro.pipeline.flight import FlightTable
 
 __all__ = [
     "DERIVABLE_AGGREGATES",
@@ -148,18 +151,31 @@ class CacheHitResolver(PartitionResolver):
     Splits the offered partitions into ``CNumsPresent`` (resolved here)
     and ``CNumsMissing`` (left outstanding); hits touch replacement
     state, misses count in the cache's statistics.
+
+    When a :class:`~repro.pipeline.flight.FlightTable` is attached
+    (only under the admission front door), chunks the table has marked
+    as in-flight are skipped entirely — no lookup, no statistics — so
+    they resolve through the flight path or the backend instead.
     """
 
     name = "cache"
 
-    def __init__(self, cache: ChunkStore) -> None:
+    def __init__(
+        self, cache: ChunkStore, flight: "FlightTable | None" = None
+    ) -> None:
         self.cache = cache
+        self.flight = flight
 
     def resolve(
         self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
     ) -> ResolverOutcome:
         parts: dict[int, ResolvedPart] = {}
+        masked: frozenset[int] = frozenset()
+        if self.flight is not None:
+            masked = self.flight.masked(analyzed, outstanding)
         for number in outstanding:
+            if number in masked:
+                continue
             entry = self.cache.get(analyzed.chunk_key(number))
             if entry is not None:
                 parts[number] = ResolvedPart(
@@ -444,11 +460,13 @@ class BackendChunkResolver(PartitionResolver):
         backend: BackendEngine,
         admitter: ChunkAdmitter,
         retry: RetryPolicy | None = None,
+        flight: "FlightTable | None" = None,
     ) -> None:
         self.schema = schema
         self.backend = backend
         self.admitter = admitter
         self.retry = retry if retry is not None else RetryPolicy()
+        self.flight = flight
 
     def resolve(
         self, analyzed: AnalyzedQuery, outstanding: Sequence[int]
@@ -486,12 +504,24 @@ class BackendChunkResolver(PartitionResolver):
                     total.degraded += 1
                     continue
                 # Out of options: surface the typed fault carrying the
-                # combined cost of every attempt.
+                # combined cost of every attempt.  Flights this fetch
+                # was leading fail with it, so every coalesced waiter
+                # sees the same typed error.
+                if self.flight is not None:
+                    self.flight.publish_failure(
+                        analyzed, outstanding, fault
+                    )
                 fault.cost_report = total
                 raise
             break
         total.merge(report)
         self.admitter.admit(query, computed)
+        if self.flight is not None:
+            # Publish to waiting flights; the returned credit (<= 0)
+            # hands the waiters' fair shares back to this fetch.
+            total.coalesce_time += self.flight.publish(
+                analyzed, computed, total
+            )
         parts = {
             number: ResolvedPart(
                 number=number, rows=rows, resolver=self.name

@@ -84,6 +84,9 @@ class StageTrace:
             chunks.
         backoff_seconds: Simulated retry-backoff seconds charged to the
             stage.
+        coalesce_seconds: Signed simulated seconds from single-flight
+            coalescing (waiter fair-share charges, leader credits; 0.0
+            outside the front door).
     """
 
     def __init__(
@@ -99,6 +102,7 @@ class StageTrace:
         retries: int = 0,
         degraded: int = 0,
         backoff_seconds: float = 0.0,
+        coalesce_seconds: float = 0.0,
     ) -> None:
         self.name = name
         self.wall_seconds = wall_seconds
@@ -111,6 +115,7 @@ class StageTrace:
         self.retries = retries
         self.degraded = degraded
         self.backoff_seconds = backoff_seconds
+        self.coalesce_seconds = coalesce_seconds
 
     def __repr__(self) -> str:
         return (
@@ -124,7 +129,8 @@ class StageTrace:
             f"faults={self.faults!r}, "
             f"retries={self.retries!r}, "
             f"degraded={self.degraded!r}, "
-            f"backoff_seconds={self.backoff_seconds!r})"
+            f"backoff_seconds={self.backoff_seconds!r}, "
+            f"coalesce_seconds={self.coalesce_seconds!r})"
         )
 
 
@@ -223,8 +229,8 @@ def aggregate_stage_traces(
     Returns a mapping ``stage name -> {"calls", "wall_seconds",
     "modelled_time", "partitions", "pages_read", "tuples_scanned",
     "lock_wait_seconds", "faults", "retries", "degraded",
-    "backoff_seconds"}`` summed over all traces, in first-seen stage
-    order.
+    "backoff_seconds", "coalesce_seconds"}`` summed over all traces, in
+    first-seen stage order.
     """
     totals: dict[str, dict[str, float]] = {}
     for trace in traces:
@@ -243,6 +249,7 @@ def aggregate_stage_traces(
                     "retries": 0.0,
                     "degraded": 0.0,
                     "backoff_seconds": 0.0,
+                    "coalesce_seconds": 0.0,
                 },
             )
             bucket["calls"] += 1
@@ -256,6 +263,7 @@ def aggregate_stage_traces(
             bucket["retries"] += entry.retries
             bucket["degraded"] += entry.degraded
             bucket["backoff_seconds"] += entry.backoff_seconds
+            bucket["coalesce_seconds"] += entry.coalesce_seconds
     return totals
 
 

@@ -12,7 +12,12 @@ simultaneous users on real threads:
 - :func:`run_soak` — the invariant-hammering stress harness;
 - :func:`run_chaos_soak` — the same soak under a deterministic fault
   plan, asserting graceful degradation (correct answer or typed
-  failure, exact I/O conservation, reproducible digest).
+  failure, exact I/O conservation, reproducible digest);
+- :class:`FrontSession` / :func:`run_front` — the asyncio admission
+  front door: bounded deterministic backpressure (typed
+  :class:`~repro.exceptions.AdmissionShed`), fixed admission windows,
+  and single-flight chunk coalescing through the pipeline's
+  :class:`~repro.pipeline.flight.FlightTable`.
 
 The layer sits strictly *above* the pipeline: it composes the manager,
 cache and workload layers and never touches the backend or storage
@@ -21,6 +26,13 @@ duck-typed from the composition root so this layer never imports
 :mod:`repro.faults` either (rule R006).
 """
 
+from repro.serve.front import (
+    FrontConfig,
+    FrontReport,
+    FrontSession,
+    ShedQuery,
+    run_front,
+)
 from repro.serve.session import (
     FAIR,
     FREE,
@@ -50,13 +62,18 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "FaultSource",
+    "FrontConfig",
+    "FrontReport",
+    "FrontSession",
     "QueryFailure",
+    "ShedQuery",
     "ServeReport",
     "ServeSession",
     "ShardedChunkCache",
     "SoakConfig",
     "SoakReport",
     "run_chaos_soak",
+    "run_front",
     "run_soak",
     "stable_key_hash",
 ]

@@ -431,7 +431,10 @@ class ServeSession:
                 "lock_acquisitions": self.manager.backend.lock_acquisitions,
             }
         }
-        contention = getattr(self.manager.cache, "contention", None)
-        if callable(contention):
-            out["cache"] = contention()
+        # contention() is a declared ChunkStore member: unsharded stores
+        # return {} ("nothing to report"), which keeps the report's
+        # shape identical to the pre-protocol getattr probe.
+        cache_contention = self.manager.cache.contention()
+        if cache_contention:
+            out["cache"] = cache_contention
         return out

@@ -1,0 +1,41 @@
+"""The golden public-API manifest — drift in the stable surface fails.
+
+``tests/api/manifest.txt`` pins every export of ``repro``,
+``repro.api`` and ``repro.serve`` with its signature/fields.  An
+intentional API change regenerates it (``python -m tools.apicheck
+--write``); an accidental one fails here (and in the CI lint job)
+with a diff.
+"""
+
+from pathlib import Path
+
+from tools.apicheck import PUBLIC_MODULES, public_surface, render
+
+MANIFEST = Path(__file__).parent / "manifest.txt"
+
+
+def test_surface_matches_golden_manifest():
+    golden = MANIFEST.read_text(encoding="utf-8")
+    assert golden == render(), (
+        "public API surface drifted from tests/api/manifest.txt; if "
+        "intentional, regenerate with: python -m tools.apicheck --write"
+    )
+
+
+def test_manifest_covers_the_stable_modules():
+    lines = public_surface()
+    headers = [line for line in lines if line.startswith("# ")]
+    assert headers == [f"# {module}" for module in PUBLIC_MODULES]
+    # The facade's core exports are present by name — a rename is an
+    # API break even if the manifest is regenerated in the same PR.
+    text = "\n".join(lines)
+    for required in (
+        "repro.api.build_stack",
+        "repro.api.build_backend",
+        "repro.api.build_cache",
+        "repro.api.StackConfig",
+        "repro.serve.run_front",
+        "repro.serve.FrontConfig",
+        "repro.serve.run_soak",
+    ):
+        assert f"{required}:" in text, f"{required} missing from surface"

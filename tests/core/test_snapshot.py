@@ -1,0 +1,142 @@
+"""The typed Snapshot tree and its bit-identical legacy shims.
+
+The deprecation contract: ``manager.describe_cache()`` must keep
+returning the *exact* pre-snapshot dictionary — same keys, same
+insertion order, same numeric types, same float values — while
+``manager.snapshot()`` exposes the same facts as a typed frozen tree
+with one canonical JSON rendering.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cache import ChunkCache
+from repro.core.manager import ChunkCacheManager
+from repro.core.query_cache import QueryCacheManager
+from repro.core.snapshot import (
+    ChunkCacheSnapshot,
+    QueryCacheSnapshot,
+    Snapshot,
+)
+from repro.query.model import StarQuery
+
+
+def _queries(schema):
+    return [
+        StarQuery.build(schema, (1, 1), {}),
+        StarQuery.build(schema, (1, 1), {"D0": (0, 3)}),
+        StarQuery.build(schema, (2, 1), {}),
+        StarQuery.build(schema, (1, 1), {}),
+    ]
+
+
+@pytest.fixture()
+def chunk_manager(small_schema, small_engine):
+    manager = ChunkCacheManager(
+        small_schema,
+        small_engine.space,
+        small_engine,
+        ChunkCache(1 << 18, "benefit"),
+        aggregate_in_cache=True,
+    )
+    for query in _queries(small_schema):
+        manager.answer(query)
+    return manager
+
+
+@pytest.fixture()
+def query_manager(small_schema, small_engine):
+    manager = QueryCacheManager(small_schema, small_engine, 1 << 18)
+    for query in _queries(small_schema):
+        manager.answer(query)
+    return manager
+
+
+class TestChunkScheme:
+    def test_shim_is_bit_identical(self, chunk_manager):
+        snapshot = chunk_manager.snapshot()
+        legacy = chunk_manager.describe_cache()
+        assert legacy == snapshot.legacy_dict()
+        assert repr(legacy) == repr(snapshot.legacy_dict())
+        # Insertion order is part of the contract.
+        assert list(legacy) == list(snapshot.legacy_dict())
+
+    def test_legacy_key_order_and_types(self, chunk_manager):
+        legacy = chunk_manager.describe_cache()
+        assert list(legacy)[:6] == [
+            "used_bytes", "capacity_bytes", "entries", "hit_ratio",
+            "evictions", "per_groupby",
+        ]
+        for bucket in legacy["per_groupby"].values():
+            assert type(bucket["chunks"]) is int
+            assert type(bucket["bytes"]) is int
+            assert type(bucket["benefit"]) is float
+
+    def test_typed_tree_matches_the_dict(self, chunk_manager):
+        snapshot = chunk_manager.snapshot()
+        assert snapshot.kind == "chunk"
+        cache = snapshot.cache
+        assert isinstance(cache, ChunkCacheSnapshot)
+        legacy = snapshot.legacy_dict()
+        assert cache.used_bytes == legacy["used_bytes"]
+        assert cache.entries == legacy["entries"]
+        assert cache.hit_ratio == legacy["hit_ratio"]
+        assert len(cache.per_groupby) == len(legacy["per_groupby"])
+        # Stable ordering: descending bytes.
+        sizes = [usage.bytes for usage in cache.per_groupby]
+        assert sizes == sorted(sizes, reverse=True)
+        names = {stage.name for stage in cache.stages}
+        assert names == set(legacy["stages"])
+
+    def test_to_json_is_serializable_and_canonical(self, chunk_manager):
+        payload = chunk_manager.snapshot().to_json()
+        round_tripped = json.loads(json.dumps(payload, sort_keys=True))
+        assert round_tripped["kind"] == "chunk"
+        assert round_tripped["cache"]["entries"] == (
+            chunk_manager.describe_cache()["entries"]
+        )
+
+    def test_fault_stats_match_legacy_faults_entry(self, chunk_manager):
+        snapshot = chunk_manager.snapshot()
+        faults = snapshot.cache.fault_stats()
+        legacy = chunk_manager.describe_cache()["faults"]
+        assert faults.poisoned_puts == legacy["poisoned_puts"]
+        assert faults.retries == legacy["retries"]
+        assert faults.degraded == legacy["degraded"]
+
+
+class TestQueryScheme:
+    def test_shim_is_bit_identical(self, query_manager):
+        snapshot = query_manager.snapshot()
+        legacy = query_manager.describe_cache()
+        assert legacy == snapshot.legacy_dict()
+        assert repr(legacy) == repr(snapshot.legacy_dict())
+        assert list(legacy) == list(snapshot.legacy_dict())
+
+    def test_typed_tree_shape(self, query_manager):
+        snapshot = query_manager.snapshot()
+        assert snapshot.kind == "query"
+        cache = snapshot.cache
+        assert isinstance(cache, QueryCacheSnapshot)
+        legacy = snapshot.legacy_dict()
+        assert cache.redundancy_ratio == legacy["redundancy_ratio"]
+        assert len(cache.per_shape) == len(legacy["per_shape"])
+        for usage in cache.per_shape:
+            assert type(usage.results) is int
+            assert type(usage.bytes) is int
+
+    def test_to_json_is_serializable(self, query_manager):
+        payload = query_manager.snapshot().to_json()
+        assert json.loads(json.dumps(payload))["kind"] == "query"
+
+
+class TestProtocol:
+    def test_snapshot_is_a_protocol_member(
+        self, chunk_manager, query_manager
+    ):
+        from repro.pipeline.protocol import QueryAnswerer
+
+        for manager in (chunk_manager, query_manager):
+            assert isinstance(manager, QueryAnswerer)
+            assert isinstance(manager.snapshot(), Snapshot)

@@ -43,7 +43,7 @@ class TestSuppression:
 class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(RULES_BY_CODE) == [
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
         ]
 
     def test_rules_have_summaries(self):

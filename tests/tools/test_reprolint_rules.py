@@ -362,3 +362,77 @@ class TestR006FaultBoundary:
             "    FaultPlan(seed=1, specs=())\n"
         )
         assert only(src, "tests/faults/test_plan.py", "R006") == []
+
+
+class TestR007Facade:
+    def test_experiment_constructing_chunk_manager_fires(self):
+        src = (
+            "from repro.core.manager import ChunkCacheManager\n"
+            "def f(schema, space, backend, cache):\n"
+            "    return ChunkCacheManager(schema, space, backend, cache)\n"
+        )
+        assert only(src, "src/repro/experiments/fig9.py", "R007") == ["R007"]
+
+    def test_serve_constructing_sharded_cache_fires(self):
+        src = (
+            "from repro.serve.sharded import ShardedChunkCache\n"
+            "def f(budget):\n"
+            "    return ShardedChunkCache(budget, num_shards=4)\n"
+        )
+        assert only(src, "src/repro/serve/soak.py", "R007") == ["R007"]
+
+    def test_engine_build_fires(self):
+        src = (
+            "from repro.backend.engine import BackendEngine\n"
+            "def f(schema, space, records):\n"
+            "    return BackendEngine.build(schema, space, records)\n"
+        )
+        assert only(src, "src/repro/experiments/harness.py", "R007") == [
+            "R007"
+        ]
+
+    def test_query_manager_via_attribute_fires(self):
+        src = (
+            "import repro.core.query_cache as qc\n"
+            "def f(schema, backend):\n"
+            "    return qc.QueryCacheManager(schema, backend, 1 << 20)\n"
+        )
+        assert only(src, "src/repro/workload/stream.py", "R007") == ["R007"]
+
+    def test_facade_itself_is_exempt(self):
+        src = (
+            "from repro.core.manager import ChunkCacheManager\n"
+            "def build(schema, space, backend, cache):\n"
+            "    return ChunkCacheManager(schema, space, backend, cache)\n"
+        )
+        assert only(src, "src/repro/api.py", "R007") == []
+
+    def test_defining_modules_are_exempt(self):
+        src = (
+            "def clone(self):\n"
+            "    return ShardedChunkCache(self.capacity_bytes)\n"
+        )
+        assert only(src, "src/repro/serve/sharded.py", "R007") == []
+
+    def test_non_build_engine_attribute_is_fine(self):
+        src = (
+            "def f(backend, query):\n"
+            "    return backend.answer(query, 'scan')\n"
+        )
+        assert only(src, "src/repro/experiments/fig9.py", "R007") == []
+
+    def test_other_build_classmethods_are_fine(self):
+        src = (
+            "from repro.storage.heap import HeapFile\n"
+            "def f(pages):\n"
+            "    return HeapFile.build(pages)\n"
+        )
+        assert only(src, "src/repro/experiments/fig9.py", "R007") == []
+
+    def test_tests_are_exempt(self):
+        src = (
+            "from repro.core.manager import ChunkCacheManager\n"
+            "def test_manager(schema, space, backend, cache):\n"
+            "    ChunkCacheManager(schema, space, backend, cache)\n"
+        )
+        assert only(src, "tests/core/test_manager.py", "R007") == []

@@ -1,0 +1,96 @@
+"""The public-API manifest: render and check the stable surface.
+
+The stable import surface — ``repro``, ``repro.api`` and
+``repro.serve`` (see ``docs/API.md`` for the tier definitions) — is
+pinned as a golden manifest at ``tests/api/manifest.txt``.  One line
+per exported name:
+
+- functions carry their full signature;
+- dataclasses carry their field names and annotations;
+- exception classes carry their base-class chain within the library;
+- everything else carries its kind.
+
+Any change to the surface — a new export, a renamed parameter, a
+default flipped — shows up as a manifest diff, so API changes are
+always *deliberate*: the author regenerates the manifest
+(``python -m tools.apicheck --write``) and the reviewer sees exactly
+what the public contract gained or lost.  ``python -m tools.apicheck``
+(the CI mode) exits non-zero on drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import inspect
+from pathlib import Path
+
+#: The modules whose exports form the stable public surface.
+PUBLIC_MODULES = ("repro", "repro.api", "repro.serve")
+
+#: The golden manifest, relative to the repo root.
+MANIFEST_PATH = Path("tests") / "api" / "manifest.txt"
+
+
+def _describe(qualname: str, obj: object) -> str:
+    if inspect.isclass(obj):
+        if dataclasses.is_dataclass(obj):
+            fields = ", ".join(
+                f"{f.name}: {f.type}" for f in dataclasses.fields(obj)
+            )
+            frozen = (
+                "frozen dataclass"
+                if obj.__dataclass_params__.frozen  # type: ignore[attr-defined]
+                else "dataclass"
+            )
+            return f"{qualname}: {frozen}({fields})"
+        if issubclass(obj, BaseException):
+            bases = " <- ".join(
+                base.__name__
+                for base in obj.__mro__[1:]
+                if base.__module__.startswith("repro")
+                or base in (Exception, KeyError)
+            )
+            return f"{qualname}: exception({bases})"
+        return f"{qualname}: class"
+    if inspect.isfunction(obj):
+        return f"{qualname}: def {inspect.signature(obj)}"
+    if isinstance(obj, str):
+        return f"{qualname}: str = {obj!r}"
+    if isinstance(obj, (int, float, bool)):
+        return f"{qualname}: {type(obj).__name__} = {obj!r}"
+    if inspect.ismodule(obj):
+        return f"{qualname}: module"
+    return f"{qualname}: {type(obj).__name__}"
+
+
+def public_surface() -> list[str]:
+    """One line per exported name, sorted within each module."""
+    lines: list[str] = []
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise RuntimeError(
+                f"{module_name} has no __all__; the public surface "
+                "must be explicit"
+            )
+        lines.append(f"# {module_name}")
+        for name in sorted(exported):
+            lines.append(
+                _describe(f"{module_name}.{name}", getattr(module, name))
+            )
+        lines.append("")
+    return lines
+
+
+def render() -> str:
+    """The manifest file's full contents."""
+    header = (
+        "# Golden manifest of the stable public API surface.\n"
+        "# Regenerate deliberately with: python -m tools.apicheck"
+        " --write\n"
+        "# Checked by tests/api/test_manifest.py and the CI lint job.\n"
+        "\n"
+    )
+    return header + "\n".join(public_surface())

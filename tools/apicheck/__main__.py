@@ -1,0 +1,61 @@
+"""CLI: ``python -m tools.apicheck [--write]``.
+
+Default mode checks the live public surface against the golden
+manifest and exits 1 on drift, printing a unified diff.  ``--write``
+regenerates the manifest (the deliberate way to change the API).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from typing import Sequence
+
+from tools.apicheck import MANIFEST_PATH, render
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.apicheck",
+        description="Check the public API surface against its manifest.",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="regenerate tests/api/manifest.txt from the live surface",
+    )
+    args = parser.parse_args(argv)
+
+    current = render()
+    if args.write:
+        MANIFEST_PATH.write_text(current, encoding="utf-8")
+        print(f"manifest written to {MANIFEST_PATH}")
+        return 0
+    if not MANIFEST_PATH.exists():
+        print(
+            f"{MANIFEST_PATH} missing; run python -m tools.apicheck "
+            "--write",
+            file=sys.stderr,
+        )
+        return 1
+    golden = MANIFEST_PATH.read_text(encoding="utf-8")
+    if golden == current:
+        print(f"public API surface matches {MANIFEST_PATH}")
+        return 0
+    diff = difflib.unified_diff(
+        golden.splitlines(keepends=True),
+        current.splitlines(keepends=True),
+        fromfile=str(MANIFEST_PATH),
+        tofile="live surface",
+    )
+    sys.stderr.writelines(diff)
+    print(
+        "\npublic API surface drifted; if intentional, regenerate with "
+        "python -m tools.apicheck --write",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

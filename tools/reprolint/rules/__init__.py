@@ -15,6 +15,7 @@ from tools.reprolint.rules import (
     r004_hygiene,
     r005_metrics,
     r006_faults,
+    r007_facade,
 )
 
 ALL_RULES = (
@@ -24,6 +25,7 @@ ALL_RULES = (
     r004_hygiene,
     r005_metrics,
     r006_faults,
+    r007_facade,
 )
 
 RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}

@@ -1,0 +1,90 @@
+"""R007 — stacks are composed through the ``repro.api`` facade.
+
+:mod:`repro.api` is the one supported way to wire a caching middle
+tier: schema → chunk geometry → loaded backend → cache → manager.  The
+underlying constructors stay importable (they are the implementation),
+but *composition* — actually calling them — is the facade's job.  Two
+properties stay machine-checkable that way:
+
+- every in-tree stack is wired identically, so a change to the wiring
+  (a new manager argument, a different default) happens in exactly one
+  place instead of drifting across experiment scripts;
+- the public API surface stays honest: anything a composition root
+  needs must be expressible through :class:`repro.api.StackConfig`,
+  which is what the API-manifest test pins.
+
+Concretely: inside ``src/repro``, calls to ``ChunkCacheManager(...)``,
+``QueryCacheManager(...)``, ``ShardedChunkCache(...)`` and
+``BackendEngine.build(...)`` are allowed only in the facade itself and
+in the modules that *define* those constructors.  Tests and tools are
+exempt — they exercise the layers directly by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R007"
+SUMMARY = (
+    "stacks are composed through the repro.api facade: only the facade "
+    "and the defining modules may call ChunkCacheManager/"
+    "QueryCacheManager/ShardedChunkCache/BackendEngine.build"
+)
+
+#: Modules allowed to call the wrapped constructors: the facade plus
+#: the modules that define them (each constructs its own parts).
+FACADE_MODULES = (
+    "repro.api",
+    "repro.core.manager",
+    "repro.core.query_cache",
+    "repro.serve.sharded",
+    "repro.backend.engine",
+)
+
+#: Constructor names whose direct call marks a hand-rolled stack.
+_WRAPPED_TYPES = frozenset(
+    {"ChunkCacheManager", "QueryCacheManager", "ShardedChunkCache"}
+)
+
+
+def _is_engine_build(func: ast.expr) -> bool:
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "build"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "BackendEngine"
+    )
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.module is None or not ctx.in_package("repro"):
+        return
+    if ctx.in_package(*FACADE_MODULES):
+        return
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _WRAPPED_TYPES:
+            yield Violation(
+                ctx.path, node.lineno, node.col_offset, CODE,
+                f"{ctx.module} constructs {name} directly; compose "
+                "stacks through repro.api (build_stack/build_cache) so "
+                "wiring lives in one place",
+            )
+        elif _is_engine_build(func):
+            yield Violation(
+                ctx.path, node.lineno, node.col_offset, CODE,
+                f"{ctx.module} calls BackendEngine.build directly; use "
+                "repro.api.build_backend so engine composition lives "
+                "in one place",
+            )
