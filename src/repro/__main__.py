@@ -31,14 +31,15 @@ commands:
   report [path]        run everything and write a Markdown report
   soak                 concurrency soak; --chaos for fault injection,
                        --rate low|mid|high, --seed N, --users N,
-                       --per-user N, --shards N, --report PATH (JSON),
+                       --per-user N, --shards N, --workers N,
+                       --exec threads|processes, --report PATH (JSON),
                        --smoke / --paper
   front                async admission front door with single-flight
                        coalescing; --chaos for fault injection,
                        --rate low|mid|high, --seed N, --users N,
                        --per-user N, --window N, --workers N,
-                       --no-coalesce, --report PATH (JSON),
-                       --smoke / --paper
+                       --exec threads|processes, --no-coalesce,
+                       --report PATH (JSON), --smoke / --paper
   info                 version and default scale
 """
 
@@ -125,6 +126,7 @@ def _cmd_soak(argv: list[str]) -> int:
     # layer (R006); import it lazily so `python -m repro list` stays
     # cheap.
     from repro.experiments.soakjob import run_chaos_job, run_soak_job
+    from repro.serve import THREADS, ChaosConfig, SoakConfig
 
     scale = DEFAULT_SCALE
     if "--smoke" in argv:
@@ -140,10 +142,14 @@ def _cmd_soak(argv: list[str]) -> int:
     argv, users = _flag_value(argv, "--users")
     argv, per_user = _flag_value(argv, "--per-user")
     argv, shards = _flag_value(argv, "--shards")
+    argv, workers = _flag_value(argv, "--workers")
+    argv, exec_mode = _flag_value(argv, "--exec")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown soak arguments: {argv}", file=sys.stderr)
         return 2
+    max_workers = int(workers) if workers is not None else None
+    mode = exec_mode if exec_mode is not None else THREADS
     kwargs: dict[str, object] = {"scale": scale}
     if users is not None:
         kwargs["num_users"] = int(users)
@@ -156,8 +162,14 @@ def _cmd_soak(argv: list[str]) -> int:
             kwargs["rate"] = rate
         if seed is not None:
             kwargs["seed"] = int(seed)
+        kwargs["config"] = ChaosConfig(
+            max_workers=max_workers, exec_mode=mode
+        )
         summary = run_chaos_job(**kwargs)  # type: ignore[arg-type]
     else:
+        kwargs["config"] = SoakConfig(
+            max_workers=max_workers, exec_mode=mode
+        )
         summary = run_soak_job(**kwargs)  # type: ignore[arg-type]
     for key in sorted(summary):
         if key != "contention":
@@ -178,7 +190,7 @@ def _cmd_front(argv: list[str]) -> int:
         run_front_chaos_job,
         run_front_job,
     )
-    from repro.serve import FrontConfig
+    from repro.serve import THREADS, FrontConfig
 
     scale = DEFAULT_SCALE
     if "--smoke" in argv:
@@ -197,6 +209,7 @@ def _cmd_front(argv: list[str]) -> int:
     argv, per_user = _flag_value(argv, "--per-user")
     argv, window = _flag_value(argv, "--window")
     argv, workers = _flag_value(argv, "--workers")
+    argv, exec_mode = _flag_value(argv, "--exec")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown front arguments: {argv}", file=sys.stderr)
@@ -206,7 +219,11 @@ def _cmd_front(argv: list[str]) -> int:
         max_workers=int(workers) if workers is not None else None,
         coalesce=coalesce,
     )
-    kwargs: dict[str, object] = {"scale": scale, "config": config}
+    kwargs: dict[str, object] = {
+        "scale": scale,
+        "config": config,
+        "exec_mode": exec_mode if exec_mode is not None else THREADS,
+    }
     if users is not None:
         kwargs["num_users"] = int(users)
     if per_user is not None:

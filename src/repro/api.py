@@ -32,11 +32,14 @@ from repro.core.manager import ChunkCacheManager
 from repro.core.query_cache import QueryCacheManager
 from repro.exceptions import StackError
 from repro.schema.star import StarSchema
+from repro.serve.session import PROCESSES, THREADS
 from repro.serve.sharded import ShardedChunkCache
 
 __all__ = [
     "CHUNK",
     "QUERY",
+    "PROCESSES",
+    "THREADS",
     "Stack",
     "StackConfig",
     "build_backend",
@@ -78,6 +81,15 @@ class StackConfig:
             derivation).  Chunk scheme only.
         miss_path: Query-scheme miss access path (``"auto"``,
             ``"bitmap"``, ``"scan"``).
+        exec_mode: ``"threads"`` (the default — workers are threads
+            sharing one backend engine, byte-for-byte the historical
+            behavior) or ``"processes"`` — chunk payload compute runs
+            in replica worker processes behind a
+            :class:`~repro.serve.proc.ProcessComputeEngine` while the
+            coordinator keeps authoritative accounting (see
+            ``docs/PARALLEL.md``).  Chunk scheme only; requires fact
+            ``records`` so each worker can build its replica.
+        proc_workers: Worker-process count for ``exec_mode="processes"``.
     """
 
     scheme: str = CHUNK
@@ -92,6 +104,8 @@ class StackConfig:
     aggregate_in_cache: bool = False
     prefetch_drilldown: bool = False
     miss_path: str = "auto"
+    exec_mode: str = THREADS
+    proc_workers: int = 4
 
 
 @dataclass(frozen=True)
@@ -135,6 +149,17 @@ class Stack:
                 "not the query scheme"
             )
         return self.manager
+
+    def close(self) -> None:
+        """Release execution resources (idempotent).
+
+        A no-op for thread mode; in process mode it shuts the worker
+        pool down.  Stacks built with ``exec_mode="processes"`` should
+        always be closed when done.
+        """
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
 
 def build_backend(
@@ -208,6 +233,11 @@ def build_stack(
             f"unknown caching scheme {config.scheme!r}; "
             f"expected {CHUNK!r} or {QUERY!r}"
         )
+    if config.exec_mode not in (THREADS, PROCESSES):
+        raise StackError(
+            f"unknown exec_mode {config.exec_mode!r}; "
+            f"expected {THREADS!r} or {PROCESSES!r}"
+        )
     if space is None:
         space = ChunkSpace(schema, config.chunk_ratio)
     if backend is None:
@@ -225,6 +255,24 @@ def build_stack(
             buffer_pool_pages=config.buffer_pool_pages,
             build_bitmaps=config.build_bitmaps,
         )
+    if config.exec_mode == PROCESSES:
+        # Imported here: the proc module builds worker replicas through
+        # this facade, so a top-level import would be circular.
+        from repro.serve.proc import ProcessComputeEngine
+
+        if config.scheme != CHUNK:
+            raise StackError(
+                "exec_mode='processes' supports the chunk scheme only"
+            )
+        if records is None:
+            raise StackError(
+                "exec_mode='processes' needs the raw fact records to "
+                "seed each worker's replica engine"
+            )
+        if not isinstance(backend, ProcessComputeEngine):
+            backend = ProcessComputeEngine.launch(
+                backend, records, num_workers=config.proc_workers
+            )
     manager: ChunkCacheManager | QueryCacheManager
     if config.scheme == CHUNK:
         if cache is None:

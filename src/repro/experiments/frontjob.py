@@ -28,7 +28,13 @@ from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import System, get_system, make_chunk_manager
 from repro.faults import FaultInjector, FaultPlan, standard_specs
 from repro.query.model import StarQuery
-from repro.serve import FrontConfig, FrontReport, run_front
+from repro.serve import (
+    PROCESSES,
+    THREADS,
+    FrontConfig,
+    FrontReport,
+    run_front,
+)
 from repro.workload.generator import Q80, QueryGenerator
 from repro.workload.stream import QueryStream
 
@@ -68,13 +74,20 @@ def duplicate_streams(
     return streams
 
 
-def _build_manager(system: System, num_shards: int) -> Any:
+def _build_manager(
+    system: System, num_shards: int, exec_mode: str = THREADS
+) -> Any:
     cache = build_cache(
         StackConfig(
             cache_bytes=system.cache_bytes, num_shards=num_shards
         )
     )
-    return make_chunk_manager(system, cache=cache)
+    return make_chunk_manager(system, cache=cache, exec_mode=exec_mode)
+
+
+def _close_manager(manager: Any, exec_mode: str) -> None:
+    if exec_mode == PROCESSES:
+        manager.backend.close()
 
 
 def run_front_job(
@@ -83,6 +96,7 @@ def run_front_job(
     per_user: int | None = None,
     num_shards: int = NUM_SHARDS,
     config: FrontConfig = FrontConfig(),
+    exec_mode: str = THREADS,
 ) -> dict[str, Any]:
     """Run the fault-free front door and quantify coalescing's saving.
 
@@ -91,23 +105,32 @@ def run_front_job(
     physically refetched), then with the configured front door — and
     reports both page totals.  The coalesced run must read strictly
     fewer backend pages; ``pages_saved`` is the difference.
+    ``exec_mode="processes"`` runs both arms over a process-parallel
+    backend (identical digests by the determinism contract).
     """
     system = get_system(scale)
     streams = duplicate_streams(
         system, num_users=num_users, per_user=per_user
     )
-    baseline = run_front(
-        _build_manager(system, num_shards),
-        streams,
-        replace(config, coalesce=False),
-    )
-    report = run_front(_build_manager(system, num_shards), streams, config)
+    manager = _build_manager(system, num_shards, exec_mode)
+    try:
+        baseline = run_front(
+            manager, streams, replace(config, coalesce=False)
+        )
+    finally:
+        _close_manager(manager, exec_mode)
+    manager = _build_manager(system, num_shards, exec_mode)
+    try:
+        report = run_front(manager, streams, config)
+    finally:
+        _close_manager(manager, exec_mode)
     return {
         "job": "front",
         "scale_tuples": scale.num_tuples,
         "num_users": num_users,
         "per_user": len(streams[0]),
         "num_shards": num_shards,
+        "exec_mode": exec_mode,
         "baseline_pages_read": baseline.pages_read,
         "pages_saved": baseline.pages_read - report.pages_read,
         **_front_summary(report),
@@ -123,6 +146,7 @@ def run_front_chaos_job(
     num_shards: int = NUM_SHARDS,
     config: FrontConfig = FrontConfig(),
     with_oracle: bool = True,
+    exec_mode: str = THREADS,
 ) -> dict[str, Any]:
     """Run the front door under a standard fault plan and summarize it.
 
@@ -156,12 +180,15 @@ def run_front_chaos_job(
 
         oracle = _replay
 
-    manager = _build_manager(system, num_shards)
+    manager = _build_manager(system, num_shards, exec_mode)
     plan = FaultPlan(seed=seed, specs=standard_specs(rate))
     injector = FaultInjector(plan)
-    report = run_front(
-        manager, streams, config, injector=injector, oracle=oracle
-    )
+    try:
+        report = run_front(
+            manager, streams, config, injector=injector, oracle=oracle
+        )
+    finally:
+        _close_manager(manager, exec_mode)
     return {
         "job": "front-chaos",
         "scale_tuples": scale.num_tuples,
@@ -170,6 +197,7 @@ def run_front_chaos_job(
         "num_users": num_users,
         "per_user": len(streams[0]),
         "num_shards": num_shards,
+        "exec_mode": exec_mode,
         "oracle_replayed": with_oracle,
         **_front_summary(report),
     }

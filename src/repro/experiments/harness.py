@@ -24,7 +24,9 @@ import numpy as np
 from repro.analysis.cost import CostModel
 from repro.api import (
     CHUNK,
+    PROCESSES,
     QUERY,
+    THREADS,
     StackConfig,
     build_backend,
     build_stack,
@@ -154,6 +156,8 @@ def make_chunk_manager(
     policy: str = "benefit",
     aggregate_in_cache: bool = False,
     cache: ChunkStore | None = None,
+    exec_mode: str = THREADS,
+    proc_workers: int = 4,
 ) -> ChunkCacheManager:
     """A chunk-caching middle tier over the system's backend.
 
@@ -162,10 +166,19 @@ def make_chunk_manager(
             :class:`~repro.core.cache.ChunkCache` (e.g. a
             :class:`repro.serve.ShardedChunkCache` for concurrent
             serving); ``cache_bytes`` and ``policy`` are ignored then.
+        exec_mode: ``"threads"`` (default) or ``"processes"`` — the
+            latter wraps the system's backend in a
+            :class:`~repro.serve.proc.ProcessComputeEngine` seeded with
+            the system's fact records.  Close the returned manager's
+            backend when done (``manager.backend.close()``).
+        proc_workers: Worker-process count for process mode.
     """
     reset_backend(system)
     stack = build_stack(
         system.schema,
+        records=(
+            system.records if exec_mode == PROCESSES else None
+        ),
         config=StackConfig(
             scheme=CHUNK,
             cache_bytes=(
@@ -174,6 +187,8 @@ def make_chunk_manager(
             ),
             policy=policy,
             aggregate_in_cache=aggregate_in_cache,
+            exec_mode=exec_mode,
+            proc_workers=proc_workers,
         ),
         space=system.space,
         backend=system.backend,

@@ -25,6 +25,7 @@ from repro.experiments.multiuser import user_streams
 from repro.faults import FaultInjector, FaultPlan, standard_specs
 from repro.query.model import StarQuery
 from repro.serve import (
+    PROCESSES,
     ChaosConfig,
     ChaosReport,
     SoakConfig,
@@ -50,7 +51,8 @@ def run_soak_job(
 
     Builds K user streams over one hot region, races them under the
     free schedule with deep invariants, and returns the verified
-    totals as a JSON-able dictionary.
+    totals as a JSON-able dictionary.  ``config.exec_mode`` selects the
+    thread (default) or process execution mode.
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
@@ -59,14 +61,21 @@ def run_soak_job(
             cache_bytes=system.cache_bytes, num_shards=num_shards
         )
     )
-    manager = make_chunk_manager(system, cache=cache)
-    report = run_soak(manager, streams, config)
+    manager = make_chunk_manager(
+        system, cache=cache, exec_mode=config.exec_mode
+    )
+    try:
+        report = run_soak(manager, streams, config)
+    finally:
+        if config.exec_mode == PROCESSES:
+            manager.backend.close()
     return {
         "job": "soak",
         "scale_tuples": scale.num_tuples,
         "num_users": num_users,
         "per_user": len(streams[0]),
         "num_shards": num_shards,
+        "exec_mode": config.exec_mode,
         **_soak_summary(report),
     }
 
@@ -112,12 +121,18 @@ def run_chaos_job(
             cache_bytes=system.cache_bytes, num_shards=num_shards
         )
     )
-    manager = make_chunk_manager(system, cache=cache)
+    manager = make_chunk_manager(
+        system, cache=cache, exec_mode=config.exec_mode
+    )
     plan = FaultPlan(seed=seed, specs=standard_specs(rate))
     injector = FaultInjector(plan)
-    report = run_chaos_soak(
-        manager, streams, injector, config, oracle=oracle
-    )
+    try:
+        report = run_chaos_soak(
+            manager, streams, injector, config, oracle=oracle
+        )
+    finally:
+        if config.exec_mode == PROCESSES:
+            manager.backend.close()
     return {
         "job": "chaos-soak",
         "scale_tuples": scale.num_tuples,
@@ -127,6 +142,7 @@ def run_chaos_job(
         "per_user": len(streams[0]),
         "num_shards": num_shards,
         "schedule": config.schedule,
+        "exec_mode": config.exec_mode,
         "oracle_replayed": with_oracle,
         **_chaos_summary(report),
     }

@@ -1,0 +1,856 @@
+"""Process-parallel serving: replica shard workers behind the engine facade.
+
+Thread workers sharing one heap cannot speed this simulation up — query
+execution is pure Python and the GIL serializes it, which is exactly the
+regression ``BENCH_serve.json`` records (simulated speedup scales with
+the worker count while real wall-clock QPS falls).  This module moves
+the *compute* — decoding and aggregating source chunks, the bulk of each
+query's wall time — into worker **processes**, while keeping every piece
+of shared, order-sensitive state (the sharded chunk cache, the simulated
+disk and buffer pool, fault hooks, metrics) in the coordinator process
+where the existing determinism contracts already hold.
+
+Topology
+--------
+::
+
+    coordinator process                      worker processes (spawn)
+    -------------------                      ------------------------
+    ServeSession / FrontSession              _worker_main
+      StagedPipeline (per query)               replica BackendEngine
+        resolver chain                           (own disk/pool, built
+          ProcessComputeEngine  --WorkItem-->     from the same records
+            touch replay           queues         via repro.api)
+            payload claims    <--WorkResult--   per-chunk payload memo
+
+- Each worker owns a **replica** backend engine, bulk-loaded in the
+  worker process from the same fact records via the public
+  :func:`repro.api.build_backend` facade, so payload bytes are computed
+  by the very same code path the thread-mode engine runs.
+- Work is routed by a stable CRC-32 hash of the chunk work key, so a
+  given chunk is always computed (and memoized) by the same worker —
+  the worker pool is a disjoint sharding of the chunk key space.
+- The coordinator's :class:`ProcessComputeEngine` *replays* the exact
+  I/O accounting of :meth:`repro.backend.engine.BackendEngine.compute_chunks`
+  against the shared simulated disk and buffer pool (via the storage
+  layer's ``touch`` reads, which request the identical page sequence
+  without decoding), then claims the payload arrays from the pool.
+
+Determinism argument
+--------------------
+``digest`` stays a pure function of (workload, seed, config) at any
+worker count because every observable transition still happens in the
+coordinator, in the same order as thread mode:
+
+- cache gets/puts, admission decisions, metrics records — unchanged
+  pipeline code, serialized by the session's fair turnstile;
+- simulated disk reads — the touch replay drives the same pages in the
+  same order through the same buffer pool, so disk counters, pool hit
+  rates and the fault injector's ``disk.read`` sequence numbers advance
+  identically (the injector's schedule is a pure function of
+  (seed, site, sequence) — see :mod:`repro.faults.plan` — so it needs
+  no per-process reconstruction: the coordinator rolls it all);
+- payload rows — replicas never materialize aggregate tables and never
+  see appends (both raise), so a replica computes from base chunks
+  exactly what the thread-mode engine computes from base chunks.
+
+Worker processes hold *no* fault hooks, no cache, and no authoritative
+counters; killing one mid-run can lose in-flight payloads (surfacing as
+a :class:`~repro.exceptions.BackendError`) but can never corrupt
+accounting.
+
+Spawn-vs-fork policy
+--------------------
+Workers always start via the ``spawn`` method: the coordinator runs
+collector/dispatcher threads and holds locks, so ``fork`` could clone a
+lock in the held state, and ``spawn`` is the only method available
+everywhere the CI matrix runs.  Workers signal readiness after building
+their replica; :meth:`WorkerPool.start` blocks until every worker is
+ready so session wall-clock never includes interpreter start-up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend.engine import BackendEngine, _synchronized
+from repro.backend.plans import CostReport, measure_cost
+from repro.chunks.grid import ChunkSpace
+from repro.exceptions import BackendError, InjectedFault, ServeError
+from repro.schema.star import GroupBy, StarSchema
+from repro.serve.session import PROCESSES, ServeSession, THREADS
+
+__all__ = [
+    "EngineSpec",
+    "WorkItem",
+    "WorkResult",
+    "WorkerPool",
+    "ProcessComputeEngine",
+    "ProcServeSession",
+    "START_METHOD",
+    "THREADS",
+    "PROCESSES",
+]
+
+#: The only supported start method (see the module docstring).
+START_METHOD = "spawn"
+
+#: Control values of :attr:`WorkResult.req_id`.
+_READY = -2
+_FATAL = -1
+
+#: Per-chunk payloads a worker keeps memoized (FIFO beyond this).
+_WORKER_MEMO_ENTRIES = 4096
+
+#: Computed-but-unclaimed payloads the coordinator keeps (FIFO beyond
+#: this; an evicted payload is simply recomputed from the worker memo).
+_MAX_READY_SLOTS = 8192
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to build its replica backend engine.
+
+    A frozen, picklable value object shipped once to each worker at
+    start-up.  The chunk space is shipped whole (it is a plain object of
+    schema + chunking tuples), so coordinator and replicas agree on
+    every chunk number by construction.
+    """
+
+    schema: StarSchema
+    space: ChunkSpace
+    records: np.ndarray
+    organization: str = "chunked"
+    page_size: int = 4096
+    buffer_pool_pages: int = 256
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One batch of chunk computations for a single worker.
+
+    The serializable request envelope: every field is a plain picklable
+    value (tuples of ints/strings), canonicalized by the pool so the
+    same logical request always renders — and routes — identically.
+    """
+
+    req_id: int
+    groupby: tuple[int, ...]
+    numbers: tuple[int, ...]
+    aggregates: tuple[tuple[str, str], ...]
+    leaf_filters: tuple[tuple[int, int] | None, ...] | None
+    prefer_base: bool
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """One worker's reply: per-chunk payload arrays, or a typed error.
+
+    ``req_id`` matches the :class:`WorkItem` (negative values are pool
+    control messages); ``payloads`` pairs each requested chunk number
+    with its aggregated rows in request order.
+    """
+
+    req_id: int
+    payloads: tuple[tuple[int, np.ndarray], ...] = ()
+    error: str | None = None
+
+
+def _canonical_filters(
+    leaf_filters: Sequence | None,
+) -> tuple[tuple[int, int] | None, ...] | None:
+    """Canonical picklable form of a per-dimension leaf-filter sequence.
+
+    ``None`` and an all-``None`` tuple mean the same thing to the engine
+    (no filtering), so both map to ``None`` — one memo entry, one route.
+    """
+    if leaf_filters is None:
+        return None
+    canonical = tuple(
+        None if interval is None
+        else (int(interval[0]), int(interval[1]))
+        for interval in leaf_filters
+    )
+    if all(interval is None for interval in canonical):
+        return None
+    return canonical
+
+
+def _work_key(
+    groupby: tuple[int, ...],
+    number: int,
+    aggregates: tuple[tuple[str, str], ...],
+    leaf_filters: tuple[tuple[int, int] | None, ...] | None,
+    prefer_base: bool,
+) -> tuple:
+    """The memo/routing identity of one chunk computation."""
+    return (groupby, number, aggregates, leaf_filters, prefer_base)
+
+
+def _route(key: tuple, num_workers: int) -> int:
+    """Stable worker index for a work key (CRC-32, like shard routing)."""
+    return zlib.crc32(repr(key).encode("utf-8")) % num_workers
+
+
+def _build_replica(spec: EngineSpec) -> BackendEngine:
+    """Build one worker's replica engine through the public facade.
+
+    Imported at call time (this runs inside the worker process): the
+    facade imports this module for the execution-mode knob, so a
+    top-level import here would be circular.  Bitmaps are skipped —
+    the chunk interface never reads them.
+    """
+    from repro.api import build_backend
+
+    return build_backend(
+        spec.schema,
+        spec.space,
+        spec.records,
+        organization=spec.organization,
+        page_size=spec.page_size,
+        buffer_pool_pages=spec.buffer_pool_pages,
+        build_bitmaps=False,
+    )
+
+
+def _worker_main(
+    spec: EngineSpec,
+    requests: "multiprocessing.queues.Queue",
+    results: "multiprocessing.queues.Queue",
+    worker_index: int,
+) -> None:
+    """Worker process body: build the replica, then serve work items.
+
+    Payloads are memoized per work key so a chunk is computed at most
+    once per worker between memo evictions — re-claims after a faulted
+    coordinator attempt (or a cache eviction) are answered instantly.
+    """
+    try:
+        replica = _build_replica(spec)
+    except BaseException as error:  # surface build failures, never hang
+        results.put(
+            WorkResult(
+                req_id=_FATAL,
+                error=(
+                    f"worker {worker_index} failed to build its replica "
+                    f"engine: {error!r}"
+                ),
+            )
+        )
+        return
+    results.put(WorkResult(req_id=_READY))
+    memo: OrderedDict[tuple, np.ndarray] = OrderedDict()
+    while True:
+        item = requests.get()
+        if item is None:
+            return
+        try:
+            keys = {
+                number: _work_key(
+                    item.groupby,
+                    number,
+                    item.aggregates,
+                    item.leaf_filters,
+                    item.prefer_base,
+                )
+                for number in item.numbers
+            }
+            missing = [
+                number for number in item.numbers
+                if keys[number] not in memo
+            ]
+            if missing:
+                computed, _ = replica.compute_chunks(
+                    item.groupby,
+                    missing,
+                    item.aggregates,
+                    leaf_filters=item.leaf_filters,
+                    prefer_base=item.prefer_base,
+                )
+                for number, rows in computed.items():
+                    memo[keys[number]] = rows
+                while len(memo) > _WORKER_MEMO_ENTRIES:
+                    memo.popitem(last=False)
+            results.put(
+                WorkResult(
+                    req_id=item.req_id,
+                    payloads=tuple(
+                        (number, memo[keys[number]])
+                        for number in item.numbers
+                    ),
+                )
+            )
+        except BaseException as error:
+            results.put(WorkResult(req_id=item.req_id, error=repr(error)))
+
+
+class _Slot:
+    """Coordinator-side landing slot for one chunk payload."""
+
+    __slots__ = ("event", "rows", "error", "ready")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.rows: np.ndarray | None = None
+        self.error: str | None = None
+        self.ready = False
+
+
+class WorkerPool:
+    """A fixed pool of replica worker processes plus a result collector.
+
+    The pool is the message-passing half of the process-parallel engine:
+    :meth:`stage` fans chunk computations out to the owning workers
+    (deduplicating against in-flight and ready work), :meth:`claim`
+    blocks until one payload has landed and consumes it.  All queue
+    traffic is :class:`WorkItem`/:class:`WorkResult` envelopes.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        num_workers: int,
+        timeout_seconds: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ServeError(
+                f"worker pool needs at least one worker, got {num_workers}"
+            )
+        if timeout_seconds <= 0:
+            raise ServeError(
+                f"timeout_seconds must be positive, got {timeout_seconds}"
+            )
+        self.spec = spec
+        self.num_workers = num_workers
+        self.timeout_seconds = timeout_seconds
+        self._ctx = multiprocessing.get_context(START_METHOD)
+        self._requests = [self._ctx.Queue() for _ in range(num_workers)]
+        self._results = self._ctx.Queue()
+        self._processes: list[Any] = []
+        self._collector: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._slots: dict[tuple, _Slot] = {}
+        self._ready_order: deque[tuple] = deque()
+        self._inflight: dict[int, list[tuple]] = {}
+        self._req_counter = 0
+        self._ready_workers = 0
+        self._all_ready = threading.Event()
+        self._failed: str | None = None
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the workers and block until every replica is loaded."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.num_workers):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    self.spec,
+                    self._requests[index],
+                    self._results,
+                    index,
+                ),
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+        deadline = time.monotonic() + self.timeout_seconds
+        while not self._all_ready.wait(timeout=0.1):
+            if self._failed is not None:
+                raise ServeError(self._failed)
+            if time.monotonic() > deadline:
+                self.close()
+                raise ServeError(
+                    f"worker pool not ready within {self.timeout_seconds}s"
+                )
+
+    def close(self) -> None:
+        """Stop workers and the collector; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._requests:
+            try:
+                queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        try:
+            self._results.put(WorkResult(req_id=_FATAL, error=None))
+        except (OSError, ValueError):
+            pass
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        for queue in [*self._requests, self._results]:
+            queue.cancel_join_thread()
+            queue.close()
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            result = self._results.get()
+            if result.req_id == _FATAL:
+                if result.error is None:  # close() sentinel
+                    return
+                with self._lock:
+                    self._failed = result.error
+                    for slot in self._slots.values():
+                        if not slot.ready and slot.error is None:
+                            slot.error = result.error
+                            slot.event.set()
+                continue
+            if result.req_id == _READY:
+                with self._lock:
+                    self._ready_workers += 1
+                    if self._ready_workers == self.num_workers:
+                        self._all_ready.set()
+                continue
+            with self._lock:
+                keys = self._inflight.pop(result.req_id, [])
+                if result.error is not None:
+                    for key in keys:
+                        slot = self._slots.get(key)
+                        if slot is not None and not slot.ready:
+                            slot.error = result.error
+                            slot.event.set()
+                    continue
+                by_number = dict(result.payloads)
+                for key in keys:
+                    slot = self._slots.get(key)
+                    if slot is None or slot.ready:
+                        continue
+                    slot.rows = by_number[key[1]]
+                    slot.ready = True
+                    slot.event.set()
+                    self._ready_order.append(key)
+                while len(self._ready_order) > _MAX_READY_SLOTS:
+                    stale_key = self._ready_order.popleft()
+                    stale = self._slots.get(stale_key)
+                    if stale is not None and stale.ready:
+                        del self._slots[stale_key]
+
+    # ------------------------------------------------------------------
+    # Staging and claiming
+    # ------------------------------------------------------------------
+    def stage(
+        self,
+        groupby: Sequence[int],
+        numbers: Sequence[int],
+        aggregates: Sequence[tuple[str, str]],
+        leaf_filters: Sequence | None = None,
+        prefer_base: bool = False,
+    ) -> None:
+        """Send any not-yet-staged chunk computations to their workers.
+
+        Idempotent per work key: chunks already in flight or already
+        landed are skipped, so the lookahead dispatcher and the replay
+        engine can both stage the same work without duplicating it.
+        """
+        groupby = tuple(int(level) for level in groupby)
+        aggregates = tuple(
+            (str(name), str(func)) for name, func in aggregates
+        )
+        filters = _canonical_filters(leaf_filters)
+        batches: dict[int, list[tuple[int, tuple]]] = {}
+        with self._lock:
+            if self._failed is not None or self._closed:
+                return
+            for number in numbers:
+                number = int(number)
+                key = _work_key(
+                    groupby, number, aggregates, filters, prefer_base
+                )
+                if key in self._slots:
+                    continue
+                self._slots[key] = _Slot()
+                worker = _route(key, self.num_workers)
+                batches.setdefault(worker, []).append((number, key))
+            items: list[tuple[int, WorkItem]] = []
+            for worker, pairs in sorted(batches.items()):
+                self._req_counter += 1
+                req_id = self._req_counter
+                self._inflight[req_id] = [key for _, key in pairs]
+                items.append(
+                    (
+                        worker,
+                        WorkItem(
+                            req_id=req_id,
+                            groupby=groupby,
+                            numbers=tuple(number for number, _ in pairs),
+                            aggregates=aggregates,
+                            leaf_filters=filters,
+                            prefer_base=prefer_base,
+                        ),
+                    )
+                )
+        for worker, item in items:
+            self._requests[worker].put(item)
+
+    def claim(
+        self,
+        groupby: Sequence[int],
+        number: int,
+        aggregates: Sequence[tuple[str, str]],
+        leaf_filters: Sequence | None = None,
+        prefer_base: bool = False,
+    ) -> np.ndarray:
+        """Block until one chunk's payload lands, consume and return it.
+
+        Re-stages transparently when the slot was evicted (or never
+        staged); the owning worker answers from its memo, so a re-claim
+        is cheap.  A worker death or in-worker error surfaces as a
+        :class:`~repro.exceptions.BackendError`.
+        """
+        groupby = tuple(int(level) for level in groupby)
+        aggregates = tuple(
+            (str(name), str(func)) for name, func in aggregates
+        )
+        filters = _canonical_filters(leaf_filters)
+        key = _work_key(
+            groupby, int(number), aggregates, filters, prefer_base
+        )
+        deadline = time.monotonic() + self.timeout_seconds
+        while True:
+            with self._lock:
+                if self._failed is not None:
+                    raise BackendError(self._failed)
+                slot = self._slots.get(key)
+            if slot is None:
+                self.stage(
+                    groupby, [int(number)], aggregates, filters, prefer_base
+                )
+                continue
+            while not slot.event.wait(timeout=0.5):
+                if time.monotonic() > deadline:
+                    raise BackendError(
+                        f"timed out waiting {self.timeout_seconds}s for "
+                        f"chunk payload {key!r}"
+                    )
+                worker = self._processes[_route(key, self.num_workers)]
+                if not worker.is_alive():
+                    raise BackendError(
+                        f"worker process {worker.name} died while "
+                        f"computing {key!r}"
+                    )
+            if slot.error is not None:
+                raise BackendError(
+                    f"worker computation failed for {key!r}: {slot.error}"
+                )
+            with self._lock:
+                if self._slots.get(key) is not slot:
+                    continue  # evicted between landing and claiming
+                rows = slot.rows
+                del self._slots[key]
+            assert rows is not None
+            return rows
+
+
+class ProcessComputeEngine(BackendEngine):
+    """The coordinator's engine: authoritative accounting, pooled compute.
+
+    Wraps a loaded thread-mode :class:`~repro.backend.engine.BackendEngine`
+    and *shares its physical state by reference* — disk, buffer pool,
+    chunked file, dimension tables — so every counter, estimator and
+    relational access path behaves exactly as before.  Only
+    :meth:`compute_chunks` changes: it replays the wrapped method's I/O
+    accounting against the shared state (identical page sequence, cost
+    report and fault semantics) while the payload arrays are computed by
+    the worker pool's replicas and claimed over the result queue.
+
+    Mutating entry points (``materialize``, ``append_records``,
+    ``reorganize``) raise: replicas are built once from the base records
+    and the determinism argument (see the module docstring) relies on
+    coordinator and replicas never diverging.
+    """
+
+    def __init__(self, inner: BackendEngine, pool: WorkerPool) -> None:
+        # Deliberately no super().__init__: the wrapper owns no state of
+        # its own, it aliases the wrapped engine's loaded state so both
+        # views stay consistent (the inner engine must not be mutated or
+        # driven concurrently while wrapped).
+        if inner.chunked_file is None:
+            raise BackendError(
+                "process-parallel serving requires the chunked organization"
+            )
+        if inner.delta_file is not None and inner.delta_file.num_records:
+            raise BackendError(
+                "process-parallel serving requires an empty delta region; "
+                "reorganize() the engine before wrapping it"
+            )
+        self.inner = inner
+        self.pool = pool
+        self.schema = inner.schema
+        self.space = inner.space
+        self.organization = inner.organization
+        self.disk = inner.disk
+        self.buffer_pool = inner.buffer_pool
+        self.record_format = inner.record_format
+        self.mapper = inner.mapper
+        self.bitmaps = inner.bitmaps
+        self.chunked_file = inner.chunked_file
+        self.fact_file = inner.fact_file
+        self.materialized = inner.materialized
+        self.dimension_tables = inner.dimension_tables
+        self.delta_file = inner.delta_file
+        self._loaded = inner._loaded
+        self._lock = threading.RLock()
+        self.lock_wait_seconds = 0.0
+        self.lock_acquisitions = 0
+        self.lock_wait_recorder = None
+        self.fault_hook = None
+
+    @classmethod
+    def launch(
+        cls,
+        inner: BackendEngine,
+        records: np.ndarray,
+        num_workers: int,
+        timeout_seconds: float = 120.0,
+    ) -> "ProcessComputeEngine":
+        """Wrap ``inner``, spawning and awaiting a ready worker pool.
+
+        ``records`` must be the raw fact records the inner engine was
+        loaded from — they seed each worker's replica.
+        """
+        spec = EngineSpec(
+            schema=inner.schema,
+            space=inner.space,
+            records=records,
+            organization=inner.organization,
+            page_size=inner.disk.page_size,
+            buffer_pool_pages=inner.buffer_pool.capacity,
+        )
+        pool = WorkerPool(
+            spec, num_workers, timeout_seconds=timeout_seconds
+        )
+        pool.start()
+        return cls(inner, pool)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.pool.close()
+
+    def prefetch(
+        self,
+        groupby: Sequence[int],
+        numbers: Sequence[int],
+        aggregates: Sequence[tuple[str, str]],
+        leaf_filters: Sequence | None = None,
+    ) -> None:
+        """Advisory: stage upcoming chunk computations on the pool.
+
+        Deliberately *not* synchronized on the engine lock — staging
+        touches no shared accounting state, so the lookahead dispatcher
+        can overlap worker compute with the coordinator's replay.
+        """
+        groupby = self.schema.validate_groupby(groupby)
+        self.pool.stage(groupby, numbers, aggregates, leaf_filters)
+
+    @_synchronized
+    def compute_chunks(
+        self,
+        groupby: Sequence[int],
+        numbers: Sequence[int],
+        aggregates: Sequence[tuple[str, str]],
+        leaf_filters: Sequence | None = None,
+        prefer_base: bool = False,
+    ) -> tuple[dict[int, np.ndarray], CostReport]:
+        """Replay the wrapped engine's accounting; claim pooled payloads.
+
+        Mirrors :meth:`BackendEngine.compute_chunks` step for step —
+        same source selection, same fault-hook placement, same page
+        sequence (via the storage layer's touch reads), same cost-report
+        arithmetic, same :class:`~repro.exceptions.InjectedFault`
+        attachment — with the decode/aggregate work replaced by payload
+        claims from the worker pool.  A faulted attempt claims nothing,
+        so a retry re-touches (and is re-charged) exactly like a
+        thread-mode retry, while the worker's memo already holds the
+        payloads.
+        """
+        self._require_loaded()
+        if self.chunked_file is None:
+            raise BackendError(
+                "the chunk interface requires the chunked organization"
+            )
+        groupby = self.schema.validate_groupby(groupby)
+        numbers = [int(number) for number in numbers]
+        if prefer_base:
+            source = None
+        else:
+            source = self._choose_source(groupby, leaf_filters)
+        self.pool.stage(
+            groupby, numbers, aggregates, leaf_filters, prefer_base
+        )
+        results: dict[int, np.ndarray] = {}
+        try:
+            with measure_cost(self.disk, access_path="chunk") as report:
+                if self.fault_hook is not None:
+                    self.fault_hook("compute_chunks")
+                if source is None:
+                    source_groupby: GroupBy = self.schema.base_groupby
+                    source_file = self.chunked_file
+                else:
+                    source_groupby, source_file = source
+                source_numbers = self._union_source_chunks(
+                    groupby, numbers, source_groupby
+                )
+                scanned = source_file.touch_chunks(source_numbers)
+                if source is None:
+                    delta = self._delta_for_base_chunks(set(source_numbers))
+                    scanned += len(delta)
+                report.tuples_scanned += scanned
+                report.chunks_computed += len(numbers)
+                for number in numbers:
+                    results[number] = self.pool.claim(
+                        groupby,
+                        number,
+                        aggregates,
+                        leaf_filters,
+                        prefer_base,
+                    )
+                report.result_tuples += sum(
+                    len(rows) for rows in results.values()
+                )
+        except InjectedFault as fault:
+            # measure_cost.__exit__ already ran, so ``report`` holds the
+            # I/O of the failed attempt.  Attach it once (the innermost
+            # computation wins when answer() routed through here).
+            if fault.cost_report is None:
+                fault.cost_report = report
+                fault.source_level = (
+                    "base" if source is None else "aggregate"
+                )
+            raise
+        return results, report
+
+    # ------------------------------------------------------------------
+    # Mutation is out of scope for the wrapped engine
+    # ------------------------------------------------------------------
+    def materialize(self, groupby: Sequence[int]) -> None:
+        raise BackendError(
+            "materialize() is not supported in process execution mode: "
+            "worker replicas are built once from the base records"
+        )
+
+    def append_records(self, records: np.ndarray) -> list[int]:
+        raise BackendError(
+            "append_records() is not supported in process execution "
+            "mode: worker replicas are built once from the base records"
+        )
+
+    def reorganize(self) -> None:
+        raise BackendError(
+            "reorganize() is not supported in process execution mode: "
+            "worker replicas are built once from the base records"
+        )
+
+
+class ProcServeSession(ServeSession):
+    """A serving session whose backend is a :class:`ProcessComputeEngine`.
+
+    Identical to :class:`~repro.serve.session.ServeSession` in every
+    observable — tickets, turnstile, merge order, report fields — plus a
+    **lookahead dispatcher** thread that walks the canonical query order
+    ahead of the turnstile and stages each query's partitions on the
+    worker pool, so workers compute future chunks while the coordinator
+    replays the current query's accounting.  The dispatcher only calls
+    metadata paths (the analyzer and the memoized work estimator — no
+    disk I/O, no fault sites), so it cannot perturb any accounted value.
+
+    Args:
+        lookahead: How many queries past the last completed one the
+            dispatcher may stage (bounds coordinator-side payload
+            buffering).
+    """
+
+    def __init__(self, *args: Any, lookahead: int = 32, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        if lookahead < 1:
+            raise ServeError(f"lookahead must be >= 1, got {lookahead}")
+        if not isinstance(self.manager.backend, ProcessComputeEngine):
+            raise ServeError(
+                "ProcServeSession requires a ProcessComputeEngine "
+                "backend — build the stack with "
+                "StackConfig(exec_mode='processes')"
+            )
+        self.lookahead = lookahead
+
+    def run(self):  # type: ignore[override]
+        with self._cond:
+            self._completed = 0
+            self._failure = None
+        stop = threading.Event()
+        dispatcher = threading.Thread(
+            target=self._dispatch,
+            args=(stop,),
+            name="proc-dispatch",
+            daemon=True,
+        )
+        dispatcher.start()
+        try:
+            return super().run()
+        finally:
+            stop.set()
+            with self._cond:
+                self._cond.notify_all()
+            dispatcher.join(timeout=10.0)
+
+    def _dispatch(self, stop: threading.Event) -> None:
+        tickets = sorted(
+            (
+                ticket
+                for worker_tickets in self._tickets()
+                for ticket in worker_tickets
+            ),
+            key=lambda ticket: ticket[0],
+        )
+        analyzer = self.manager.pipeline.analyzer
+        backend = self.manager.backend
+        schema = self.manager.schema
+        for seq, _stream, query in tickets:
+            with self._cond:
+                while (
+                    seq - self._completed > self.lookahead
+                    and self._failure is None
+                    and not stop.is_set()
+                ):
+                    self._cond.wait(0.1)
+                if stop.is_set() or self._failure is not None:
+                    return
+            try:
+                analyzed = analyzer.analyze(query)
+                backend.prefetch(
+                    analyzed.groupby,
+                    analyzed.partitions,
+                    analyzed.aggregates,
+                    query.effective_dim_filters(schema),
+                )
+            except Exception:
+                # Prefetch is advisory; real errors surface on the
+                # execution path with full accounting.
+                return

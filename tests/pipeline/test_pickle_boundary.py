@@ -1,0 +1,470 @@
+"""Pickle round-trip manifest for process-boundary value objects.
+
+Process-parallel serving (``docs/PARALLEL.md``) ships value objects
+across the worker boundary: the :class:`~repro.serve.proc.WorkItem` /
+:class:`~repro.serve.proc.WorkResult` envelopes, the
+:class:`~repro.serve.proc.EngineSpec` that seeds each replica, and —
+through payloads, replay and reporting — the pipeline stage values,
+fault plans and snapshot trees.  Every frozen dataclass in those
+modules must survive ``pickle`` with all observable state intact.
+
+Manifest-style: the completeness test reflects over the boundary
+modules and fails when a frozen dataclass has no strategy here, so a
+new stage value cannot silently become unpicklable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import snapshot as snapshot_mod
+from repro.core.chunk import ChunkKey
+from repro.core.snapshot import (
+    CacheContention,
+    ChunkCacheSnapshot,
+    FaultStats,
+    GroupByUsage,
+    QueryCacheSnapshot,
+    ShapeUsage,
+    ShardStats,
+    Snapshot,
+    StageStats,
+)
+from repro.experiments.configs import SMOKE_SCALE
+from repro.experiments.harness import get_system
+from repro.faults import plan as plan_mod
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.pipeline import stages as stages_mod
+from repro.pipeline.stages import (
+    AnalyzedQuery,
+    ChunkPlan,
+    ResolvedPart,
+    ResolverOutcome,
+)
+from repro.query.model import StarQuery
+from repro.serve import proc as proc_mod
+from repro.serve.proc import EngineSpec, WorkItem, WorkResult
+from repro.serve.session import QueryFailure
+
+#: The modules whose frozen dataclasses cross the worker boundary.
+BOUNDARY_MODULES = (stages_mod, plan_mod, snapshot_mod, proc_mod)
+
+FEW = settings(max_examples=25, deadline=None)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_names = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+_small_ints = st.integers(min_value=0, max_value=10_000)
+_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_groupbys = st.lists(
+    st.integers(0, 3), min_size=1, max_size=3
+).map(tuple)
+_aggregates = st.lists(
+    st.tuples(_names, st.sampled_from(("sum", "count", "min", "max"))),
+    min_size=1,
+    max_size=3,
+).map(tuple)
+_rows = st.lists(
+    st.integers(-1000, 1000), min_size=0, max_size=8
+).map(lambda v: np.asarray(v, dtype=np.float64))
+
+
+@st.composite
+def star_queries(draw):
+    """Real validated queries against the (memoized) smoke schema."""
+    schema = get_system(SMOKE_SCALE).schema
+    groupby = tuple(
+        draw(st.integers(0, dim.leaf_level))
+        for dim in schema.dimensions
+    )
+    return StarQuery.build(schema, groupby)
+
+
+@st.composite
+def analyzed_queries(draw):
+    query = draw(star_queries())
+    partitions = draw(
+        st.lists(_small_ints, min_size=1, max_size=4).map(tuple)
+    )
+    meta = draw(st.dictionaries(_names, _small_ints, max_size=2))
+    return AnalyzedQuery.from_query(query, partitions, **meta)
+
+
+_resolved_parts = st.builds(
+    ResolvedPart,
+    number=_small_ints,
+    rows=_rows,
+    resolver=st.sampled_from(("cache", "derive", "backend")),
+    tuples_from_cache=_small_ints,
+    saved=st.booleans(),
+)
+
+_fault_specs = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(FAULT_KINDS),
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    latency=st.floats(min_value=0.0, max_value=5.0),
+    pressure=st.integers(1, 5),
+)
+
+_fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**32),
+    specs=st.lists(
+        _fault_specs,
+        unique_by=lambda spec: spec.kind,
+        max_size=len(FAULT_KINDS),
+    ).map(tuple),
+)
+
+_stage_stats = st.builds(
+    StageStats,
+    name=_names,
+    calls=_floats,
+    wall_seconds=_floats,
+    modelled_time=_floats,
+    partitions=_floats,
+    pages_read=_floats,
+    tuples_scanned=_floats,
+    lock_wait_seconds=_floats,
+    faults=_floats,
+    retries=_floats,
+    degraded=_floats,
+    backoff_seconds=_floats,
+    coalesce_seconds=_floats,
+)
+
+_shard_stats = st.builds(
+    ShardStats,
+    shard=st.integers(0, 7),
+    capacity_bytes=_small_ints,
+    used_bytes=_small_ints,
+    entries=_small_ints,
+    hits=_small_ints,
+    misses=_small_ints,
+    evictions=_small_ints,
+    lock_wait_seconds=_floats,
+    lock_acquisitions=_small_ints,
+    quarantined=st.booleans(),
+    quarantines=_small_ints,
+    readmissions=_small_ints,
+    quarantine_rejects=_small_ints,
+)
+
+_cache_contentions = st.builds(
+    CacheContention,
+    num_shards=st.integers(1, 8),
+    lock_wait_seconds=_floats,
+    lock_acquisitions=_small_ints,
+    hit_skew=_floats,
+    quarantines=_small_ints,
+    readmissions=_small_ints,
+    quarantine_rejects=_small_ints,
+    per_shard=st.lists(_shard_stats, max_size=3).map(tuple),
+)
+
+_chunk_snapshots = st.builds(
+    ChunkCacheSnapshot,
+    used_bytes=_small_ints,
+    capacity_bytes=_small_ints,
+    entries=_small_ints,
+    hit_ratio=_floats,
+    evictions=_small_ints,
+    per_groupby=st.lists(
+        st.builds(
+            GroupByUsage,
+            groupby=_groupbys,
+            chunks=_small_ints,
+            bytes=_small_ints,
+            benefit=_floats,
+        ),
+        max_size=3,
+    ).map(tuple),
+    stages=st.lists(_stage_stats, max_size=3).map(tuple),
+    resolved_by=st.lists(
+        st.tuples(_names, _small_ints), max_size=3
+    ).map(tuple),
+    poisoned_puts=_small_ints,
+    pressure_evictions=_small_ints,
+    contention=st.none() | _cache_contentions,
+)
+
+_query_snapshots = st.builds(
+    QueryCacheSnapshot,
+    used_bytes=_small_ints,
+    capacity_bytes=_small_ints,
+    entries=_small_ints,
+    redundancy_ratio=_floats,
+    per_shape=st.lists(
+        st.builds(
+            ShapeUsage,
+            key=_names,
+            results=_small_ints,
+            bytes=_small_ints,
+            benefit=_floats,
+        ),
+        max_size=3,
+    ).map(tuple),
+    stages=st.lists(_stage_stats, max_size=3).map(tuple),
+    resolved_by=st.lists(
+        st.tuples(_names, _small_ints), max_size=3
+    ).map(tuple),
+)
+
+
+@st.composite
+def engine_specs(draw):
+    """Specs over the real smoke system, varying the record slice."""
+    system = get_system(SMOKE_SCALE)
+    count = draw(st.integers(1, 16))
+    return EngineSpec(
+        schema=system.schema,
+        space=system.space,
+        records=system.records[:count],
+        page_size=draw(st.sampled_from((1024, 4096))),
+        buffer_pool_pages=draw(st.integers(8, 64)),
+    )
+
+
+#: class -> instance strategy.  The completeness test below keeps this
+#: in lockstep with the frozen dataclasses of BOUNDARY_MODULES.
+MANIFEST = {
+    AnalyzedQuery: analyzed_queries(),
+    ResolvedPart: _resolved_parts,
+    ResolverOutcome: st.builds(
+        ResolverOutcome,
+        parts=st.dictionaries(_small_ints, _resolved_parts, max_size=3),
+        report=st.none(),
+    ),
+    ChunkPlan: st.builds(
+        ChunkPlan,
+        present=st.lists(_small_ints, max_size=4).map(tuple),
+        derived=st.lists(_small_ints, max_size=4).map(tuple),
+        missing=st.lists(_small_ints, max_size=4).map(tuple),
+    ),
+    FaultSpec: _fault_specs,
+    FaultPlan: _fault_plans,
+    StageStats: _stage_stats,
+    GroupByUsage: st.builds(
+        GroupByUsage,
+        groupby=_groupbys,
+        chunks=_small_ints,
+        bytes=_small_ints,
+        benefit=_floats,
+    ),
+    ShapeUsage: st.builds(
+        ShapeUsage,
+        key=_names,
+        results=_small_ints,
+        bytes=_small_ints,
+        benefit=_floats,
+    ),
+    FaultStats: st.builds(
+        FaultStats,
+        poisoned_puts=_small_ints,
+        pressure_evictions=_small_ints,
+        faults=_floats,
+        retries=_floats,
+        degraded=_floats,
+        backoff_seconds=_floats,
+    ),
+    ShardStats: _shard_stats,
+    CacheContention: _cache_contentions,
+    ChunkCacheSnapshot: _chunk_snapshots,
+    QueryCacheSnapshot: _query_snapshots,
+    Snapshot: st.one_of(
+        _chunk_snapshots.map(lambda c: Snapshot("chunk", c)),
+        _query_snapshots.map(lambda c: Snapshot("query", c)),
+    ),
+    EngineSpec: engine_specs(),
+    WorkItem: st.builds(
+        WorkItem,
+        req_id=_small_ints,
+        groupby=_groupbys,
+        numbers=st.lists(_small_ints, min_size=1, max_size=4).map(tuple),
+        aggregates=_aggregates,
+        leaf_filters=st.none()
+        | st.lists(
+            st.none() | st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+        prefer_base=st.booleans(),
+    ),
+    WorkResult: st.builds(
+        WorkResult,
+        req_id=_small_ints,
+        payloads=st.lists(
+            st.tuples(_small_ints, _rows), max_size=3
+        ).map(tuple),
+        error=st.none() | _names,
+    ),
+    # Boundary-adjacent values: cache keys and tolerated failures also
+    # travel through serialized reports, so they ride the same gate.
+    ChunkKey: st.builds(
+        ChunkKey,
+        groupby=_groupbys,
+        number=_small_ints,
+        aggregates=_aggregates,
+        fixed_predicates=st.frozensets(_names, max_size=3),
+    ),
+    QueryFailure: st.builds(
+        QueryFailure,
+        seq=_small_ints,
+        stream=_names,
+        kind=_names,
+        message=_names,
+        pages_read=_small_ints,
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# Structural equality (numpy- and schema-aware)
+# ---------------------------------------------------------------------------
+
+
+def _assert_equal(a, b):
+    assert type(a) is type(b), (type(a), type(b))
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b)
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for field in dataclasses.fields(a):
+            _assert_equal(
+                getattr(a, field.name), getattr(b, field.name)
+            )
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for key in a:
+            _assert_equal(a[key], b[key])
+    elif isinstance(a, (tuple, list)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_equal(x, y)
+    elif isinstance(a, (set, frozenset)):
+        assert a == b
+    elif a.__class__.__module__.startswith("repro."):
+        # Plain repro objects without value equality (schema, space):
+        # compare cheap deterministic structural probes instead.
+        _assert_probes_equal(a, b)
+    else:
+        assert a == b
+        assert repr(a) == repr(b)
+
+
+def _assert_probes_equal(a, b):
+    from repro.chunks.grid import ChunkSpace
+    from repro.schema.star import StarSchema
+
+    if isinstance(a, StarSchema):
+        assert [d.name for d in a.dimensions] == [
+            d.name for d in b.dimensions
+        ]
+        assert [d.leaf_level for d in a.dimensions] == [
+            d.leaf_level for d in b.dimensions
+        ]
+        assert [m.name for m in a.measures] == [
+            m.name for m in b.measures
+        ]
+    elif isinstance(a, ChunkSpace):
+        base = tuple(d.leaf_level for d in a.schema.dimensions)
+        assert a.grid(base).num_chunks == b.grid(base).num_chunks
+        assert a.grid(base).shape == b.grid(base).shape
+    else:  # pragma: no cover - extend probes when a new type appears
+        raise AssertionError(
+            f"no structural probe for {type(a).__name__}"
+        )
+
+
+def _round_trip(obj):
+    clone = pickle.loads(pickle.dumps(obj))
+    _assert_equal(obj, clone)
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------------
+
+
+def _boundary_frozen_classes():
+    found = set()
+    for module in BOUNDARY_MODULES:
+        for name in dir(module):
+            obj = getattr(module, name)
+            if (
+                isinstance(obj, type)
+                and dataclasses.is_dataclass(obj)
+                and obj.__dataclass_params__.frozen
+                and obj.__module__ == module.__name__
+            ):
+                found.add(obj)
+    return found
+
+
+class TestManifestCompleteness:
+    def test_every_boundary_frozen_dataclass_has_a_strategy(self):
+        missing = _boundary_frozen_classes() - set(MANIFEST)
+        names = sorted(cls.__qualname__ for cls in missing)
+        assert not missing, (
+            "frozen boundary value objects without a pickle round-trip "
+            f"strategy in MANIFEST: {names}"
+        )
+
+    def test_manifest_classes_are_frozen(self):
+        for cls in MANIFEST:
+            assert dataclasses.is_dataclass(cls), cls
+            assert cls.__dataclass_params__.frozen, (
+                f"{cls.__qualname__} crossed the boundary but is not "
+                "frozen"
+            )
+
+
+@pytest.mark.parametrize(
+    "cls", sorted(MANIFEST, key=lambda c: c.__qualname__),
+    ids=lambda c: c.__qualname__,
+)
+@FEW
+@given(data=st.data())
+def test_pickle_round_trip(cls, data):
+    obj = data.draw(MANIFEST[cls])
+    clone = _round_trip(obj)
+    assert isinstance(clone, cls)
+
+
+class TestBehaviourSurvivesPickling:
+    @FEW
+    @given(plan=_fault_plans, site=_names, seq=_small_ints)
+    def test_fault_plan_roll_is_preserved(self, plan, site, seq):
+        clone = pickle.loads(pickle.dumps(plan))
+        for kind in FAULT_KINDS:
+            assert clone.roll(kind, site, seq) == plan.roll(
+                kind, site, seq
+            )
+
+    @FEW
+    @given(analyzed=analyzed_queries())
+    def test_chunk_keys_are_preserved(self, analyzed):
+        clone = pickle.loads(pickle.dumps(analyzed))
+        for number in analyzed.partitions:
+            assert clone.chunk_key(number) == analyzed.chunk_key(
+                number
+            )
+
+    def test_engine_spec_records_are_preserved(self):
+        system = get_system(SMOKE_SCALE)
+        spec = EngineSpec(
+            schema=system.schema,
+            space=system.space,
+            records=system.records[:4],
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert np.array_equal(clone.records, spec.records)
+        assert clone.organization == spec.organization

@@ -1,0 +1,272 @@
+"""Process-parallel serving — the tier-1 equality and lifecycle gate.
+
+The execution-mode contract: for the same (workload, seed, config),
+thread mode, process mode, and any worker count must produce
+bit-identical serve totals and chaos/front digests.  The coordinator
+keeps all authoritative accounting and replays the thread-mode engine's
+I/O step for step (see ``docs/PARALLEL.md``), so these tests pin the
+whole determinism argument end to end, plus the wrapper's lifecycle and
+failure envelopes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    PROCESSES,
+    QUERY,
+    THREADS,
+    StackConfig,
+    build_cache,
+    build_stack,
+)
+from repro.exceptions import BackendError, ServeError, StackError
+from repro.experiments.configs import SMOKE_SCALE
+from repro.experiments.harness import get_system, make_chunk_manager
+from repro.experiments.multiuser import (
+    run_shared_concurrent,
+    user_streams,
+)
+from repro.faults import FaultInjector, FaultPlan, standard_specs
+from repro.serve import (
+    ChaosConfig,
+    ProcServeSession,
+    ProcessComputeEngine,
+    ServeSession,
+    SoakConfig,
+    run_chaos_soak,
+    run_soak,
+)
+from repro.serve.proc import WorkerPool, _canonical_filters, _route
+
+NUM_USERS = 4
+PER_USER = 10
+TIMEOUT = 120.0
+
+
+@pytest.fixture(scope="module")
+def system():
+    return get_system(SMOKE_SCALE)
+
+
+@pytest.fixture(scope="module")
+def streams(system):
+    return user_streams(system, num_users=NUM_USERS, per_user=PER_USER)
+
+
+@pytest.fixture(scope="module")
+def proc_manager(system):
+    """One long-lived single-worker process-mode manager."""
+    manager = make_chunk_manager(
+        system, exec_mode=PROCESSES, proc_workers=1
+    )
+    yield manager
+    manager.backend.close()
+
+
+def _totals(report):
+    return (
+        report.metrics.cost_saving_ratio(),
+        report.metrics.mean_time(),
+        report.metrics.total_pages_read(),
+        len(report.metrics.records),
+        report.queries,
+    )
+
+
+@pytest.fixture(scope="module")
+def thread_totals(system, streams):
+    report = run_shared_concurrent(
+        system, streams, max_workers=NUM_USERS
+    )
+    return _totals(report)
+
+
+class TestServeTotalsEquality:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_process_mode_matches_thread_mode(
+        self, system, streams, thread_totals, workers
+    ):
+        report = run_shared_concurrent(
+            system,
+            streams,
+            max_workers=NUM_USERS,
+            exec_mode=PROCESSES,
+            proc_workers=workers,
+        )
+        assert _totals(report) == thread_totals
+
+
+class TestChaosDigestEquality:
+    def _chaos(self, system, streams, exec_mode, workers):
+        cache = build_cache(
+            StackConfig(cache_bytes=system.cache_bytes, num_shards=4)
+        )
+        manager = make_chunk_manager(
+            system, cache=cache, exec_mode=exec_mode, proc_workers=workers
+        )
+        injector = FaultInjector(
+            FaultPlan(seed=20260806, specs=standard_specs("mid"))
+        )
+        try:
+            report = run_chaos_soak(
+                manager,
+                streams,
+                injector,
+                ChaosConfig(
+                    exec_mode=exec_mode, timeout_seconds=TIMEOUT
+                ),
+            )
+        finally:
+            if exec_mode == PROCESSES:
+                manager.backend.close()
+        return report
+
+    def test_digest_identical_across_modes_and_worker_counts(
+        self, system, streams
+    ):
+        baseline = self._chaos(system, streams, THREADS, 1)
+        assert baseline.queries + baseline.failures == len(streams) * (
+            PER_USER
+        )
+        for workers in (1, 2, 4):
+            report = self._chaos(system, streams, PROCESSES, workers)
+            assert report.digest == baseline.digest
+            assert report.queries == baseline.queries
+            assert report.failures == baseline.failures
+            assert report.pages_read == baseline.pages_read
+            assert report.failed_pages == baseline.failed_pages
+            assert report.fault_counters == baseline.fault_counters
+
+
+class TestSoakProcessMode:
+    def test_free_schedule_soak_conserves_io(self, system, streams):
+        cache = build_cache(
+            StackConfig(cache_bytes=system.cache_bytes, num_shards=4)
+        )
+        manager = make_chunk_manager(
+            system, cache=cache, exec_mode=PROCESSES, proc_workers=2
+        )
+        try:
+            report = run_soak(
+                manager,
+                streams,
+                SoakConfig(
+                    checkpoint_every=10,
+                    timeout_seconds=TIMEOUT,
+                    exec_mode=PROCESSES,
+                ),
+            )
+        finally:
+            manager.backend.close()
+        assert report.queries == NUM_USERS * PER_USER
+        assert report.pages_read == report.disk_read_delta
+        assert report.pages_read > 0
+        assert report.deep_checks > 0
+
+
+class TestStackComposition:
+    def test_thread_mode_is_the_default(self):
+        assert StackConfig().exec_mode == THREADS
+
+    def test_unknown_exec_mode_rejected(self, system):
+        with pytest.raises(StackError):
+            build_stack(
+                system.schema,
+                config=StackConfig(exec_mode="fibers"),
+                space=system.space,
+                backend=system.backend,
+            )
+
+    def test_process_mode_needs_records(self, system):
+        with pytest.raises(StackError):
+            build_stack(
+                system.schema,
+                config=StackConfig(exec_mode=PROCESSES),
+                space=system.space,
+                backend=system.backend,
+            )
+
+    def test_process_mode_rejects_query_scheme(self, system):
+        with pytest.raises(StackError):
+            build_stack(
+                system.schema,
+                records=system.records,
+                config=StackConfig(scheme=QUERY, exec_mode=PROCESSES),
+                space=system.space,
+                backend=system.backend,
+            )
+
+    def test_process_stack_wraps_backend(self, system, proc_manager):
+        assert isinstance(proc_manager.backend, ProcessComputeEngine)
+        assert proc_manager.backend.inner is system.backend
+
+    def test_stack_close_is_idempotent(self, system):
+        stack = build_stack(
+            system.schema,
+            space=system.space,
+            backend=system.backend,
+        )
+        stack.close()  # thread mode: a no-op, twice
+        stack.close()
+
+
+class TestEngineWrapper:
+    def test_mutation_entry_points_are_blocked(self, system, proc_manager):
+        backend = proc_manager.backend
+        with pytest.raises(BackendError):
+            backend.materialize(system.schema.base_groupby)
+        with pytest.raises(BackendError):
+            backend.append_records(system.records[:1])
+        with pytest.raises(BackendError):
+            backend.reorganize()
+
+    def test_worker_error_surfaces_as_backend_error(self, proc_manager):
+        pool = proc_manager.backend.pool
+        bad_groupby = (99, 99, 99)
+        pool.stage(bad_groupby, [0], (("v", "sum"),))
+        with pytest.raises(BackendError):
+            pool.claim(bad_groupby, 0, (("v", "sum"),))
+
+    def test_shares_physical_state_by_reference(self, system, proc_manager):
+        backend = proc_manager.backend
+        assert backend.disk is system.backend.disk
+        assert backend.buffer_pool is system.backend.buffer_pool
+        assert backend.chunked_file is system.backend.chunked_file
+
+
+class TestProcServeSession:
+    def test_requires_process_backend(self, system, streams):
+        manager = make_chunk_manager(system)
+        with pytest.raises(ServeError):
+            ProcServeSession(manager, streams)
+
+    def test_rejects_nonpositive_lookahead(self, proc_manager, streams):
+        with pytest.raises(ServeError):
+            ProcServeSession(proc_manager, streams, lookahead=0)
+
+    def test_is_a_serve_session(self, proc_manager, streams):
+        session = ProcServeSession(proc_manager, streams)
+        assert isinstance(session, ServeSession)
+
+
+class TestWorkerPoolEnvelope:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ServeError):
+            WorkerPool(spec=None, num_workers=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ServeError):
+            WorkerPool(spec=None, num_workers=1, timeout_seconds=0.0)
+
+    def test_canonical_filters_collapse_no_op_forms(self):
+        assert _canonical_filters(None) is None
+        assert _canonical_filters((None, None)) is None
+        assert _canonical_filters(((0, 3), None)) == ((0, 3), None)
+
+    def test_routing_is_stable(self):
+        key = ((2, 1), 7, (("v", "sum"),), None, False)
+        index = _route(key, 4)
+        assert 0 <= index < 4
+        assert all(_route(key, 4) == index for _ in range(10))

@@ -275,3 +275,58 @@ class TestContention:
             assert isinstance(cache, ChunkCache)
         assert shard.lock_acquisitions == 1
         assert not shard.lock.locked()
+
+
+class TestHitSkewPinning:
+    """Pin ``hit_skew`` under a deliberately skewed key workload.
+
+    Baseline for the shard-rebalancing work tracked in ROADMAP: the
+    metric must be exactly busiest-shard lookups over the per-shard
+    mean, so a rebalancer can be judged against a pinned number.
+    """
+
+    def _keys_by_shard(self, cache, count=64):
+        by_shard: dict[int, list] = {}
+        for n in range(count):
+            key = make_chunk(number=n).key
+            by_shard.setdefault(cache._shard_for(key).index, []).append(key)
+        return by_shard
+
+    def test_skewed_lookups_pin_the_exact_ratio(self):
+        cache = ShardedChunkCache(100_000, num_shards=4)
+        by_shard = self._keys_by_shard(cache)
+        # CRC-32 routing spreads 64 keys over all four shards.
+        assert set(by_shard) == {0, 1, 2, 3}
+        # 9 lookups hammer one shard, 3 go to another: 12 lookups over
+        # 4 shards -> mean 3, busiest 9 -> skew exactly 3.0.
+        for _ in range(9):
+            cache.get(by_shard[0][0])
+        for _ in range(3):
+            cache.get(by_shard[1][0])
+        report = cache.contention()
+        assert repr(report["hit_skew"]) == "3.0"
+
+    def test_uniform_lookups_pin_skew_one(self):
+        cache = ShardedChunkCache(100_000, num_shards=4)
+        by_shard = self._keys_by_shard(cache)
+        for keys in by_shard.values():
+            for _ in range(5):
+                cache.get(keys[0])
+        assert repr(cache.contention()["hit_skew"]) == "1.0"
+
+    def test_misses_count_as_lookups(self):
+        # Skew tracks traffic, not hit rate: pure-miss traffic must
+        # still register (9+3 misses -> same 3.0 ratio as above).
+        cache = ShardedChunkCache(100_000, num_shards=4)
+        by_shard = self._keys_by_shard(cache)
+        hot, cold = by_shard[0][0], by_shard[1][0]
+        assert cache.get(hot) is None
+        for _ in range(8):
+            cache.get(hot)
+        for _ in range(3):
+            cache.get(cold)
+        per_shard = cache.contention()["per_shard"]
+        traffic = sorted(
+            entry["hits"] + entry["misses"] for entry in per_shard
+        )
+        assert traffic == [0, 0, 3, 9]

@@ -44,6 +44,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(RULES_BY_CODE) == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008",
         ]
 
     def test_rules_have_summaries(self):

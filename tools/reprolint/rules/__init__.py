@@ -16,6 +16,7 @@ from tools.reprolint.rules import (
     r005_metrics,
     r006_faults,
     r007_facade,
+    r008_process,
 )
 
 ALL_RULES = (
@@ -26,6 +27,7 @@ ALL_RULES = (
     r005_metrics,
     r006_faults,
     r007_facade,
+    r008_process,
 )
 
 RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}

@@ -1,0 +1,106 @@
+"""R008 — process-parallelism stays behind ``repro.serve.proc``.
+
+The process-parallel execution mode has exactly one implementation —
+:mod:`repro.serve.proc` — and its determinism contract (digests are a
+pure function of (workload, seed, config) at any worker count) depends
+on every process boundary running through that module's staged
+``WorkItem``/``WorkResult`` envelopes and the coordinator's accounting
+replay.  A second, ad-hoc process pool anywhere else in the production
+stack would reintroduce exactly the class of nondeterminism this PR
+removed, invisibly.
+
+So, mirroring the R006 faults-confinement pattern: inside ``src/repro``,
+only ``repro.serve.proc`` itself and the composition roots — the
+experiments layer and the CLI (``repro.__main__``) — may import
+:mod:`multiprocessing` (or its submodules) or name
+``ProcessPoolExecutor`` from :mod:`concurrent.futures`.  Tests and
+tools are exempt — they are composition roots by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R008"
+SUMMARY = (
+    "process-parallelism stays behind repro.serve.proc: only that "
+    "module and the composition roots (experiments layer, CLI) may "
+    "import multiprocessing or use ProcessPoolExecutor"
+)
+
+#: Modules/packages allowed to know about process-level parallelism.
+PROCESS_COMPOSITION_ROOTS = (
+    "repro.serve.proc",
+    "repro.experiments",
+    "repro.__main__",
+)
+
+#: The executor class whose construction marks a process boundary.
+_EXECUTOR = "ProcessPoolExecutor"
+
+
+def _is_mp_module(module: str) -> bool:
+    return module == "multiprocessing" or module.startswith(
+        "multiprocessing."
+    )
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.module is None or not ctx.in_package("repro"):
+        return
+    if ctx.module in PROCESS_COMPOSITION_ROOTS or ctx.in_package(
+        "repro.experiments"
+    ):
+        return
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_mp_module(alias.name):
+                    yield Violation(
+                        ctx.path, node.lineno, node.col_offset, CODE,
+                        f"{ctx.module} imports {alias.name}; process "
+                        "parallelism lives behind repro.serve.proc — "
+                        "route work through ProcessComputeEngine (or "
+                        "compose it from the experiments layer)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0:
+                if _is_mp_module(node.module):
+                    yield Violation(
+                        ctx.path, node.lineno, node.col_offset, CODE,
+                        f"{ctx.module} imports from {node.module}; "
+                        "process parallelism lives behind "
+                        "repro.serve.proc — route work through "
+                        "ProcessComputeEngine (or compose it from the "
+                        "experiments layer)",
+                    )
+                elif node.module in (
+                    "concurrent.futures",
+                    "concurrent.futures.process",
+                ) and any(
+                    alias.name == _EXECUTOR for alias in node.names
+                ):
+                    yield Violation(
+                        ctx.path, node.lineno, node.col_offset, CODE,
+                        f"{ctx.module} imports {_EXECUTOR}; process "
+                        "pools live behind repro.serve.proc — use the "
+                        "staged WorkItem/WorkResult envelopes instead",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == _EXECUTOR:
+                yield Violation(
+                    ctx.path, node.lineno, node.col_offset, CODE,
+                    f"{ctx.module} constructs {_EXECUTOR}; process "
+                    "pools live behind repro.serve.proc — use the "
+                    "staged WorkItem/WorkResult envelopes instead",
+                )
