@@ -385,9 +385,13 @@ class WorkerPool:
 
     def close(self) -> None:
         """Stop workers and the collector; safe to call twice."""
-        if self._closed:
-            return
-        self._closed = True
+        # The closed flag is checked under the pool lock by stage();
+        # the check-and-set here must take the same lock or two racing
+        # close() calls can both run the shutdown sequence.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         for queue in self._requests:
             try:
                 queue.put(None)

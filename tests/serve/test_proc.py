@@ -11,6 +11,8 @@ failure envelopes.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.api import (
@@ -270,3 +272,61 @@ class TestWorkerPoolEnvelope:
         index = _route(key, 4)
         assert 0 <= index < 4
         assert all(_route(key, 4) == index for _ in range(10))
+
+
+class _RecordingQueue:
+    """Stands in for a multiprocessing queue; counts shutdown traffic."""
+
+    def __init__(self):
+        self.puts = []
+        self.closed = 0
+
+    def put(self, item):
+        self.puts.append(item)
+
+    def cancel_join_thread(self):
+        pass
+
+    def close(self):
+        self.closed += 1
+
+
+class TestWorkerPoolClose:
+    def _unstarted_pool(self):
+        pool = WorkerPool(spec=None, num_workers=2)
+        # Swap the real mp queues for recorders so close() traffic is
+        # observable and nothing blocks on queue feeder threads.
+        for queue in [*pool._requests, pool._results]:
+            queue.cancel_join_thread()
+            queue.close()
+        pool._requests = [_RecordingQueue(), _RecordingQueue()]
+        pool._results = _RecordingQueue()
+        return pool
+
+    def test_close_is_idempotent(self):
+        pool = self._unstarted_pool()
+        pool.close()
+        pool.close()
+        assert [q.puts for q in pool._requests] == [[None], [None]]
+        assert [q.closed for q in pool._requests] == [1, 1]
+
+    def test_racing_closes_run_shutdown_exactly_once(self):
+        # Regression: the closed flag used to be checked and set without
+        # the pool lock, so two racing close() calls could both observe
+        # it unset and both run the shutdown sequence (double sentinel,
+        # double queue close).
+        for _ in range(20):
+            pool = self._unstarted_pool()
+            barrier = threading.Barrier(4)
+
+            def racer():
+                barrier.wait()
+                pool.close()
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert [q.puts for q in pool._requests] == [[None], [None]]
+            assert pool._results.closed == 1
