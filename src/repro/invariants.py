@@ -390,7 +390,7 @@ def check_trace_conservation(
     )
     require(
         # integer partition counts, not float cost values
-        trace.partitions_total == record.chunks_total,  # reprolint: ignore[R002]
+        trace.partitions_total == record.chunks_total,  # reprolint: ignore[R002] int counts
         f"trace partitions_total {trace.partitions_total} != record "
         f"chunks_total {record.chunks_total}",
     )

@@ -1,14 +1,17 @@
 """The reprolint rule registry.
 
-Every rule module exposes ``CODE``, ``SUMMARY`` and ``check(ctx)``; this
-package collects them into :data:`ALL_RULES` (sorted by code) for the
-engine and the CLI.  Adding a rule = adding a module here and listing it
-in ``docs/STATIC_ANALYSIS.md``.
+Per-file rule modules expose ``CODE``, ``SUMMARY`` and ``check(ctx)``;
+whole-program rules expose ``check_project(project)`` instead (the
+engine dispatches on the attribute).  This package collects them into
+:data:`ALL_RULES` (sorted by code) for the engine and the CLI.  Adding
+a rule = adding a module here and listing it in
+``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
 from tools.reprolint.rules import (
+    r000_waiver,
     r001_layering,
     r002_float_eq,
     r003_frozen,
@@ -17,9 +20,12 @@ from tools.reprolint.rules import (
     r006_faults,
     r007_facade,
     r008_process,
+    r009_lockorder,
+    r010_taint,
 )
 
 ALL_RULES = (
+    r000_waiver,
     r001_layering,
     r002_float_eq,
     r003_frozen,
@@ -28,6 +34,8 @@ ALL_RULES = (
     r006_faults,
     r007_facade,
     r008_process,
+    r009_lockorder,
+    r010_taint,
 )
 
 RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}

@@ -1,0 +1,84 @@
+"""R000 — every suppression comment must carry a reason.
+
+A waiver is a reviewed exception to a rule; a bare
+``# reprolint: ignore[R002]`` records *that* a rule was silenced but
+not *why*, which is exactly the information the next reader needs.
+This rule makes the reason mandatory::
+
+    total == used  # reprolint: ignore[R002] exact byte counts
+
+Two findings:
+
+- **bare waiver** — a well-formed ``ignore[...]`` with nothing after
+  the closing bracket;
+- **malformed waiver** — a comment that mentions ``reprolint`` and
+  ``ignore`` but does not parse as ``# reprolint: ignore[CODES]``; it
+  suppresses nothing, which is almost never what the author meant.
+
+Comments are found with :mod:`tokenize`, so prose or string literals
+that merely mention the waiver syntax (this docstring, the engine's
+regex) cannot trigger it.  R000 findings are themselves exempt from
+suppression (``SUPPRESSIBLE = False``) — a bare waiver naming R000
+must not waive the finding about its own bareness.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Violation
+
+CODE = "R000"
+SUMMARY = "suppression comments must be well-formed and carry a reason"
+
+#: The engine applies inline waivers to every rule but this one.
+SUPPRESSIBLE = False
+
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*ignore\[([A-Z0-9,\s]+)\](.*)$")
+
+
+def check(ctx: FileContext) -> Iterator[Violation]:
+    source = "\n".join(ctx.source_lines) + "\n"
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string
+        if "reprolint" not in text:
+            continue
+        line, col = tok.start
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            if "ignore" in text:
+                yield Violation(
+                    path=ctx.path,
+                    line=line,
+                    col=col,
+                    code=CODE,
+                    message=(
+                        "malformed reprolint waiver (expected "
+                        "'# reprolint: ignore[CODE] reason'); this comment "
+                        "suppresses nothing"
+                    ),
+                )
+            continue
+        if not match.group(2).strip():
+            codes = ",".join(
+                c.strip() for c in match.group(1).split(",") if c.strip()
+            )
+            yield Violation(
+                path=ctx.path,
+                line=line,
+                col=col,
+                code=CODE,
+                message=(
+                    f"bare waiver ignore[{codes}] without a reason; state "
+                    f"why the finding is safe after the closing bracket"
+                ),
+            )

@@ -104,6 +104,7 @@ SERVE_ALLOWED_IMPORTS = (
     "repro.analysis",
     "repro.exceptions",
     "repro.invariants",
+    "repro.lockorder",
 )
 
 #: Layers that must not know about the serving layer (facet 5).
