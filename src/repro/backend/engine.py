@@ -47,6 +47,7 @@ from repro.backend.plans import CostReport, measure_cost
 from repro.chunks.closure import source_spans
 from repro.chunks.grid import ChunkSpace
 from repro.exceptions import BackendError, InjectedFault, QueryError
+from repro.lockorder import witness
 from repro.query.model import StarQuery
 from repro.schema.star import GroupBy, StarSchema
 from repro.storage.bitmap import BitmapIndex, combine_and
@@ -91,7 +92,8 @@ def _synchronized(
             recorder = self.lock_wait_recorder
             if recorder is not None and waited > 0.0:
                 recorder(waited)
-            return method(self, *args, **kwargs)
+            with witness("engine"):
+                return method(self, *args, **kwargs)
         finally:
             self._lock.release()
 

@@ -46,6 +46,7 @@ from repro.core.cache import ChunkCache, ChunkCacheStats, FaultHook
 from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy
 from repro.exceptions import ServeError
+from repro.lockorder import witness
 from repro.pipeline.trace import record_blocked_wait
 
 __all__ = ["stable_key_hash", "CacheShard", "ShardedChunkCache"]
@@ -120,7 +121,8 @@ class CacheShard:
             self.lock_wait_seconds += waited
             if waited > 0.0:
                 record_blocked_wait(waited)
-            yield self.cache
+            with witness("shard"):
+                yield self.cache
         finally:
             self.lock.release()
 
@@ -206,7 +208,7 @@ class ShardedChunkCache:
         """
         if delta == 0:
             return
-        with self._accounting_lock:
+        with self._accounting_lock, witness("accounting"):
             self._used_bytes += delta
 
     def _note_op(self, shard: CacheShard) -> None:
@@ -248,7 +250,7 @@ class ShardedChunkCache:
     @property
     def used_bytes(self) -> int:
         """Bytes currently charged, from the global counter."""
-        with self._accounting_lock:
+        with self._accounting_lock, witness("accounting"):
             return self._used_bytes
 
     @property
@@ -452,7 +454,7 @@ class ShardedChunkCache:
             for shard in self._shards:
                 shard.lock.acquire()
                 acquired += 1
-            with self._accounting_lock:
+            with self._accounting_lock, witness("accounting"):
                 for shard in self._shards:
                     cache = shard.cache
                     invariants.check_cache_accounting(

@@ -6,13 +6,21 @@ on.  The run must produce zero invariant violations and account for
 every disk page exactly, at every 100-query checkpoint and at the end.
 This is the property that must hold under *any* thread interleaving —
 the test is a genuine race, not a reproducible schedule.
+
+The run also records a lock-order witness (:mod:`repro.lockorder`):
+every nested pair of lock levels actually held by one thread.  The
+observed edges must be a subset of the static lock-order graph that
+``tools/reprolint`` derives (pinned in ``tests/tools/lockorder.txt``)
+— an acquisition order the analyzer did not predict fails this gate
+before it can deadlock in production.
 """
 
+from pathlib import Path
 from types import SimpleNamespace
 
 import pytest
 
-from repro import invariants
+from repro import invariants, lockorder
 from repro.exceptions import ServeError
 from repro.experiments.configs import SMOKE_SCALE
 from repro.experiments.harness import get_system, make_chunk_manager
@@ -24,6 +32,16 @@ PER_USER = 250
 CHECKPOINT_EVERY = 100
 # Hard deadline: a deadlock becomes a ServeError, never a hung suite.
 TIMEOUT_SECONDS = 150.0
+# The static lock-order graph pinned by tools/reprolint (R009).
+STATIC_GRAPH = Path(__file__).resolve().parents[1] / "tools" / "lockorder.txt"
+
+
+def _static_edges() -> frozenset[tuple[str, str]]:
+    edges = set()
+    for line in STATIC_GRAPH.read_text().splitlines():
+        outer, _, inner = line.partition(" -> ")
+        edges.add((outer, inner))
+    return frozenset(edges)
 
 
 def test_multiuser_soak_conserves_everything():
@@ -35,14 +53,15 @@ def test_multiuser_soak_conserves_everything():
     manager = make_chunk_manager(system, cache=cache)
 
     previous_mode = invariants.mode()
-    report = run_soak(
-        manager,
-        streams,
-        SoakConfig(
-            checkpoint_every=CHECKPOINT_EVERY,
-            timeout_seconds=TIMEOUT_SECONDS,
-        ),
-    )
+    with lockorder.capture() as witness_log:
+        report = run_soak(
+            manager,
+            streams,
+            SoakConfig(
+                checkpoint_every=CHECKPOINT_EVERY,
+                timeout_seconds=TIMEOUT_SECONDS,
+            ),
+        )
 
     assert report.queries == NUM_STREAMS * PER_USER
     # A checkpoint fired at every 100-query boundary...
@@ -65,6 +84,18 @@ def test_multiuser_soak_conserves_everything():
     contention = serve.contention["cache"]
     assert contention["num_shards"] == 8
     assert contention["lock_acquisitions"] > 0
+
+    # Static/dynamic cross-check: every lock-order edge a thread
+    # actually exercised was predicted by the static analyzer.  The
+    # witness must also have seen the shard lock at all — an empty log
+    # would mean the instrumentation fell off the hot path.
+    observed = witness_log.edges()
+    unexpected = observed - _static_edges()
+    assert not unexpected, (
+        f"runtime lock orders not in the static graph: {sorted(unexpected)}"
+        " — regenerate tests/tools/lockorder.txt if this is intentional"
+    )
+    assert ("shard", "accounting") in observed
 
 
 def test_soak_requires_a_conservation_checking_store():

@@ -1,0 +1,92 @@
+"""The runtime lock-order witness: recording, nesting, idle cost."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import lockorder
+
+
+def test_idle_witness_records_nothing():
+    # No capture() active: witness() must be a plain pass-through and
+    # leave no thread-local residue behind.
+    with lockorder.witness("shard"):
+        with lockorder.witness("accounting"):
+            pass
+    with lockorder.capture() as log:
+        pass
+    assert log.edges() == frozenset()
+
+
+def test_nested_levels_record_ordered_pairs():
+    with lockorder.capture() as log:
+        with lockorder.witness("shard"):
+            with lockorder.witness("accounting"):
+                pass
+    assert log.edges() == {("shard", "accounting")}
+    assert log.edge_lines() == ("shard -> accounting",)
+
+
+def test_self_nesting_records_self_edge():
+    with lockorder.capture() as log:
+        with lockorder.witness("engine"):
+            with lockorder.witness("engine"):
+                pass
+    assert log.edges() == {("engine", "engine")}
+
+
+def test_triple_nesting_records_all_outer_pairs():
+    with lockorder.capture() as log:
+        with lockorder.witness("a"):
+            with lockorder.witness("b"):
+                with lockorder.witness("c"):
+                    pass
+    assert log.edges() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+def test_sequential_sections_are_not_an_edge():
+    with lockorder.capture() as log:
+        with lockorder.witness("shard"):
+            pass
+        with lockorder.witness("accounting"):
+            pass
+    assert log.edges() == frozenset()
+
+
+def test_duplicate_pairs_collapse():
+    with lockorder.capture() as log:
+        for _ in range(5):
+            with lockorder.witness("shard"):
+                with lockorder.witness("accounting"):
+                    pass
+    assert log.edge_lines() == ("shard -> accounting",)
+
+
+def test_stacks_are_per_thread():
+    # One thread holding "shard" must not make another thread's
+    # "accounting" acquisition look nested.
+    entered = threading.Event()
+    release = threading.Event()
+    with lockorder.capture() as log:
+        def outer() -> None:
+            with lockorder.witness("shard"):
+                entered.set()
+                release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=outer)
+        worker.start()
+        assert entered.wait(timeout=10.0)
+        with lockorder.witness("accounting"):
+            pass
+        release.set()
+        worker.join(timeout=10.0)
+    assert log.edges() == frozenset()
+
+
+def test_capture_scope_ends_recording():
+    with lockorder.capture() as log:
+        pass
+    with lockorder.witness("shard"):
+        with lockorder.witness("accounting"):
+            pass
+    assert log.edges() == frozenset()
