@@ -1,18 +1,24 @@
 PYTHON ?= python
 
-.PHONY: lint test coverage smoke
+.PHONY: lint lint-cold test coverage smoke
 
-# Static-analysis gate (see docs/STATIC_ANALYSIS.md).  mypy is optional
+# Static-analysis gate (see docs/STATIC_ANALYSIS.md).  Warm runs reuse
+# the content-hash fact cache (.reprolint_cache.json); mypy is optional
 # locally — CI always runs it; here it is skipped when not installed.
 lint:
 	$(PYTHON) -m compileall -q src tools
-	$(PYTHON) -m tools.reprolint src tests
+	$(PYTHON) -m tools.reprolint src tests benchmarks
 	PYTHONPATH=src $(PYTHON) -m tools.apicheck
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy; \
 	else \
 		echo "mypy not installed; skipping strict type check (CI runs it)"; \
 	fi
+
+# The same gate from a cold cache — what CI pays on every run.
+lint-cold:
+	rm -f .reprolint_cache.json
+	$(MAKE) lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
