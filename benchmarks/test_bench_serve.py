@@ -26,13 +26,18 @@ Two arms:
    machine actually having >= 4 usable cores; ``wall_speedup`` is
    recorded either way.
 
+A third arm runs the same workload once with the persistent second
+tier enabled (``cache_tiers=2``, ``docs/TIERING.md``) and records the
+per-tier hit ratios and spill/promote page counts — deterministic
+counters only, so the fields stay inside the R010 digest-taint fence.
+
 The full scan is written to ``BENCH_serve.json`` at the repo root.
 """
 
 import os
 import warnings
 
-from repro.api import PROCESSES, THREADS
+from repro.api import PROCESSES, THREADS, StackConfig, build_cache
 from repro.experiments.configs import DEFAULT_SCALE
 from repro.experiments.harness import get_system
 from repro.experiments.multiuser import run_shared_concurrent, user_streams
@@ -92,7 +97,25 @@ def run_row(mode, workers, report, wall_speedup, simulated_speedup):
     }
 
 
-def test_bench_serve(benchmark, record_json):
+def tier_ratios(tiers):
+    """Deterministic per-tier summary for the benchmark artifact."""
+    l1, l2 = tiers["l1"], tiers["l2"]
+    l1_lookups = l1["hits"] + l1["misses"]
+    return {
+        "l1_hit_ratio": l1["hits"] / l1_lookups if l1_lookups else 0.0,
+        "l2_hit_ratio": l2["hit_ratio"],
+        "l1_hits": l1["hits"],
+        "l1_misses": l1["misses"],
+        "l2_hits": l2["hits"],
+        "l2_misses": l2["misses"],
+        "spills": l2["spills"],
+        "promotes": l2["promotes"],
+        "l2_pages_written": l2["pages_written"],
+        "l2_pages_read": l2["pages_read"],
+    }
+
+
+def test_bench_serve(benchmark, record_json, tmp_path):
     system = get_system(DEFAULT_SCALE)
     streams = user_streams(system, num_users=NUM_STREAMS)
 
@@ -153,6 +176,28 @@ def test_bench_serve(benchmark, record_json):
             f"{proc_wall[4]:.2f}x on {USABLE_CORES} cores"
         )
 
+    # The 2-tier arm: same workload, L1 over the persistent chunk log.
+    # Untimed — the artifact entry is the per-tier counter split, not a
+    # throughput number.  An eighth of the budget forces L1 evictions
+    # so the demote/promote cycle actually runs.
+    tiered_cache = build_cache(
+        StackConfig(
+            cache_bytes=system.cache_bytes // 8,
+            num_shards=1,
+            cache_tiers=2,
+            persist_path=str(tmp_path / "chunklog.bin"),
+        )
+    )
+    try:
+        run_shared_concurrent(
+            system, streams, max_workers=4, cache=tiered_cache
+        )
+        tiered_cache.check_conservation()
+        tiers = tiered_cache.tiers()
+    finally:
+        tiered_cache.close()
+    assert tiers["l2"]["spills"] > 0, "2-tier arm never spilled"
+
     proc_sim_base = proc_reports[1].simulated_throughput
     record_json(
         "serve",
@@ -187,5 +232,6 @@ def test_bench_serve(benchmark, record_json):
                 )
                 for workers in PROC_WORKER_COUNTS
             ],
+            "tiers": tier_ratios(tiers),
         },
     )

@@ -32,13 +32,16 @@ commands:
   soak                 concurrency soak; --chaos for fault injection,
                        --rate low|mid|high, --seed N, --users N,
                        --per-user N, --shards N, --workers N,
-                       --exec threads|processes, --report PATH (JSON),
-                       --smoke / --paper
+                       --exec threads|processes, --tiers 1|2,
+                       --persist PATH (2-tier chunk log),
+                       --cache-bytes N (override the L1 budget),
+                       --report PATH (JSON), --smoke / --paper
   front                async admission front door with single-flight
                        coalescing; --chaos for fault injection,
                        --rate low|mid|high, --seed N, --users N,
                        --per-user N, --window N, --workers N,
                        --exec threads|processes, --no-coalesce,
+                       --tiers 1|2, --persist PATH (2-tier chunk log),
                        --report PATH (JSON), --smoke / --paper
   info                 version and default scale
 """
@@ -144,6 +147,9 @@ def _cmd_soak(argv: list[str]) -> int:
     argv, shards = _flag_value(argv, "--shards")
     argv, workers = _flag_value(argv, "--workers")
     argv, exec_mode = _flag_value(argv, "--exec")
+    argv, tiers = _flag_value(argv, "--tiers")
+    argv, persist = _flag_value(argv, "--persist")
+    argv, cache_bytes = _flag_value(argv, "--cache-bytes")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown soak arguments: {argv}", file=sys.stderr)
@@ -157,6 +163,12 @@ def _cmd_soak(argv: list[str]) -> int:
         kwargs["per_user"] = int(per_user)
     if shards is not None:
         kwargs["num_shards"] = int(shards)
+    if tiers is not None:
+        kwargs["cache_tiers"] = int(tiers)
+    if persist is not None:
+        kwargs["persist_path"] = persist
+    if cache_bytes is not None:
+        kwargs["cache_bytes"] = int(cache_bytes)
     if chaos:
         if rate is not None:
             kwargs["rate"] = rate
@@ -210,6 +222,8 @@ def _cmd_front(argv: list[str]) -> int:
     argv, window = _flag_value(argv, "--window")
     argv, workers = _flag_value(argv, "--workers")
     argv, exec_mode = _flag_value(argv, "--exec")
+    argv, tiers = _flag_value(argv, "--tiers")
+    argv, persist = _flag_value(argv, "--persist")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown front arguments: {argv}", file=sys.stderr)
@@ -228,6 +242,10 @@ def _cmd_front(argv: list[str]) -> int:
         kwargs["num_users"] = int(users)
     if per_user is not None:
         kwargs["per_user"] = int(per_user)
+    if tiers is not None:
+        kwargs["cache_tiers"] = int(tiers)
+    if persist is not None:
+        kwargs["persist_path"] = persist
     if chaos:
         if rate is not None:
             kwargs["rate"] = rate

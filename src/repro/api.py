@@ -29,11 +29,13 @@ from repro.backend.engine import BackendEngine
 from repro.chunks.grid import ChunkSpace
 from repro.core.cache import ChunkCache, ChunkStore
 from repro.core.manager import ChunkCacheManager
+from repro.core.tiered import TieredChunkCache
 from repro.core.query_cache import QueryCacheManager
 from repro.exceptions import StackError
 from repro.schema.star import StarSchema
 from repro.serve.session import PROCESSES, THREADS
 from repro.serve.sharded import ShardedChunkCache
+from repro.storage.chunklog import ChunkLog
 
 __all__ = [
     "CHUNK",
@@ -90,6 +92,19 @@ class StackConfig:
             ``docs/PARALLEL.md``).  Chunk scheme only; requires fact
             ``records`` so each worker can build its replica.
         proc_workers: Worker-process count for ``exec_mode="processes"``.
+        cache_tiers: ``1`` (the default — the historical in-memory-only
+            cache, byte-for-byte unchanged) or ``2`` — the L1 store is
+            wrapped in a :class:`~repro.core.tiered.TieredChunkCache`
+            whose persistent L2 tier absorbs high-benefit evictions and
+            promotes them back on demand (see ``docs/TIERING.md``).
+            Chunk scheme only.
+        persist_path: Backing file for the 2-tier chunk log.  ``None``
+            keeps the log in memory (same semantics, no restart
+            survival); only meaningful with ``cache_tiers=2``.  A
+            pre-existing log is replayed and its manifest warms L1.
+        demote_min_benefit: Minimum benefit an L1 eviction victim needs
+            to be spilled to L2 (2-tier only); lower-value victims are
+            dropped exactly as the 1-tier cache drops them.
     """
 
     scheme: str = CHUNK
@@ -106,6 +121,9 @@ class StackConfig:
     miss_path: str = "auto"
     exec_mode: str = THREADS
     proc_workers: int = 4
+    cache_tiers: int = 1
+    persist_path: str | None = None
+    demote_min_benefit: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -160,6 +178,9 @@ class Stack:
         close = getattr(self.backend, "close", None)
         if close is not None:
             close()
+        cache_close = getattr(self.cache, "close", None)
+        if cache_close is not None:
+            cache_close()
 
 
 def build_backend(
@@ -190,14 +211,40 @@ def build_backend(
 
 
 def build_cache(config: StackConfig) -> ChunkStore:
-    """Build the configured chunk store (plain or sharded)."""
+    """Build the configured chunk store (plain, sharded, or tiered).
+
+    ``cache_tiers=2`` wraps the L1 store in a
+    :class:`~repro.core.tiered.TieredChunkCache` over a persistent
+    :class:`~repro.storage.chunklog.ChunkLog`; when the backing file
+    already holds live records, L1 is warmed from the L2 manifest
+    (benefit-ranked) before the store is returned.
+    """
+    if config.cache_tiers not in (1, 2):
+        raise StackError(
+            f"cache_tiers must be 1 or 2, got {config.cache_tiers!r}"
+        )
+    if config.persist_path is not None and config.cache_tiers != 2:
+        raise StackError(
+            "persist_path is only meaningful with cache_tiers=2"
+        )
+    l1: ChunkStore
     if config.num_shards > 0:
-        return ShardedChunkCache(
+        l1 = ShardedChunkCache(
             config.cache_bytes,
             policy=config.policy,
             num_shards=config.num_shards,
         )
-    return ChunkCache(config.cache_bytes, config.policy)
+    else:
+        l1 = ChunkCache(config.cache_bytes, config.policy)
+    if config.cache_tiers == 1:
+        return l1
+    log = ChunkLog(config.persist_path, page_size=config.page_size)
+    tiered = TieredChunkCache(
+        l1, log, demote_min_benefit=config.demote_min_benefit
+    )
+    if log.recovery is not None and log.recovery.live_entries > 0:
+        tiered.reopen()
+    return tiered
 
 
 def build_stack(
@@ -237,6 +284,10 @@ def build_stack(
         raise StackError(
             f"unknown exec_mode {config.exec_mode!r}; "
             f"expected {THREADS!r} or {PROCESSES!r}"
+        )
+    if config.cache_tiers != 1 and config.scheme != CHUNK:
+        raise StackError(
+            "cache_tiers=2 supports the chunk scheme only"
         )
     if space is None:
         space = ChunkSpace(schema, config.chunk_ratio)

@@ -18,12 +18,19 @@ from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy, make_policy
 from repro.exceptions import CacheError
 
-__all__ = ["ChunkCacheStats", "ChunkStore", "ChunkCache"]
+__all__ = ["ChunkCacheStats", "ChunkStore", "ChunkCache", "EvictHook"]
 
 #: A cache fault hook inspects a put and returns None (no fault),
 #: ``("poison", 0)`` (reject the put, cache unchanged) or
 #: ``("pressure", n)`` (forcibly evict up to ``n`` entries first).
 FaultHook = Callable[[CachedChunk], "tuple[str, int] | None"]
+
+#: An eviction observer: called with each victim *after* it has been
+#: removed and the byte accounting settled.  The tiered cache installs
+#: one to spill high-benefit victims to the persistent L2 tier; the
+#: hook must never raise (spill failures are the observer's problem,
+#: not the evicting cache's).
+EvictHook = Callable[[CachedChunk], None]
 
 
 @dataclass
@@ -124,6 +131,18 @@ class ChunkStore(Protocol):
         """
         ...
 
+    def tiers(self) -> dict[str, object]:
+        """Per-tier counters of a multi-tier store.
+
+        Same contract shape as :meth:`contention`: single-tier stores
+        return ``{}`` ("nothing to report"), and the snapshot tree only
+        renders a tiers node when the mapping is non-empty — so adding
+        this method changes no single-tier output byte.
+        :class:`repro.core.tiered.TieredChunkCache` returns its L1/L2
+        spill/promote/quarantine counters.
+        """
+        ...
+
 
 class ChunkCache:
     """A byte-budgeted cache of chunks with pluggable replacement.
@@ -150,6 +169,11 @@ class ChunkCache:
         # Fault-injection hook (repro.faults installs it; production
         # code never does).  Consulted at the top of put().
         self.fault_hook: FaultHook | None = None
+        # Eviction observer (the tiered cache installs it to spill
+        # victims to L2).  Called after each eviction settles; must not
+        # raise.  None on single-tier stacks — behaviour is then
+        # bit-identical to a hook-free cache.
+        self.evict_hook: EvictHook | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -184,6 +208,10 @@ class ChunkCache:
 
     def contention(self) -> dict[str, object]:
         """No contention counters: this store is single-threaded."""
+        return {}
+
+    def tiers(self) -> dict[str, object]:
+        """No tier counters: this store is a single in-memory tier."""
         return {}
 
     # ------------------------------------------------------------------
@@ -291,6 +319,8 @@ class ChunkCache:
             )
         self._used_bytes -= victim.size_bytes
         self.stats.evictions += 1
+        if self.evict_hook is not None:
+            self.evict_hook(victim)
 
     def _check_accounting(self) -> None:
         """Byte/benefit conservation after a mutation (see invariants)."""

@@ -270,6 +270,10 @@ class ChunkCacheSnapshot:
     poisoned_puts: int
     pressure_evictions: int
     contention: CacheContention | None
+    # Per-tier counters of a multi-tier store (the raw ``tiers()``
+    # mapping); None for single-tier stores so their rendered output
+    # stays byte-identical to the pre-tiering tree.
+    tiers: Mapping[str, object] | None = None
 
     def fault_stats(self) -> FaultStats:
         """The fault summary, derived from the per-stage totals.
@@ -319,6 +323,8 @@ class ChunkCacheSnapshot:
         }
         if self.contention is not None:
             out["shards"] = self.contention.legacy_dict()
+        if self.tiers:
+            out["tiers"] = dict(self.tiers)
         return out
 
     def to_json(self) -> dict[str, object]:
@@ -354,6 +360,8 @@ class ChunkCacheSnapshot:
         }
         if self.contention is not None:
             out["contention"] = self.contention.legacy_dict()
+        if self.tiers:
+            out["tiers"] = dict(self.tiers)
         return out
 
 
@@ -489,6 +497,7 @@ def build_chunk_snapshot(
     )
     stats = cache.stats
     raw_contention = cache.contention()
+    raw_tiers = cache.tiers()
     return Snapshot(
         kind="chunk",
         cache=ChunkCacheSnapshot(
@@ -507,5 +516,6 @@ def build_chunk_snapshot(
                 if raw_contention
                 else None
             ),
+            tiers=raw_tiers if raw_tiers else None,
         ),
     )

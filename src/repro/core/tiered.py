@@ -1,0 +1,625 @@
+"""The two-tier chunk cache: in-memory L1 over a persistent chunk log.
+
+:class:`TieredChunkCache` implements the
+:class:`~repro.core.cache.ChunkStore` protocol by layering the existing
+in-memory cache (a :class:`~repro.core.cache.ChunkCache` or the serving
+layer's sharded store) over a durable
+:class:`~repro.storage.chunklog.ChunkLog`:
+
+- **Spill on eviction.**  The L1 store's eviction observer
+  (``evict_hook``) fires for every victim; victims whose CLOCK benefit
+  clears ``demote_min_benefit`` are *demoted* — encoded and appended to
+  the log as a charged write.  Low-benefit victims are simply dropped,
+  exactly as before (DynaMat's "don't trash your intermediates" policy,
+  applied only where the intermediate is worth the pages).
+- **Promote on L2 hit.**  An L1 miss whose key is live in the log reads
+  the record back (a charged, CRC-verified read), re-inserts the chunk
+  into L1 and returns it.  The caller sees a hit; the page cost of the
+  promotion is attributed to the L2 tier's accounting disk, never
+  hidden (see :meth:`tiers`).
+- **Warm restart.**  :meth:`reopen` rebuilds the L2 key map from the
+  log manifest and refills L1 highest-benefit-first until the budget is
+  reached, so a restarted stack starts warm instead of cold.
+- **Degrade, never corrupt.**  Spill/promote I/O faults are retried
+  once when transient and otherwise dropped (a failed spill loses a
+  *copy*, never the truth; a failed promote is an L2 miss).  A CRC
+  mismatch quarantines the record.  A streak of ``failure_limit``
+  consecutive L2 I/O failures disables the tier entirely — the cache
+  degrades to plain L1 behaviour rather than hammering a poisoned log.
+
+Locking: the tier's own bookkeeping lock (witness level ``"tiered"``)
+nests inside L1 shard locks (the spill hook fires under the victim's
+shard lock) and outside the chunk-log lock — the documented order is
+``shard -> tiered -> chunklog`` (``tests/tools/lockorder.txt``).  The
+promote path releases the tier lock *before* re-inserting into L1, so
+no path ever takes a shard lock while holding ``tiered``.
+
+With ``evict_hook`` left uninstalled (single-tier stacks) none of this
+module is on any code path — 1-tier behaviour is bit-identical to a
+build without it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.cache import ChunkCacheStats, ChunkStore
+from repro.core.chunk import CachedChunk, ChunkKey
+from repro.exceptions import (
+    CacheError,
+    ChunkLogCorruption,
+    ChunkLogError,
+    DiskFault,
+    InvariantViolation,
+)
+from repro.lockorder import witness
+from repro.storage.chunklog import ChunkLog
+
+if TYPE_CHECKING:
+    from repro.core.cache import FaultHook
+
+__all__ = [
+    "TieredChunkCache",
+    "chunk_token",
+    "token_key",
+    "encode_chunk",
+    "decode_chunk",
+]
+
+_META_LEN = struct.Struct("<I")
+
+
+def chunk_token(key: ChunkKey) -> str:
+    """Canonical, deterministic string identity of a chunk key.
+
+    Used as the chunk-log record token; :func:`token_key` inverts it.
+    Canonical JSON (sorted keys, no whitespace, sorted predicate set) so
+    equal keys always map to byte-equal tokens across processes.
+    """
+    return json.dumps(
+        {
+            "a": [list(pair) for pair in key.aggregates],
+            "g": list(key.groupby),
+            "n": key.number,
+            "p": sorted(key.fixed_predicates),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def token_key(token: str) -> ChunkKey:
+    """Rebuild the :class:`ChunkKey` a :func:`chunk_token` encodes."""
+    data = json.loads(token)
+    return ChunkKey(
+        groupby=tuple(int(level) for level in data["g"]),
+        number=int(data["n"]),
+        aggregates=tuple(
+            (str(name), str(agg)) for name, agg in data["a"]
+        ),
+        fixed_predicates=frozenset(str(tag) for tag in data["p"]),
+    )
+
+
+def _dtype_to_json(dtype: np.dtype) -> object:
+    if dtype.names is None:
+        return dtype.str
+    return [list(field) for field in dtype.descr]
+
+
+def _dtype_from_json(spec: object) -> np.dtype:
+    if isinstance(spec, str):
+        return np.dtype(spec)
+    if not isinstance(spec, list):
+        raise ChunkLogError(f"malformed dtype spec {spec!r}")
+    fields: list[tuple[str, str] | tuple[str, str, tuple[int, ...]]] = []
+    for field in spec:
+        if len(field) == 2:
+            fields.append((str(field[0]), str(field[1])))
+        else:
+            fields.append(
+                (
+                    str(field[0]),
+                    str(field[1]),
+                    tuple(int(n) for n in field[2]),
+                )
+            )
+    return np.dtype(fields)
+
+
+def encode_chunk(entry: CachedChunk) -> bytes:
+    """Serialize a cached chunk's value into a chunk-log payload.
+
+    Layout: meta length (u32) + canonical-JSON meta + raw row bytes.
+    Floats travel as ``float.hex()`` so the round trip is exact, and
+    the dtype spec carries explicit byte order — the payload is a pure
+    function of the entry, suitable for golden-file pinning.
+    """
+    rows = np.ascontiguousarray(entry.rows)
+    meta = json.dumps(
+        {
+            "b": entry.benefit.hex(),
+            "c": entry.compute_pages.hex(),
+            "d": _dtype_to_json(rows.dtype),
+            "s": list(rows.shape),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _META_LEN.pack(len(meta)) + meta + rows.tobytes()
+
+
+def decode_chunk(key: ChunkKey, payload: bytes) -> CachedChunk:
+    """Inverse of :func:`encode_chunk` for a known key.
+
+    Raises :class:`~repro.exceptions.ChunkLogError` on a malformed
+    payload — callers treat that like a corrupt record (quarantine).
+    """
+    if len(payload) < _META_LEN.size:
+        raise ChunkLogError("chunk payload too short for its meta header")
+    (meta_len,) = _META_LEN.unpack_from(payload, 0)
+    meta_end = _META_LEN.size + meta_len
+    if meta_end > len(payload):
+        raise ChunkLogError("chunk payload meta extends past the record")
+    try:
+        meta = json.loads(payload[_META_LEN.size : meta_end])
+        dtype = _dtype_from_json(meta["d"])
+        shape = tuple(int(n) for n in meta["s"])
+        rows = (
+            np.frombuffer(payload[meta_end:], dtype=dtype)
+            .reshape(shape)
+            .copy()
+        )
+        benefit = float.fromhex(meta["b"])
+        compute_pages = float.fromhex(meta["c"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ChunkLogError(f"malformed chunk payload: {exc}") from exc
+    return CachedChunk(
+        key=key, rows=rows, benefit=benefit, compute_pages=compute_pages
+    )
+
+
+class TieredChunkCache:
+    """A :class:`ChunkStore` layering an in-memory L1 over a chunk log.
+
+    Args:
+        l1: The in-memory tier — any ``ChunkStore`` exposing either a
+            ``set_evict_hook`` method (the sharded store) or an
+            ``evict_hook`` attribute (the plain cache).
+        log: The persistent tier.  The tiered cache owns it from here
+            on (:meth:`close` closes it).
+        demote_min_benefit: Spill threshold — victims whose benefit is
+            below it are dropped, not demoted.  ``0.0`` demotes every
+            victim (all real benefits are positive).
+        failure_limit: Consecutive L2 I/O failures (spill or promote)
+            before the tier disables itself and degrades to L1-only.
+
+    ``capacity_bytes``/``used_bytes`` are the L1 budget — the log is
+    append-only and unbounded (compaction is future work; see
+    ``docs/TIERING.md``).  ``stats`` folds L2 hits into the combined
+    hit/miss counters: a lookup served by promotion counts as a hit of
+    the store, not a miss, which is what the cost model should see.
+    """
+
+    def __init__(
+        self,
+        l1: ChunkStore,
+        log: ChunkLog,
+        demote_min_benefit: float = 0.0,
+        failure_limit: int = 8,
+    ) -> None:
+        if demote_min_benefit < 0.0:
+            raise CacheError(
+                f"negative demotion threshold {demote_min_benefit}"
+            )
+        if failure_limit < 1:
+            raise CacheError(f"failure_limit must be >= 1, got {failure_limit}")
+        self._l1 = l1
+        self.log = log
+        self.demote_min_benefit = demote_min_benefit
+        self.failure_limit = failure_limit
+        self._lock = threading.Lock()
+        # All fields below are guarded by _lock.
+        self._l2_keys: dict[str, ChunkKey] = {}
+        self._l2_enabled = True
+        self._failure_streak = 0
+        self._warming = False
+        self._l2_hits = 0
+        self._l2_misses = 0
+        self._spills = 0
+        self._spill_skipped = 0
+        self._spill_faults = 0
+        self._promotes = 0
+        self._promote_faults = 0
+        self._quarantined = 0
+        self._warm_loaded = 0
+        hook_setter = getattr(l1, "set_evict_hook", None)
+        if callable(hook_setter):
+            hook_setter(self._on_evict)
+        else:
+            setattr(l1, "evict_hook", self._on_evict)
+        # No lock: the object is not published until __init__ returns,
+        # so construction has the exclusive access _locked helpers need.
+        self._rebuild_keys_locked()
+
+    # ------------------------------------------------------------------
+    # ChunkStore protocol
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """The L1 byte budget (the log is not budget-bounded)."""
+        return self._l1.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes charged against the L1 budget."""
+        return self._l1.used_bytes
+
+    @property
+    def stats(self) -> ChunkCacheStats:
+        """Combined counters: L2 promotions count as hits, not misses."""
+        base = self._l1.stats
+        with self._lock, witness("tiered"):
+            l2_hits = self._l2_hits
+        return ChunkCacheStats(
+            hits=base.hits + l2_hits,
+            misses=base.misses - l2_hits,
+            insertions=base.insertions,
+            evictions=base.evictions,
+            rejected=base.rejected,
+            poisoned=base.poisoned,
+            pressure_evictions=base.pressure_evictions,
+        )
+
+    def __len__(self) -> int:
+        return len(self._l1) + len(self._l2_only_keys())
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        if key in self._l1:
+            return True
+        with self._lock, witness("tiered"):
+            return self._l2_enabled and chunk_token(key) in self._l2_keys
+
+    def get(self, key: ChunkKey) -> CachedChunk | None:
+        """L1 lookup, falling back to a charged L2 promote on miss."""
+        entry = self._l1.get(key)
+        if entry is not None:
+            return entry
+        return self._promote(key)
+
+    def peek(self, key: ChunkKey) -> CachedChunk | None:
+        """Uncharged lookup across both tiers; no stats, no promotion."""
+        entry = self._l1.peek(key)
+        if entry is not None:
+            return entry
+        token = chunk_token(key)
+        with self._lock, witness("tiered"):
+            if not self._l2_enabled or token not in self._l2_keys:
+                return None
+            return self._decode_locked(token, key, self.log.peek(token))
+
+    def put(self, entry: CachedChunk) -> bool:
+        """Insert into L1; demotion happens via the eviction spill hook."""
+        return self._l1.put(entry)
+
+    def invalidate(self, key: ChunkKey) -> bool:
+        """Drop a key from both tiers (the L2 drop is a charged tombstone)."""
+        removed = self._l1.invalidate(key)
+        token = chunk_token(key)
+        with self._lock, witness("tiered"):
+            if self._l2_keys.pop(token, None) is not None:
+                try:
+                    removed = self.log.delete(token) or removed
+                except DiskFault:
+                    # The tombstone write faulted: the record stays on
+                    # disk but is dead to this process; a restart scan
+                    # resurrects it, which invalidation semantics accept
+                    # for a *cache* (the base data re-derives the truth).
+                    self._spill_faults += 1
+                    self._note_failure_locked()
+                removed = True
+        return removed
+
+    def clear(self) -> None:
+        """Drop both tiers (one charged clear-all record in the log)."""
+        self._l1.clear()
+        with self._lock, witness("tiered"):
+            self._l2_keys.clear()
+            try:
+                self.log.clear()
+            except DiskFault:
+                self._spill_faults += 1
+                self._note_failure_locked()
+
+    def keys(self) -> list[ChunkKey]:
+        """L1 keys, then L2-only keys in manifest order (snapshot)."""
+        found = self._l1.keys()
+        found.extend(self._l2_only_keys())
+        return found
+
+    def snapshot(self) -> list[tuple[ChunkKey, CachedChunk]]:
+        """Point-in-time pairs across both tiers (L2 decodes uncharged)."""
+        pairs = self._l1.snapshot()
+        resident = {key for key, _ in pairs}
+        with self._lock, witness("tiered"):
+            if not self._l2_enabled:
+                return pairs
+            for token, key in list(self._l2_keys.items()):
+                if key in resident:
+                    continue
+                try:
+                    payload = self.log.peek(token)
+                    entry = self._decode_locked(token, key, payload)
+                except (ChunkLogCorruption, ChunkLogError):
+                    entry = None
+                if entry is not None:
+                    pairs.append((key, entry))
+        return pairs
+
+    def contention(self) -> dict[str, object]:
+        """The L1 store's contention counters (the log is lock-serial)."""
+        return self._l1.contention()
+
+    def tiers(self) -> dict[str, object]:
+        """Per-tier counters — the snapshot tree renders these when
+        non-empty (single-tier stores return ``{}``)."""
+        l1_stats = self._l1.stats
+        l1: dict[str, object] = {
+            "entries": len(self._l1),
+            "used_bytes": int(self._l1.used_bytes),
+            "capacity_bytes": int(self._l1.capacity_bytes),
+            "hits": l1_stats.hits,
+            "misses": l1_stats.misses,
+            "evictions": l1_stats.evictions,
+        }
+        log_stats = self.log.stats
+        disk_stats = self.log.disk.stats
+        with self._lock, witness("tiered"):
+            lookups = self._l2_hits + self._l2_misses
+            l2: dict[str, object] = {
+                "entries": len(self._l2_keys),
+                "live_bytes": self.log.live_bytes,
+                "hits": self._l2_hits,
+                "misses": self._l2_misses,
+                "hit_ratio": self._l2_hits / lookups if lookups else 0.0,
+                "spills": self._spills,
+                "spill_skipped": self._spill_skipped,
+                "spill_faults": self._spill_faults,
+                "promotes": self._promotes,
+                "promote_faults": self._promote_faults,
+                "quarantined": self._quarantined,
+                "warm_loaded": self._warm_loaded,
+                "degraded": not self._l2_enabled,
+                "pages_written": disk_stats.writes,
+                "pages_read": disk_stats.reads,
+                "scan_pages": log_stats.scan_pages,
+            }
+        return {
+            "l1": l1,
+            "l2": l2,
+            "demote_min_benefit": self.demote_min_benefit,
+        }
+
+    # ------------------------------------------------------------------
+    # Tier plumbing
+    # ------------------------------------------------------------------
+    def set_fault_hook(self, hook: "FaultHook | None") -> None:
+        """Forward the cache-put fault hook to the L1 store."""
+        setter = getattr(self._l1, "set_fault_hook", None)
+        if callable(setter):
+            setter(hook)
+        else:
+            setattr(self._l1, "fault_hook", hook)
+
+    def check_conservation(self) -> None:
+        """L1 conservation plus exact L2 page reconciliation.
+
+        The log's logical page counters must equal its accounting
+        disk's counters *exactly* — spills, promotions, tombstones and
+        restart scans account for every page, even pages charged by
+        operations a fault later aborted.
+        """
+        checker = getattr(self._l1, "check_conservation", None)
+        if callable(checker):
+            checker()
+        log_stats = self.log.stats
+        disk_stats = self.log.disk.stats
+        written = (
+            log_stats.append_pages
+            + log_stats.tombstone_pages
+            + log_stats.clear_pages
+        )
+        if written != disk_stats.writes:
+            raise InvariantViolation(
+                f"chunk log write pages diverged: ops account for "
+                f"{written} pages, disk counted {disk_stats.writes}"
+            )
+        read = log_stats.read_pages + log_stats.scan_pages
+        if read != disk_stats.reads:
+            raise InvariantViolation(
+                f"chunk log read pages diverged: ops account for "
+                f"{read} pages, disk counted {disk_stats.reads}"
+            )
+
+    def reopen(self) -> int:
+        """Warm-start: rebuild the L2 key map and refill L1 from the log.
+
+        Candidates load highest-benefit-first (ties broken by manifest
+        order, so the fill is deterministic) and stop charging the L1
+        budget exactly at capacity — an entry that does not fit is
+        skipped, smaller ones may still fit.  Decodes ride on the open
+        scan's already-charged reads (no double charge); corrupt
+        records are quarantined, not fatal.  Returns entries loaded.
+        """
+        with self._lock, witness("tiered"):
+            self._rebuild_keys_locked()
+            candidates = sorted(
+                (
+                    (-benefit, index, token)
+                    for index, (token, benefit, _size) in enumerate(
+                        self.log.entries()
+                    )
+                    if token in self._l2_keys
+                ),
+            )
+            self._warming = True
+        loaded = 0
+        try:
+            for _neg_benefit, _index, token in candidates:
+                with self._lock, witness("tiered"):
+                    key = self._l2_keys.get(token)
+                    if key is None:
+                        continue
+                    try:
+                        payload = self.log.peek(token)
+                        entry = self._decode_locked(token, key, payload)
+                    except (ChunkLogCorruption, ChunkLogError):
+                        entry = None
+                    if entry is None:
+                        continue
+                if key in self._l1:
+                    continue
+                if (
+                    self._l1.used_bytes + entry.size_bytes
+                    > self._l1.capacity_bytes
+                ):
+                    continue
+                if self._l1.put(entry):
+                    loaded += 1
+        finally:
+            with self._lock, witness("tiered"):
+                self._warming = False
+                self._warm_loaded += loaded
+        return loaded
+
+    def close(self) -> None:
+        """Detach the spill hook and close the log (idempotent)."""
+        hook_setter = getattr(self._l1, "set_evict_hook", None)
+        if callable(hook_setter):
+            hook_setter(None)
+        else:
+            setattr(self._l1, "evict_hook", None)
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _promote(self, key: ChunkKey) -> CachedChunk | None:
+        """Charged L2 read on an L1 miss; releases the tier lock before
+        re-inserting into L1 (no path holds ``tiered`` around a shard
+        lock)."""
+        token = chunk_token(key)
+        entry: CachedChunk | None = None
+        with self._lock, witness("tiered"):
+            if not self._l2_enabled or token not in self._l2_keys:
+                self._l2_misses += 1
+                return None
+            try:
+                payload = self._read_with_retry(token)
+            except ChunkLogCorruption:
+                self._quarantine_locked(token)
+                self._l2_misses += 1
+                return None
+            except DiskFault:
+                self._promote_faults += 1
+                self._l2_misses += 1
+                self._note_failure_locked()
+                return None
+            except ChunkLogError:
+                self._l2_keys.pop(token, None)
+                self._l2_misses += 1
+                return None
+            self._failure_streak = 0
+            entry = self._decode_locked(token, key, payload)
+            if entry is None:
+                self._l2_misses += 1
+                return None
+            self._l2_hits += 1
+            self._promotes += 1
+        self._l1.put(entry)
+        return entry
+
+    def _on_evict(self, victim: CachedChunk) -> None:
+        """Eviction observer: demote the victim when its benefit clears
+        the threshold.  Fires under the evicting L1 shard's lock and
+        never raises — a failed spill loses a copy, not the truth."""
+        with self._lock, witness("tiered"):
+            if self._warming or not self._l2_enabled:
+                return
+            if victim.benefit < self.demote_min_benefit:
+                self._spill_skipped += 1
+                return
+            token = chunk_token(victim.key)
+            payload = encode_chunk(victim)
+            try:
+                self._append_with_retry(token, payload, victim.benefit)
+            except DiskFault:
+                self._spill_faults += 1
+                self._note_failure_locked()
+                return
+            self._failure_streak = 0
+            self._spills += 1
+            self._l2_keys[token] = victim.key
+
+    def _read_with_retry(self, token: str) -> bytes:
+        try:
+            return self.log.read(token)
+        except DiskFault as fault:
+            if not fault.transient:
+                raise
+            return self.log.read(token)
+
+    def _append_with_retry(
+        self, token: str, payload: bytes, benefit: float
+    ) -> int:
+        try:
+            return self.log.append(token, payload, benefit)
+        except DiskFault as fault:
+            if not fault.transient:
+                raise
+            return self.log.append(token, payload, benefit)
+
+    def _decode_locked(
+        self, token: str, key: ChunkKey, payload: bytes
+    ) -> CachedChunk | None:
+        """Decode a record, quarantining it on a malformed payload."""
+        try:
+            return decode_chunk(key, payload)
+        except ChunkLogError:
+            self._quarantine_locked(token)
+            return None
+
+    def _quarantine_locked(self, token: str) -> None:
+        self.log.drop(token)
+        self._l2_keys.pop(token, None)
+        self._quarantined += 1
+
+    def _note_failure_locked(self) -> None:
+        self._failure_streak += 1
+        if self._failure_streak >= self.failure_limit:
+            self._l2_enabled = False
+
+    def _rebuild_keys_locked(self) -> None:
+        """Regenerate token -> key from the log manifest (lock held,
+        or construction-exclusive from ``__init__``)."""
+        self._l2_keys.clear()
+        for token in self.log.tokens():
+            try:
+                self._l2_keys[token] = token_key(token)
+            except (ValueError, KeyError, TypeError):
+                # A token this build cannot parse is quarantined: the
+                # record may belong to a future key schema.
+                self.log.drop(token)
+                self._quarantined += 1
+
+    def _l2_only_keys(self) -> list[ChunkKey]:
+        with self._lock, witness("tiered"):
+            if not self._l2_enabled:
+                return []
+            keys = list(self._l2_keys.values())
+        return [key for key in keys if key not in self._l1]

@@ -40,6 +40,28 @@ class FileFormatError(StorageError):
     """A stored file (heap/fact/chunked) is structurally inconsistent."""
 
 
+class ChunkLogError(StorageError):
+    """The persistent chunk log was configured or used incorrectly."""
+
+
+class ChunkLogCorruption(ChunkLogError):
+    """A chunk-log record failed its integrity check.
+
+    Raised when a stored record's CRC-32 does not match its payload
+    (a torn or bit-rotted write).  The tiered cache responds by
+    quarantining the entry — the record is dropped from the live
+    manifest and the lookup degrades to a cache miss, never to a wrong
+    answer.
+
+    Attributes:
+        token: Opaque record token whose payload failed verification.
+    """
+
+    def __init__(self, message: str, token: str = "") -> None:
+        super().__init__(message)
+        self.token = token
+
+
 class IndexError_(StorageError):
     """A B-tree or bitmap index was queried or built incorrectly.
 

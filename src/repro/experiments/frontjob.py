@@ -26,7 +26,12 @@ from typing import Any, Callable
 from repro.api import StackConfig, build_cache
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import System, get_system, make_chunk_manager
-from repro.faults import FaultInjector, FaultPlan, standard_specs
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    standard_specs,
+    tiered_specs,
+)
 from repro.query.model import StarQuery
 from repro.serve import (
     PROCESSES,
@@ -75,11 +80,18 @@ def duplicate_streams(
 
 
 def _build_manager(
-    system: System, num_shards: int, exec_mode: str = THREADS
+    system: System,
+    num_shards: int,
+    exec_mode: str = THREADS,
+    cache_tiers: int = 1,
+    persist_path: str | None = None,
 ) -> Any:
     cache = build_cache(
         StackConfig(
-            cache_bytes=system.cache_bytes, num_shards=num_shards
+            cache_bytes=system.cache_bytes,
+            num_shards=num_shards,
+            cache_tiers=cache_tiers,
+            persist_path=persist_path,
         )
     )
     return make_chunk_manager(system, cache=cache, exec_mode=exec_mode)
@@ -88,6 +100,19 @@ def _build_manager(
 def _close_manager(manager: Any, exec_mode: str) -> None:
     if exec_mode == PROCESSES:
         manager.backend.close()
+    cache_close = getattr(manager.cache, "close", None)
+    if cache_close is not None:
+        cache_close()
+
+
+def _add_tier_summary(
+    summary: dict[str, Any], manager: Any, cache_tiers: int
+) -> None:
+    """Attach per-tier counters — 2-tier runs only, so the 1-tier
+    summary JSON stays byte-identical to the pre-tiering jobs."""
+    if cache_tiers == 2:
+        summary["cache_tiers"] = cache_tiers
+        summary["tiers"] = manager.cache.tiers()
 
 
 def run_front_job(
@@ -97,6 +122,8 @@ def run_front_job(
     num_shards: int = NUM_SHARDS,
     config: FrontConfig = FrontConfig(),
     exec_mode: str = THREADS,
+    cache_tiers: int = 1,
+    persist_path: str | None = None,
 ) -> dict[str, Any]:
     """Run the fault-free front door and quantify coalescing's saving.
 
@@ -112,19 +139,21 @@ def run_front_job(
     streams = duplicate_streams(
         system, num_users=num_users, per_user=per_user
     )
-    manager = _build_manager(system, num_shards, exec_mode)
+    manager = _build_manager(system, num_shards, exec_mode, cache_tiers)
     try:
         baseline = run_front(
             manager, streams, replace(config, coalesce=False)
         )
     finally:
         _close_manager(manager, exec_mode)
-    manager = _build_manager(system, num_shards, exec_mode)
+    manager = _build_manager(
+        system, num_shards, exec_mode, cache_tiers, persist_path
+    )
     try:
         report = run_front(manager, streams, config)
     finally:
         _close_manager(manager, exec_mode)
-    return {
+    summary = {
         "job": "front",
         "scale_tuples": scale.num_tuples,
         "num_users": num_users,
@@ -135,6 +164,8 @@ def run_front_job(
         "pages_saved": baseline.pages_read - report.pages_read,
         **_front_summary(report),
     }
+    _add_tier_summary(summary, manager, cache_tiers)
+    return summary
 
 
 def run_front_chaos_job(
@@ -147,6 +178,8 @@ def run_front_chaos_job(
     config: FrontConfig = FrontConfig(),
     with_oracle: bool = True,
     exec_mode: str = THREADS,
+    cache_tiers: int = 1,
+    persist_path: str | None = None,
 ) -> dict[str, Any]:
     """Run the front door under a standard fault plan and summarize it.
 
@@ -180,8 +213,11 @@ def run_front_chaos_job(
 
         oracle = _replay
 
-    manager = _build_manager(system, num_shards, exec_mode)
-    plan = FaultPlan(seed=seed, specs=standard_specs(rate))
+    manager = _build_manager(
+        system, num_shards, exec_mode, cache_tiers, persist_path
+    )
+    specs = tiered_specs(rate) if cache_tiers == 2 else standard_specs(rate)
+    plan = FaultPlan(seed=seed, specs=specs)
     injector = FaultInjector(plan)
     try:
         report = run_front(
@@ -189,7 +225,7 @@ def run_front_chaos_job(
         )
     finally:
         _close_manager(manager, exec_mode)
-    return {
+    summary = {
         "job": "front-chaos",
         "scale_tuples": scale.num_tuples,
         "rate": rate,
@@ -201,6 +237,8 @@ def run_front_chaos_job(
         "oracle_replayed": with_oracle,
         **_front_summary(report),
     }
+    _add_tier_summary(summary, manager, cache_tiers)
+    return summary
 
 
 def _front_summary(report: FrontReport) -> dict[str, Any]:

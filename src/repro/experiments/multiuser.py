@@ -26,6 +26,7 @@ concurrent arm matches it number for number.
 from __future__ import annotations
 
 from repro.api import StackConfig, build_cache
+from repro.core.cache import ChunkStore
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import (
     System,
@@ -86,6 +87,7 @@ def run_shared_concurrent(
     schedule: str = FAIR,
     exec_mode: str = THREADS,
     proc_workers: int = 4,
+    cache: ChunkStore | None = None,
 ) -> ServeReport:
     """The shared cache behind the concurrent serving layer.
 
@@ -95,12 +97,16 @@ def run_shared_concurrent(
     (``exec_mode="processes"``), where payload compute moves to replica
     worker processes.  Tests also call this with ``max_workers=1`` to
     pin bit-identical equality, and with more shards for stress runs.
+    Pass a prebuilt ``cache`` (e.g. a 2-tier store from
+    :func:`repro.api.build_cache`) to inspect its counters afterwards;
+    the caller then owns closing it.
     """
-    cache = build_cache(
-        StackConfig(
-            cache_bytes=system.cache_bytes, num_shards=num_shards
+    if cache is None:
+        cache = build_cache(
+            StackConfig(
+                cache_bytes=system.cache_bytes, num_shards=num_shards
+            )
         )
-    )
     manager = make_chunk_manager(
         system,
         cache=cache,

@@ -22,7 +22,12 @@ from repro.api import StackConfig, build_cache
 from repro.experiments.configs import DEFAULT_SCALE, Scale
 from repro.experiments.harness import get_system, make_chunk_manager
 from repro.experiments.multiuser import user_streams
-from repro.faults import FaultInjector, FaultPlan, standard_specs
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    standard_specs,
+    tiered_specs,
+)
 from repro.query.model import StarQuery
 from repro.serve import (
     PROCESSES,
@@ -46,19 +51,33 @@ def run_soak_job(
     per_user: int | None = None,
     num_shards: int = NUM_SHARDS,
     config: SoakConfig = SoakConfig(),
+    cache_tiers: int = 1,
+    persist_path: str | None = None,
+    cache_bytes: int | None = None,
 ) -> dict[str, Any]:
     """Run the fault-free concurrency soak and summarize it.
 
     Builds K user streams over one hot region, races them under the
     free schedule with deep invariants, and returns the verified
     totals as a JSON-able dictionary.  ``config.exec_mode`` selects the
-    thread (default) or process execution mode.
+    thread (default) or process execution mode; ``cache_tiers=2`` puts
+    the persistent spill tier under the sharded store (the 1-tier
+    summary stays byte-identical — tier keys only appear at 2).
+    ``cache_bytes`` overrides the scale-derived L1 budget — a
+    constrained budget forces evictions, which is how the nightly
+    restart arm guarantees the log actually fills.
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
     cache = build_cache(
         StackConfig(
-            cache_bytes=system.cache_bytes, num_shards=num_shards
+            cache_bytes=(
+                cache_bytes if cache_bytes is not None
+                else system.cache_bytes
+            ),
+            num_shards=num_shards,
+            cache_tiers=cache_tiers,
+            persist_path=persist_path,
         )
     )
     manager = make_chunk_manager(
@@ -69,7 +88,8 @@ def run_soak_job(
     finally:
         if config.exec_mode == PROCESSES:
             manager.backend.close()
-    return {
+        _close_cache(cache)
+    summary = {
         "job": "soak",
         "scale_tuples": scale.num_tuples,
         "num_users": num_users,
@@ -78,6 +98,8 @@ def run_soak_job(
         "exec_mode": config.exec_mode,
         **_soak_summary(report),
     }
+    _add_tier_summary(summary, cache, cache_tiers)
+    return summary
 
 
 def run_chaos_job(
@@ -89,6 +111,9 @@ def run_chaos_job(
     num_shards: int = NUM_SHARDS,
     config: ChaosConfig = ChaosConfig(),
     with_oracle: bool = True,
+    cache_tiers: int = 1,
+    persist_path: str | None = None,
+    cache_bytes: int | None = None,
 ) -> dict[str, Any]:
     """Run the chaos soak under a standard fault plan and summarize it.
 
@@ -104,6 +129,13 @@ def run_chaos_job(
         with_oracle: When true (the default), every answered query is
             replayed fault-free after the run and must match — the
             "never a wrong answer" half of the degradation contract.
+        cache_tiers: ``2`` adds the persistent spill tier *and* arms
+            the write-path fault kinds (:func:`tiered_specs`); ``1``
+            keeps the plan and digest byte-identical to the historical
+            chaos soak.
+        persist_path: Backing file for the 2-tier chunk log.
+        cache_bytes: Override for the scale-derived L1 budget (forces
+            eviction pressure in 2-tier runs).
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
@@ -118,13 +150,20 @@ def run_chaos_job(
 
     cache = build_cache(
         StackConfig(
-            cache_bytes=system.cache_bytes, num_shards=num_shards
+            cache_bytes=(
+                cache_bytes if cache_bytes is not None
+                else system.cache_bytes
+            ),
+            num_shards=num_shards,
+            cache_tiers=cache_tiers,
+            persist_path=persist_path,
         )
     )
     manager = make_chunk_manager(
         system, cache=cache, exec_mode=config.exec_mode
     )
-    plan = FaultPlan(seed=seed, specs=standard_specs(rate))
+    specs = tiered_specs(rate) if cache_tiers == 2 else standard_specs(rate)
+    plan = FaultPlan(seed=seed, specs=specs)
     injector = FaultInjector(plan)
     try:
         report = run_chaos_soak(
@@ -133,7 +172,8 @@ def run_chaos_job(
     finally:
         if config.exec_mode == PROCESSES:
             manager.backend.close()
-    return {
+        _close_cache(cache)
+    summary = {
         "job": "chaos-soak",
         "scale_tuples": scale.num_tuples,
         "rate": rate,
@@ -146,6 +186,28 @@ def run_chaos_job(
         "oracle_replayed": with_oracle,
         **_chaos_summary(report),
     }
+    _add_tier_summary(summary, cache, cache_tiers)
+    return summary
+
+
+def _close_cache(cache: Any) -> None:
+    """Close a tiered store's chunk log (no-op for 1-tier stores)."""
+    close = getattr(cache, "close", None)
+    if close is not None:
+        close()
+
+
+def _add_tier_summary(
+    summary: dict[str, Any], cache: Any, cache_tiers: int
+) -> None:
+    """Attach per-tier counters — 2-tier runs only.
+
+    1-tier summaries gain no keys at all, keeping their JSON output
+    byte-identical to the pre-tiering jobs.
+    """
+    if cache_tiers == 2:
+        summary["cache_tiers"] = cache_tiers
+        summary["tiers"] = cache.tiers()
 
 
 def _soak_summary(report: SoakReport) -> dict[str, Any]:

@@ -19,9 +19,14 @@ from repro.faults.plan import (
     DISK_SLOW,
     DISK_TRANSIENT,
     FAULT_KINDS,
+    LOG_PERMANENT,
+    LOG_TORN,
+    PROMOTE_READ,
+    SPILL_WRITE,
     FaultPlan,
     FaultSpec,
     standard_specs,
+    tiered_specs,
 )
 
 __all__ = [
@@ -32,8 +37,13 @@ __all__ = [
     "DISK_SLOW",
     "DISK_TRANSIENT",
     "FAULT_KINDS",
+    "LOG_PERMANENT",
+    "LOG_TORN",
+    "PROMOTE_READ",
+    "SPILL_WRITE",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "standard_specs",
+    "tiered_specs",
 ]

@@ -30,6 +30,10 @@ from repro.faults.plan import (
     DISK_PERMANENT,
     DISK_SLOW,
     DISK_TRANSIENT,
+    LOG_PERMANENT,
+    LOG_TORN,
+    PROMOTE_READ,
+    SPILL_WRITE,
     FaultPlan,
 )
 
@@ -119,6 +123,66 @@ class FaultInjector:
                 site=site,
             )
 
+    def spill_write(self, page_id: int) -> float:
+        """Chunk-log ``write_hook``: fault one eviction-spill page write.
+
+        Permanent faults are keyed by log page id (the page stays dead
+        on every retry); transient spill faults are keyed by the write
+        sequence at the ``spill_write`` site.
+        """
+        if self.plan.roll(LOG_PERMANENT, f"chunklog.page:{page_id}", 0):
+            self._count(LOG_PERMANENT)
+            raise DiskFault(
+                f"injected permanent fault writing chunk-log page {page_id}",
+                page_id=page_id,
+                transient=False,
+                site="spill_write",
+            )
+        sequence = self._next("spill_write")
+        if self.plan.roll(SPILL_WRITE, "spill_write", sequence):
+            self._count(SPILL_WRITE)
+            raise DiskFault(
+                f"injected transient fault writing chunk-log page {page_id}",
+                page_id=page_id,
+                transient=True,
+                site="spill_write",
+            )
+        return 0.0
+
+    def promote_read(self, page_id: int) -> float:
+        """Chunk-log ``read_hook``: fault one promotion page read."""
+        if self.plan.roll(LOG_PERMANENT, f"chunklog.page:{page_id}", 0):
+            self._count(LOG_PERMANENT)
+            raise DiskFault(
+                f"injected permanent fault reading chunk-log page {page_id}",
+                page_id=page_id,
+                transient=False,
+                site="promote_read",
+            )
+        sequence = self._next("promote_read")
+        if self.plan.roll(PROMOTE_READ, "promote_read", sequence):
+            self._count(PROMOTE_READ)
+            raise DiskFault(
+                f"injected transient fault reading chunk-log page {page_id}",
+                page_id=page_id,
+                transient=True,
+                site="promote_read",
+            )
+        return 0.0
+
+    def torn_write(self, token: str) -> bool:
+        """Chunk-log ``torn_hook``: corrupt one spill's stored bytes.
+
+        A torn record keeps its original CRC, so the corruption is
+        *detected* (and quarantined) at the next promotion attempt —
+        exercising the checksum path, never producing a wrong answer.
+        """
+        sequence = self._next("chunklog.torn")
+        if self.plan.roll(LOG_TORN, "chunklog.torn", sequence):
+            self._count(LOG_TORN)
+            return True
+        return False
+
     def cache_put(self, entry: object) -> tuple[str, int] | None:
         """Cache put hook: ``("poison", 0)``, ``("pressure", n)`` or None."""
         sequence = self._next("cache.put")
@@ -143,8 +207,11 @@ class FaultInjector:
         ``.disk``) and ``.cache``; the cache is reached through
         ``set_fault_hook`` when it has one (the sharded cache
         distributes the hook to every shard) or a plain ``fault_hook``
-        attribute otherwise.  Previous hooks are restored on exit even
-        when the body raises.
+        attribute otherwise.  A cache exposing a ``.log`` (the tiered
+        cache's persistent tier) additionally gets the write-path
+        hooks: spill-write and promote-read faults on the log's
+        accounting disk plus the torn-write hook.  Previous hooks are
+        restored on exit even when the body raises.
         """
         backend = getattr(manager, "backend", None)
         cache = getattr(manager, "cache", None)
@@ -159,12 +226,21 @@ class FaultInjector:
         previous_cache = None
         if not callable(set_hook):
             previous_cache = getattr(cache, "fault_hook", None)
+        log = getattr(cache, "log", None)
+        previous_log_hooks: tuple[object, object, object] | None = None
         disk.read_hook = self.disk_read
         backend.fault_hook = self.backend_op
         if callable(set_hook):
             set_hook(self.cache_put)
         else:
             cache.fault_hook = self.cache_put
+        if log is not None:
+            previous_log_hooks = (
+                log.disk.write_hook, log.disk.read_hook, log.torn_hook
+            )
+            log.disk.write_hook = self.spill_write
+            log.disk.read_hook = self.promote_read
+            log.torn_hook = self.torn_write
         try:
             yield self
         finally:
@@ -174,3 +250,7 @@ class FaultInjector:
                 set_hook(None)
             else:
                 cache.fault_hook = previous_cache
+            if log is not None and previous_log_hooks is not None:
+                log.disk.write_hook = previous_log_hooks[0]
+                log.disk.read_hook = previous_log_hooks[1]
+                log.torn_hook = previous_log_hooks[2]

@@ -30,9 +30,14 @@ __all__ = [
     "DISK_SLOW",
     "DISK_TRANSIENT",
     "FAULT_KINDS",
+    "LOG_PERMANENT",
+    "LOG_TORN",
+    "PROMOTE_READ",
+    "SPILL_WRITE",
     "FaultPlan",
     "FaultSpec",
     "standard_specs",
+    "tiered_specs",
 ]
 
 #: A page read fails once; a retry may succeed.
@@ -47,6 +52,14 @@ BACKEND_QUERY = "backend-query"
 CACHE_POISON = "cache-poison"
 #: A cache put first sheds entries under forced eviction pressure.
 CACHE_PRESSURE = "cache-pressure"
+#: An eviction-spill write to the persistent chunk log fails once.
+SPILL_WRITE = "spill-write"
+#: A promotion read from the persistent chunk log fails once.
+PROMOTE_READ = "promote-read"
+#: A specific chunk-log page is dead forever (keyed by page id).
+LOG_PERMANENT = "log-permanent"
+#: A spill write tears: stored bytes no longer match the stored CRC.
+LOG_TORN = "log-torn"
 
 FAULT_KINDS = (
     DISK_TRANSIENT,
@@ -55,6 +68,10 @@ FAULT_KINDS = (
     BACKEND_QUERY,
     CACHE_POISON,
     CACHE_PRESSURE,
+    SPILL_WRITE,
+    PROMOTE_READ,
+    LOG_PERMANENT,
+    LOG_TORN,
 )
 
 _SCALE = float(2**64)
@@ -160,4 +177,27 @@ def standard_specs(rate: str = "mid") -> tuple[FaultSpec, ...]:
     ]
     if rate == "high":
         specs.append(FaultSpec(DISK_PERMANENT, base / 100.0))
+    return tuple(specs)
+
+
+def tiered_specs(rate: str = "mid") -> tuple[FaultSpec, ...]:
+    """The standard chaos mix plus the 2-tier write-path fault kinds.
+
+    Extends :func:`standard_specs` (whose presets stay byte-identical —
+    existing pinned digests never move) with spill-write and
+    promote-read faults at the base rate and torn writes at half of it;
+    ``"high"`` additionally arms permanently dead chunk-log pages.
+    """
+    base = _PRESET_RATES.get(rate)
+    if base is None:
+        raise FaultError(
+            f"unknown fault rate preset {rate!r}; "
+            f"expected one of {sorted(_PRESET_RATES)}"
+        )
+    specs = list(standard_specs(rate))
+    specs.append(FaultSpec(SPILL_WRITE, base))
+    specs.append(FaultSpec(PROMOTE_READ, base))
+    specs.append(FaultSpec(LOG_TORN, base / 2.0))
+    if rate == "high":
+        specs.append(FaultSpec(LOG_PERMANENT, base / 100.0))
     return tuple(specs)

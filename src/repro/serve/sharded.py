@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro import invariants
-from repro.core.cache import ChunkCache, ChunkCacheStats, FaultHook
+from repro.core.cache import ChunkCache, ChunkCacheStats, EvictHook, FaultHook
 from repro.core.chunk import CachedChunk, ChunkKey
 from repro.core.replacement import ReplacementPolicy
 from repro.exceptions import ServeError
@@ -361,6 +361,18 @@ class ShardedChunkCache:
             with shard.held() as cache:
                 cache.fault_hook = hook
 
+    def set_evict_hook(self, hook: EvictHook | None) -> None:
+        """Install (or remove, with None) the eviction observer shard-wide.
+
+        The tiered cache installs its spill path here.  The hook fires
+        with the evicting shard's lock held, so it may take only locks
+        that nest inside ``shard`` in the documented order
+        (``tiered``/``chunklog``), never another shard's lock.
+        """
+        for shard in self._shards:
+            with shard.held() as cache:
+                cache.evict_hook = hook
+
     def keys(self) -> list[ChunkKey]:
         """All resident chunk keys, in shard order (snapshot)."""
         found: list[ChunkKey] = []
@@ -376,6 +388,10 @@ class ShardedChunkCache:
             with shard.held() as cache:
                 pairs.extend(cache.snapshot())
         return pairs
+
+    def tiers(self) -> dict[str, object]:
+        """No tier counters: the striped store is one in-memory tier."""
+        return {}
 
     # ------------------------------------------------------------------
     # Concurrency observability

@@ -9,6 +9,13 @@ from repro.storage.bitmap import BitmapIndex, combine_and
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool, BufferPoolStats
 from repro.storage.chunkedfile import ChunkedFile, tuple_chunk_numbers
+from repro.storage.chunklog import (
+    CHUNKLOG_MAGIC,
+    CHUNKLOG_VERSION,
+    ChunkLog,
+    ChunkLogStats,
+    LogRecovery,
+)
 from repro.storage.dimtable import DimensionTable
 from repro.storage.disk import DiskStats, IOTracker, SimulatedDisk
 from repro.storage.factfile import FactFile
@@ -39,4 +46,9 @@ __all__ = [
     "combine_and",
     "ChunkedFile",
     "tuple_chunk_numbers",
+    "ChunkLog",
+    "ChunkLogStats",
+    "LogRecovery",
+    "CHUNKLOG_MAGIC",
+    "CHUNKLOG_VERSION",
 ]

@@ -1,0 +1,509 @@
+"""Persistent, checksummed append-only chunk log (the L2 cache tier).
+
+:class:`ChunkLog` is the durable half of the two-tier chunk cache
+(``docs/TIERING.md``).  It stores opaque ``(token, benefit, payload)``
+records in an append-only file and charges every record read and write
+through a private :class:`~repro.storage.disk.SimulatedDisk`, so L2
+traffic lands in the same page-accounting currency as the backend's
+I/O — spills and promotions have an exact, deterministic page cost.
+
+The module is deliberately *key-agnostic*: tokens are caller-chosen
+strings and payloads are caller-encoded bytes.  Encoding a
+``CachedChunk`` into a record (and back) is the job of
+:mod:`repro.core.tiered` — the storage layer sits below the caching
+layers (R001) and must stay reusable without them.
+
+On-disk format v1 (little-endian throughout)::
+
+    header   : magic b"RCLG" | version u16 | page_size u32 | 6 pad bytes
+    record   : type u8 | token_len u16 | payload_len u32 | benefit f64
+               | crc32 u32 | token bytes | payload bytes
+    type     : 1 = put, 2 = tombstone, 3 = clear-all
+
+The CRC-32 covers the record's fixed fields (minus the CRC itself),
+the token and the payload.  Each record occupies
+``ceil(record_len / page_size)`` freshly allocated pages on the
+accounting disk; the backing file is flushed after every append so a
+kill leaves at worst one torn tail record.
+
+Recovery policy on open (see ``docs/TIERING.md`` §restart):
+
+- a clean log replays fully (puts last-win, tombstones and clears
+  apply in order), charging one scan read per record page;
+- a truncated or unframeable tail is discarded — the file is cut back
+  to the last well-framed record and the valid prefix survives;
+- a corrupt header (wrong magic / garbage) resets the file to a fresh
+  empty log: the persist path is cache-owned state, so degrading to a
+  cold start beats refusing to serve;
+- a *newer* format version raises :class:`~repro.exceptions.ChunkLogError`
+  — format drift must fail loudly, never reinterpret bytes.
+
+Record CRCs are verified at :meth:`ChunkLog.read` time, not during the
+scan: a torn record with valid framing survives restart in the
+manifest and is quarantined on first access, exactly like in the
+original process (``tests/integration/test_restart.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Callable
+from zlib import crc32
+
+from repro.exceptions import ChunkLogCorruption, ChunkLogError
+from repro.lockorder import witness
+from repro.storage.disk import DEFAULT_PAGE_SIZE, SimulatedDisk
+
+__all__ = [
+    "CHUNKLOG_MAGIC",
+    "CHUNKLOG_VERSION",
+    "ChunkLog",
+    "ChunkLogStats",
+    "LogRecovery",
+]
+
+CHUNKLOG_MAGIC = b"RCLG"
+CHUNKLOG_VERSION = 1
+
+_HEADER = struct.Struct("<4sHI6x")  # magic, version, page_size
+_PREFIX = struct.Struct("<BHIdI")  # type, token_len, payload_len, benefit, crc
+_CRC_FIELDS = struct.Struct("<BHId")  # prefix minus the crc itself
+
+_PUT = 1
+_TOMBSTONE = 2
+_CLEAR = 3
+_RECORD_TYPES = frozenset({_PUT, _TOMBSTONE, _CLEAR})
+
+
+@dataclass
+class ChunkLogStats:
+    """Cumulative logical counters of one :class:`ChunkLog`.
+
+    Page counters count *successful* page transfers only, one per
+    :class:`SimulatedDisk` page actually charged — so they reconcile
+    exactly with the accounting disk even when a fault hook aborts an
+    operation partway through a multi-page record::
+
+        disk.stats.writes == append_pages + tombstone_pages + clear_pages
+        disk.stats.reads  == read_pages + scan_pages
+    """
+
+    appends: int = 0
+    append_pages: int = 0
+    reads: int = 0
+    read_pages: int = 0
+    tombstones: int = 0
+    tombstone_pages: int = 0
+    clears: int = 0
+    clear_pages: int = 0
+    scan_records: int = 0
+    scan_pages: int = 0
+    crc_failures: int = 0
+    torn_writes: int = 0
+
+
+@dataclass(frozen=True)
+class LogRecovery:
+    """What :class:`ChunkLog` found (and discarded) while opening.
+
+    Attributes:
+        records: Well-framed records replayed from the existing file.
+        live_entries: Tokens live in the manifest after replay.
+        truncated_bytes: Tail bytes discarded as torn/unframeable.
+        header_reset: The file had a corrupt header and was reset to a
+            fresh empty log.
+    """
+
+    records: int = 0
+    live_entries: int = 0
+    truncated_bytes: int = 0
+    header_reset: bool = False
+
+
+@dataclass(frozen=True)
+class _Extent:
+    """Location of one live record: file offset plus its page run."""
+
+    offset: int
+    length: int
+    payload_len: int
+    benefit: float
+    page_start: int
+    pages: int
+
+
+class ChunkLog:
+    """File-backed, page-accounted append-only record store.
+
+    Args:
+        path: Backing file.  ``None`` keeps the log purely in memory
+            (same accounting, no durability) — used by tests and by
+            2-tier stacks that want spill/promote economics without a
+            persist path.
+        page_size: Page size of the private accounting disk.
+
+    Thread safety: every public operation holds the log's single
+    internal lock (runtime witness level ``"chunklog"``).  The lock is
+    a leaf in the documented order — ``shard -> chunklog`` and
+    ``tiered -> chunklog`` edges are pinned in
+    ``tests/tools/lockorder.txt``; no code path acquires another lock
+    while holding it.
+    """
+
+    def __init__(
+        self, path: str | None = None, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        self.path = path
+        self.disk = SimulatedDisk(page_size=page_size)
+        self.stats = ChunkLogStats()
+        self._lock = threading.Lock()
+        self._manifest: dict[str, _Extent] = {}
+        self._closed = False
+        # Fault-injection hook (repro.faults installs it): consulted per
+        # put-append with the record token; returning True tears the
+        # stored payload while the CRC still covers the original bytes.
+        self.torn_hook: Callable[[str], bool] | None = None
+        existing = b""
+        if path is not None and os.path.exists(path):
+            with open(path, "rb") as handle:
+                existing = handle.read()
+        # No lock here: the object is not published until __init__
+        # returns, so construction has exclusive access by definition.
+        self.recovery = self._replay(existing)
+        self._buf = bytearray(existing[: self._logical_end])
+        if not self._buf:
+            self._buf = bytearray(
+                _HEADER.pack(CHUNKLOG_MAGIC, CHUNKLOG_VERSION, page_size)
+            )
+        self._file: io.BufferedRandom | None = None
+        if path is not None:
+            self._file = open(path, "w+b")
+            self._file.write(bytes(self._buf))
+            self._file.flush()
+
+    # ------------------------------------------------------------------
+    # Open/replay
+
+    def _replay(self, existing: bytes) -> LogRecovery:
+        """Rebuild the manifest from existing bytes; charge scan reads."""
+        self._logical_end = 0
+        if not existing:
+            return LogRecovery()
+        if len(existing) < _HEADER.size:
+            return LogRecovery(
+                truncated_bytes=len(existing), header_reset=True
+            )
+        magic, version, page_size = _HEADER.unpack_from(existing, 0)
+        if magic != CHUNKLOG_MAGIC:
+            return LogRecovery(
+                truncated_bytes=len(existing), header_reset=True
+            )
+        if version != CHUNKLOG_VERSION:
+            raise ChunkLogError(
+                f"chunk log format v{version} is not supported "
+                f"(this build reads v{CHUNKLOG_VERSION}); refusing to "
+                "reinterpret the file"
+            )
+        if page_size != self.disk.page_size:
+            raise ChunkLogError(
+                f"chunk log was written with page_size={page_size}, "
+                f"opened with page_size={self.disk.page_size}"
+            )
+        offset = _HEADER.size
+        records = 0
+        size = len(existing)
+        while True:
+            if offset + _PREFIX.size > size:
+                break  # clean end or torn prefix
+            rtype, token_len, payload_len, benefit, _crc = (
+                _PREFIX.unpack_from(existing, offset)
+            )
+            if rtype not in _RECORD_TYPES:
+                break  # unframeable: corrupt tail starts here
+            end = offset + _PREFIX.size + token_len + payload_len
+            if end > size:
+                break  # torn record
+            token_bytes = existing[
+                offset + _PREFIX.size : offset + _PREFIX.size + token_len
+            ]
+            try:
+                token = token_bytes.decode("utf-8")
+            except UnicodeDecodeError:
+                break
+            length = end - offset
+            pages = self._pages_for(length)
+            page_start = self.disk.allocate(pages)
+            for page in range(page_start, page_start + pages):
+                self.disk.read_page(page)
+                self.stats.scan_pages += 1
+            records += 1
+            self.stats.scan_records += 1
+            if rtype == _PUT:
+                self._manifest.pop(token, None)
+                self._manifest[token] = _Extent(
+                    offset=offset,
+                    length=length,
+                    payload_len=payload_len,
+                    benefit=benefit,
+                    page_start=page_start,
+                    pages=pages,
+                )
+            elif rtype == _TOMBSTONE:
+                self._manifest.pop(token, None)
+            else:
+                self._manifest.clear()
+            offset = end
+        self._logical_end = offset
+        return LogRecovery(
+            records=records,
+            live_entries=len(self._manifest),
+            truncated_bytes=size - offset,
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def append(self, token: str, payload: bytes, benefit: float) -> int:
+        """Durably store ``payload`` under ``token``; returns pages written.
+
+        Last write wins: an existing live record for the same token is
+        superseded (the old extent stays in the file as dead space).
+        A :class:`~repro.exceptions.DiskFault` raised by the accounting
+        disk's write hook aborts the append — the pages charged before
+        the fault stay charged (a torn multi-page write did real work)
+        but no bytes reach the backing file and the manifest is
+        unchanged.
+        """
+        if not token:
+            raise ChunkLogError("chunk log token must be non-empty")
+        record, stored = self._encode(_PUT, token, payload, benefit)
+        with self._lock, witness("chunklog"):
+            self._ensure_open()
+            pages = self._charge_write(record, kind="append")
+            if stored is not record:
+                self.stats.torn_writes += 1
+            offset = len(self._buf)
+            self._persist(stored)
+            self._manifest.pop(token, None)
+            self._manifest[token] = _Extent(
+                offset=offset,
+                length=len(record),
+                payload_len=len(payload),
+                benefit=benefit,
+                page_start=self.disk.num_pages - pages,
+                pages=pages,
+            )
+            return pages
+
+    def delete(self, token: str) -> bool:
+        """Tombstone a live record (charged); returns whether it was live."""
+        with self._lock, witness("chunklog"):
+            self._ensure_open()
+            if token not in self._manifest:
+                return False
+            record, stored = self._encode(_TOMBSTONE, token, b"", 0.0)
+            self._charge_write(record, kind="tombstone")
+            self._persist(stored)
+            del self._manifest[token]
+            return True
+
+    def clear(self) -> int:
+        """Drop every live record via one clear-all record (charged)."""
+        with self._lock, witness("chunklog"):
+            self._ensure_open()
+            dropped = len(self._manifest)
+            record, stored = self._encode(_CLEAR, "", b"", 0.0)
+            self._charge_write(record, kind="clear")
+            self._persist(stored)
+            self._manifest.clear()
+            return dropped
+
+    def drop(self, token: str) -> bool:
+        """Quarantine: remove a token from the manifest, memory only.
+
+        No tombstone is written — a torn record cannot be trusted to
+        need one; the restart scan will re-surface it and the next read
+        re-quarantines it.
+        """
+        with self._lock, witness("chunklog"):
+            return self._manifest.pop(token, None) is not None
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def read(self, token: str) -> bytes:
+        """Charged, verified read of a live record's payload.
+
+        Raises :class:`~repro.exceptions.ChunkLogError` for a token that
+        is not live, :class:`~repro.exceptions.ChunkLogCorruption` when
+        the stored CRC does not match the stored bytes, and re-raises
+        any :class:`~repro.exceptions.DiskFault` from the accounting
+        disk's read hook (pages read before the fault stay charged).
+        """
+        with self._lock, witness("chunklog"):
+            self._ensure_open()
+            extent = self._manifest.get(token)
+            if extent is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            for page in range(extent.page_start, extent.page_start + extent.pages):
+                self.disk.read_page(page)
+                self.stats.read_pages += 1
+            self.stats.reads += 1
+            return self._verified_payload(token, extent)
+
+    def peek(self, token: str) -> bytes:
+        """Uncharged, verified read (no disk counters, no fault hooks).
+
+        Used by snapshot/warm-start paths that must not perturb the
+        deterministic I/O accounting; still CRC-verified so corruption
+        never decodes.
+        """
+        with self._lock, witness("chunklog"):
+            extent = self._manifest.get(token)
+            if extent is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return self._verified_payload(token, extent)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __contains__(self, token: str) -> bool:
+        with self._lock, witness("chunklog"):
+            return token in self._manifest
+
+    def __len__(self) -> int:
+        with self._lock, witness("chunklog"):
+            return len(self._manifest)
+
+    def tokens(self) -> tuple[str, ...]:
+        """Live tokens in (re-)insertion order — deterministic."""
+        with self._lock, witness("chunklog"):
+            return tuple(self._manifest)
+
+    def entries(self) -> tuple[tuple[str, float, int], ...]:
+        """Live ``(token, benefit, payload_len)`` in insertion order."""
+        with self._lock, witness("chunklog"):
+            return tuple(
+                (token, extent.benefit, extent.payload_len)
+                for token, extent in self._manifest.items()
+            )
+
+    def benefit(self, token: str) -> float:
+        with self._lock, witness("chunklog"):
+            extent = self._manifest.get(token)
+            if extent is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return extent.benefit
+
+    def pages_for(self, token: str) -> int:
+        """Pages one charged read of a live token will cost."""
+        with self._lock, witness("chunklog"):
+            extent = self._manifest.get(token)
+            if extent is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return extent.pages
+
+    @property
+    def live_bytes(self) -> int:
+        """Total payload bytes across live records."""
+        with self._lock, witness("chunklog"):
+            return sum(e.payload_len for e in self._manifest.values())
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        with self._lock, witness("chunklog"):
+            if self._closed:
+                return
+            self._closed = True
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    # ------------------------------------------------------------------
+    # Internals (lock held)
+
+    def _encode(
+        self, rtype: int, token: str, payload: bytes, benefit: float
+    ) -> tuple[bytes, bytes]:
+        """Build ``(true_record, stored_record)`` — they differ only
+        when the torn-write hook fires for a put."""
+        token_bytes = token.encode("utf-8")
+        if len(token_bytes) > 0xFFFF:
+            raise ChunkLogError(
+                f"token of {len(token_bytes)} bytes exceeds the 64 KiB "
+                "format limit"
+            )
+        fields = _CRC_FIELDS.pack(rtype, len(token_bytes), len(payload), benefit)
+        crc = crc32(fields + token_bytes + payload) & 0xFFFFFFFF
+        prefix = _PREFIX.pack(
+            rtype, len(token_bytes), len(payload), benefit, crc
+        )
+        record = prefix + token_bytes + payload
+        stored = record
+        if (
+            rtype == _PUT
+            and payload
+            and self.torn_hook is not None
+            and self.torn_hook(token)
+        ):
+            torn = bytearray(record)
+            torn[-1] ^= 0xFF
+            stored = bytes(torn)
+        return record, stored
+
+    def _charge_write(self, record: bytes, kind: str) -> int:
+        """Allocate + write-charge the record's pages; updates counters."""
+        pages = self._pages_for(len(record))
+        first = self.disk.allocate(pages)
+        written = 0
+        try:
+            for page in range(first, first + pages):
+                self.disk.write_page(page, b"")
+                written += 1
+        finally:
+            if kind == "append":
+                self.stats.append_pages += written
+                if written == pages:
+                    self.stats.appends += 1
+            elif kind == "tombstone":
+                self.stats.tombstone_pages += written
+                if written == pages:
+                    self.stats.tombstones += 1
+            else:
+                self.stats.clear_pages += written
+                if written == pages:
+                    self.stats.clears += 1
+        return pages
+
+    def _persist(self, stored: bytes) -> None:
+        self._buf.extend(stored)
+        if self._file is not None:
+            self._file.write(stored)
+            self._file.flush()
+
+    def _verified_payload(self, token: str, extent: _Extent) -> bytes:
+        record = bytes(self._buf[extent.offset : extent.offset + extent.length])
+        rtype, token_len, payload_len, benefit, crc = _PREFIX.unpack_from(
+            record, 0
+        )
+        fields = _CRC_FIELDS.pack(rtype, token_len, payload_len, benefit)
+        if crc32(fields + record[_PREFIX.size :]) & 0xFFFFFFFF != crc:
+            self.stats.crc_failures += 1
+            raise ChunkLogCorruption(
+                f"chunk log record {token!r} failed its CRC-32 check "
+                "(torn write)",
+                token=token,
+            )
+        return record[_PREFIX.size + token_len :]
+
+    def _pages_for(self, length: int) -> int:
+        return max(1, -(-length // self.disk.page_size))
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ChunkLogError("chunk log is closed")

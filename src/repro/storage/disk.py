@@ -74,10 +74,11 @@ class SimulatedDisk:
         self.page_size = page_size
         self._pages: list[bytes | None] = []
         self.stats = DiskStats()
-        # Fault-injection hook (repro.faults installs it; production code
-        # never does).  Called before a read is counted; may raise a
-        # DiskFault, or return extra simulated latency in seconds.
+        # Fault-injection hooks (repro.faults installs them; production
+        # code never does).  Called before a read/write is counted; may
+        # raise a DiskFault, or return extra simulated latency in seconds.
         self.read_hook: Callable[[int], float] | None = None
+        self.write_hook: Callable[[int], float] | None = None
 
     @property
     def num_pages(self) -> int:
@@ -119,6 +120,13 @@ class SimulatedDisk:
 
         ``data`` may be shorter than the page size (it is implicitly
         zero-padded) but never longer.
+
+        An installed ``write_hook`` runs first, symmetric with
+        ``read_hook``: a hook that raises aborts the write before any
+        counter moves and before the page content changes (a faulted
+        write stored nothing); a hook that returns a positive latency
+        charges that many simulated seconds to ``stats.fault_latency``
+        on top of the normal write count.
         """
         self._check(page_id)
         if len(data) > self.page_size:
@@ -126,7 +134,12 @@ class SimulatedDisk:
                 f"payload of {len(data)} bytes exceeds page size "
                 f"{self.page_size}"
             )
+        extra = 0.0
+        if self.write_hook is not None:
+            extra = self.write_hook(page_id)
         self.stats.writes += 1
+        if extra > 0.0:
+            self.stats.fault_latency += extra
         self._pages[page_id] = bytes(data)
 
     def reset_stats(self) -> None:

@@ -1,0 +1,355 @@
+"""Tests for repro.core.tiered — the two-tier chunk cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import ChunkCache
+from repro.core.chunk import CachedChunk, ChunkKey
+from repro.core.tiered import (
+    TieredChunkCache,
+    chunk_token,
+    decode_chunk,
+    encode_chunk,
+    token_key,
+)
+from repro.exceptions import DiskFault, InvariantViolation
+from repro.storage.chunklog import ChunkLog
+
+PAGE = 256
+
+
+def make_chunk(number=0, rows=4, benefit=1.0, groupby=(1, 1), fill=0):
+    data = np.zeros(rows, dtype=[("D0", "i4"), ("sum_v", "f8")])
+    data["D0"] = fill
+    data["sum_v"] = fill * 0.5
+    key = ChunkKey(groupby, number, (("v", "sum"),))
+    return CachedChunk(
+        key=key, rows=data, benefit=benefit, compute_pages=float(rows)
+    )
+
+
+def make_tiered(capacity=1_000, demote_min_benefit=0.0, failure_limit=8):
+    l1 = ChunkCache(capacity)
+    log = ChunkLog(page_size=PAGE)
+    return TieredChunkCache(
+        l1, log,
+        demote_min_benefit=demote_min_benefit,
+        failure_limit=failure_limit,
+    )
+
+
+class TestTokenCodec:
+    def test_token_roundtrip(self):
+        key = ChunkKey((2, 1), 17, (("v", "sum"), ("v", "count")),
+                       frozenset({"p=3", "q=1"}))
+        assert token_key(chunk_token(key)) == key
+
+    def test_equal_keys_equal_tokens(self):
+        a = ChunkKey((1, 1), 0, (("v", "sum"),), frozenset({"x", "y"}))
+        b = ChunkKey((1, 1), 0, (("v", "sum"),), frozenset({"y", "x"}))
+        assert chunk_token(a) == chunk_token(b)
+
+    def test_chunk_roundtrip_is_exact(self):
+        entry = make_chunk(number=3, rows=7, benefit=0.1 + 0.2, fill=9)
+        restored = decode_chunk(entry.key, encode_chunk(entry))
+        assert restored.key == entry.key
+        assert restored.benefit == entry.benefit  # hex round trip, not repr
+        assert restored.compute_pages == entry.compute_pages
+        assert restored.rows.dtype == entry.rows.dtype
+        assert restored.rows.tobytes() == entry.rows.tobytes()
+
+
+class TestSpillAndPromote:
+    def test_eviction_spills_to_l2(self):
+        tiered = make_tiered(capacity=2 * make_chunk().size_bytes)
+        first, second, third = (
+            make_chunk(number=n, fill=n) for n in range(3)
+        )
+        assert tiered.put(first)
+        assert tiered.put(second)
+        assert tiered.put(third)  # evicts one victim into the log
+        assert tiered.tiers()["l2"]["spills"] == 1
+        assert len(tiered.log) == 1
+        assert len(tiered) == 3  # both tiers counted, no double count
+
+    def test_l2_hit_promotes_back_to_l1(self):
+        tiered = make_tiered(capacity=2 * make_chunk().size_bytes)
+        chunks = [make_chunk(number=n, fill=n) for n in range(3)]
+        for chunk in chunks:
+            tiered.put(chunk)
+        (victim_key,) = [
+            key for key, _, in [(c.key, c) for c in chunks]
+            if tiered._l1.peek(key) is None
+        ]
+        victim = next(c for c in chunks if c.key == victim_key)
+        got = tiered.get(victim_key)
+        assert got is not None
+        assert got.rows.tobytes() == victim.rows.tobytes()
+        assert tiered._l1.peek(victim_key) is not None  # resident again
+        l2 = tiered.tiers()["l2"]
+        assert l2["promotes"] == 1
+        assert l2["hits"] == 1
+
+    def test_promotion_counts_as_store_hit(self):
+        tiered = make_tiered(capacity=2 * make_chunk().size_bytes)
+        for n in range(3):
+            tiered.put(make_chunk(number=n, fill=n))
+        victim_key = next(
+            key for key in [make_chunk(number=n).key for n in range(3)]
+            if tiered._l1.peek(key) is None
+        )
+        before = tiered.stats
+        assert tiered.get(victim_key) is not None
+        after = tiered.stats
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_true_miss_counts_as_miss(self):
+        tiered = make_tiered()
+        before = tiered.stats
+        assert tiered.get(make_chunk(number=99).key) is None
+        after = tiered.stats
+        assert after.misses == before.misses + 1
+        assert tiered.tiers()["l2"]["misses"] == 1
+
+    def test_peek_never_promotes_or_charges(self):
+        tiered = make_tiered(capacity=2 * make_chunk().size_bytes)
+        for n in range(3):
+            tiered.put(make_chunk(number=n, fill=n))
+        victim_key = next(
+            key for key in [make_chunk(number=n).key for n in range(3)]
+            if tiered._l1.peek(key) is None
+        )
+        reads_before = tiered.log.disk.stats.reads
+        assert tiered.peek(victim_key) is not None
+        assert tiered._l1.peek(victim_key) is None  # still L2-only
+        assert tiered.log.disk.stats.reads == reads_before
+        assert tiered.tiers()["l2"]["promotes"] == 0
+
+
+class TestDemotionThreshold:
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, 5.0])
+    @pytest.mark.parametrize("benefit", [0.5, 1.0, 4.9, 5.0])
+    def test_matrix(self, threshold, benefit):
+        tiered = make_tiered(
+            capacity=make_chunk().size_bytes, demote_min_benefit=threshold
+        )
+        tiered.put(make_chunk(number=0, benefit=benefit))
+        tiered.put(make_chunk(number=1, benefit=benefit))  # evicts 0
+        l2 = tiered.tiers()["l2"]
+        if benefit >= threshold:
+            assert (l2["spills"], l2["spill_skipped"]) == (1, 0)
+        else:
+            assert (l2["spills"], l2["spill_skipped"]) == (0, 1)
+
+    def test_negative_threshold_rejected(self):
+        from repro.exceptions import CacheError
+
+        with pytest.raises(CacheError):
+            make_tiered(demote_min_benefit=-1.0)
+
+
+class TestCostAttribution:
+    def test_spill_and_promote_pages_attributed_to_l2(self):
+        tiered = make_tiered(capacity=2 * make_chunk(rows=64).size_bytes)
+        for n in range(3):
+            tiered.put(make_chunk(number=n, fill=n, rows=64))
+        victim_key = next(
+            key for key in [make_chunk(number=n).key for n in range(3)]
+            if tiered._l1.peek(key) is None
+        )
+        assert tiered.get(victim_key) is not None
+        l2 = tiered.tiers()["l2"]
+        stats = tiered.log.stats
+        disk = tiered.log.disk.stats
+        assert l2["pages_written"] == disk.writes == stats.append_pages
+        assert l2["pages_read"] == disk.reads == stats.read_pages
+        assert stats.append_pages >= 1  # the spill did real charged work
+        assert stats.read_pages >= 1  # so did the promotion
+
+    def test_exact_page_conservation(self):
+        tiered = make_tiered(capacity=2 * make_chunk(rows=64).size_bytes)
+        for n in range(6):
+            tiered.put(make_chunk(number=n, fill=n, rows=64))
+        for n in range(6):
+            tiered.get(make_chunk(number=n).key)
+        tiered.invalidate(make_chunk(number=0).key)
+        tiered.clear()
+        stats = tiered.log.stats
+        disk = tiered.log.disk.stats
+        assert disk.writes == (
+            stats.append_pages + stats.tombstone_pages + stats.clear_pages
+        )
+        assert disk.reads == stats.read_pages + stats.scan_pages
+        tiered.check_conservation()  # the invariant checker agrees
+
+    def test_conservation_violation_raises(self):
+        tiered = make_tiered()
+        tiered.log.stats.append_pages += 1  # fabricate a phantom page
+        with pytest.raises(InvariantViolation):
+            tiered.check_conservation()
+
+
+class TestInvalidateAndClear:
+    def test_invalidate_drops_both_tiers(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))  # 0 spills to L2
+        key = make_chunk(number=0).key
+        assert key in tiered
+        assert tiered.invalidate(key) is True
+        assert key not in tiered
+        assert tiered.get(key) is None
+        assert tiered.log.stats.tombstones == 1
+
+    def test_clear_drops_both_tiers(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))
+        tiered.clear()
+        assert len(tiered) == 0
+        assert len(tiered.log) == 0
+
+
+class TestDegrade:
+    def test_corrupt_payload_quarantines(self):
+        tiered = make_tiered()
+        key = make_chunk(number=5).key
+        token = chunk_token(key)
+        tiered.log.append(token, b"not-a-chunk-payload", 1.0)
+        with tiered._lock:
+            tiered._rebuild_keys_locked()
+        assert tiered.get(key) is None
+        l2 = tiered.tiers()["l2"]
+        assert l2["quarantined"] == 1
+        assert token not in tiered.log  # dropped from the manifest
+
+    def test_failure_streak_disables_l2(self):
+        tiered = make_tiered(
+            capacity=make_chunk().size_bytes, failure_limit=2
+        )
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))  # 0 spilled
+        key = make_chunk(number=0).key
+
+        def hook(page_id):
+            raise DiskFault("dead", page_id=page_id, transient=False)
+
+        tiered.log.disk.read_hook = hook
+        assert tiered.get(key) is None
+        assert tiered.tiers()["l2"]["degraded"] is False
+        assert tiered.get(key) is None  # second strike
+        tiered.log.disk.read_hook = None
+        l2 = tiered.tiers()["l2"]
+        assert l2["degraded"] is True
+        assert l2["promote_faults"] == 2
+        # Degraded tier is invisible: membership and lookups are L1-only.
+        assert key not in tiered
+        assert tiered.get(key) is None
+        # L1 keeps serving.
+        resident = make_chunk(number=1)
+        assert tiered.get(resident.key) is not None
+
+    def test_transient_fault_retries_once(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0, fill=7))
+        tiered.put(make_chunk(number=1))
+        key = make_chunk(number=0).key
+        calls = []
+
+        def hook(page_id):
+            calls.append(page_id)
+            if len(calls) == 1:
+                raise DiskFault("blip", page_id=page_id, transient=True)
+            return 0.0
+
+        tiered.log.disk.read_hook = hook
+        got = tiered.get(key)
+        tiered.log.disk.read_hook = None
+        assert got is not None
+        assert got.rows["D0"][0] == 7
+        assert tiered.tiers()["l2"]["promote_faults"] == 0
+        tiered.check_conservation()  # the aborted read's page reconciles
+
+
+class TestReopen:
+    def test_warm_start_loads_highest_benefit_first(self):
+        size = make_chunk().size_bytes
+        log = ChunkLog(page_size=PAGE)
+        for n, benefit in enumerate([0.5, 3.0, 2.0, 1.0]):
+            entry = make_chunk(number=n, benefit=benefit, fill=n)
+            log.append(chunk_token(entry.key), encode_chunk(entry), benefit)
+        fresh = TieredChunkCache(ChunkCache(2 * size), log)
+        loaded = fresh.reopen()
+        assert loaded == 2
+        assert fresh.tiers()["l2"]["warm_loaded"] == 2
+        # The two highest-benefit entries are resident, budget-bounded.
+        assert fresh._l1.peek(make_chunk(number=1).key) is not None
+        assert fresh._l1.peek(make_chunk(number=2).key) is not None
+        assert fresh._l1.peek(make_chunk(number=0).key) is None
+        # The rest stay reachable through promotion.
+        assert fresh.get(make_chunk(number=3).key) is not None
+
+    def test_warm_start_does_not_respill(self):
+        size = make_chunk().size_bytes
+        log = ChunkLog(page_size=PAGE)
+        for n in range(4):
+            entry = make_chunk(number=n, benefit=1.0 + n)
+            log.append(chunk_token(entry.key), encode_chunk(entry), 1.0 + n)
+        fresh = TieredChunkCache(ChunkCache(2 * size), log)
+        writes_before = log.disk.stats.writes
+        fresh.reopen()
+        # Warm filling must not cascade eviction spills back into the log.
+        assert log.disk.stats.writes == writes_before
+        assert fresh.tiers()["l2"]["spills"] == 0
+
+
+class TestInfiniteL1Equivalence:
+    """With an L1 that never evicts, the tier machinery is inert: a
+    2-tier stack must be bit-identical to the plain cache."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "invalidate"]),
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=1, max_value=16),
+                st.floats(
+                    min_value=0.01, max_value=10.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_tier_with_infinite_l1_matches_one_tier(self, ops):
+        plain = ChunkCache(1 << 30)
+        tiered = TieredChunkCache(ChunkCache(1 << 30), ChunkLog(page_size=PAGE))
+        for op, number, rows, benefit in ops:
+            if op == "put":
+                entry = make_chunk(
+                    number=number, rows=rows, benefit=benefit, fill=number
+                )
+                assert plain.put(entry) == tiered.put(
+                    make_chunk(
+                        number=number, rows=rows, benefit=benefit, fill=number
+                    )
+                )
+            elif op == "get":
+                key = make_chunk(number=number).key
+                a, b = plain.get(key), tiered.get(key)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.rows.tobytes() == b.rows.tobytes()
+                    assert a.benefit == b.benefit
+            else:
+                key = make_chunk(number=number).key
+                assert plain.invalidate(key) == tiered.invalidate(key)
+        assert plain.stats == tiered.stats
+        assert sorted(map(chunk_token, plain.keys())) == sorted(
+            map(chunk_token, tiered.keys())
+        )
+        assert tiered.tiers()["l2"]["spills"] == 0
+        assert tiered.log.disk.stats.writes == 0

@@ -102,3 +102,46 @@ def test_soak_requires_a_conservation_checking_store():
     manager = SimpleNamespace(cache=object())
     with pytest.raises(ServeError):
         run_soak(manager, [])
+
+
+def test_two_tier_soak_witnesses_the_tiering_lock_order():
+    """The 2-tier soak under real thread interleavings: conservation
+    still exact, and every runtime lock-order edge — now including the
+    spill path's shard -> tiered -> chunklog nesting — was predicted by
+    the static graph."""
+    from repro.core.tiered import TieredChunkCache
+    from repro.storage.chunklog import ChunkLog
+
+    system = get_system(SMOKE_SCALE)
+    streams = user_streams(system, num_users=4, per_user=100)
+    # A deliberately tight L1 so evictions (and therefore spills and
+    # promotions) happen under concurrency.
+    l1 = ShardedChunkCache(system.cache_bytes // 4, num_shards=4)
+    cache = TieredChunkCache(l1, ChunkLog(page_size=1024))
+    manager = make_chunk_manager(system, cache=cache)
+
+    with lockorder.capture() as witness_log:
+        report = run_soak(
+            manager,
+            streams,
+            SoakConfig(
+                checkpoint_every=CHECKPOINT_EVERY,
+                timeout_seconds=TIMEOUT_SECONDS,
+            ),
+        )
+
+    assert report.queries == 4 * 100
+    assert report.pages_read == report.disk_read_delta
+    cache.check_conservation()
+    assert cache.tiers()["l2"]["spills"] > 0, (
+        "test needs spill traffic to witness the tiering lock order"
+    )
+
+    observed = witness_log.edges()
+    unexpected = observed - _static_edges()
+    assert not unexpected, (
+        f"runtime lock orders not in the static graph: {sorted(unexpected)}"
+        " — regenerate tests/tools/lockorder.txt if this is intentional"
+    )
+    assert ("shard", "tiered") in observed
+    assert ("tiered", "chunklog") in observed

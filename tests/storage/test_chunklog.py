@@ -1,0 +1,359 @@
+"""Tests for repro.storage.chunklog — the persistent L2 tier."""
+
+import struct
+
+import pytest
+
+from repro.exceptions import ChunkLogCorruption, ChunkLogError, DiskFault
+from repro.storage.chunklog import (
+    CHUNKLOG_MAGIC,
+    CHUNKLOG_VERSION,
+    ChunkLog,
+    LogRecovery,
+)
+
+PAGE = 256
+
+
+def make_log(path=None):
+    return ChunkLog(path, page_size=PAGE)
+
+
+class TestChunkLogBasics:
+    def test_append_read_roundtrip(self):
+        log = make_log()
+        pages = log.append("a", b"payload-a", 3.5)
+        assert pages >= 1
+        assert log.read("a") == b"payload-a"
+        assert log.benefit("a") == 3.5
+        assert log.pages_for("a") == pages
+        assert "a" in log
+        assert len(log) == 1
+
+    def test_last_write_wins(self):
+        log = make_log()
+        log.append("a", b"old", 1.0)
+        log.append("a", b"new", 2.0)
+        assert log.read("a") == b"new"
+        assert log.benefit("a") == 2.0
+        assert len(log) == 1
+
+    def test_empty_token_rejected(self):
+        log = make_log()
+        with pytest.raises(ChunkLogError):
+            log.append("", b"x", 1.0)
+
+    def test_missing_token_raises(self):
+        log = make_log()
+        with pytest.raises(ChunkLogError):
+            log.read("ghost")
+        with pytest.raises(ChunkLogError):
+            log.benefit("ghost")
+        with pytest.raises(ChunkLogError):
+            log.pages_for("ghost")
+
+    def test_delete_tombstones(self):
+        log = make_log()
+        log.append("a", b"x", 1.0)
+        assert log.delete("a") is True
+        assert log.delete("a") is False
+        assert "a" not in log
+        assert log.stats.tombstones == 1
+
+    def test_clear_drops_everything(self):
+        log = make_log()
+        log.append("a", b"x", 1.0)
+        log.append("b", b"y", 2.0)
+        assert log.clear() == 2
+        assert len(log) == 0
+        assert log.stats.clears == 1
+
+    def test_drop_is_memory_only(self):
+        log = make_log()
+        log.append("a", b"x", 1.0)
+        writes_before = log.disk.stats.writes
+        assert log.drop("a") is True
+        assert log.drop("a") is False
+        assert "a" not in log
+        assert log.disk.stats.writes == writes_before
+
+    def test_tokens_and_entries_in_insertion_order(self):
+        log = make_log()
+        log.append("b", b"1", 1.0)
+        log.append("a", b"22", 2.0)
+        log.append("b", b"333", 3.0)  # re-insert moves b last
+        assert log.tokens() == ("a", "b")
+        assert log.entries() == (("a", 2.0, 2), ("b", 3.0, 3))
+        assert log.live_bytes == 5
+
+    def test_close_is_idempotent_and_blocks_writes(self):
+        log = make_log()
+        log.append("a", b"x", 1.0)
+        log.close()
+        log.close()
+        with pytest.raises(ChunkLogError):
+            log.append("b", b"y", 1.0)
+        with pytest.raises(ChunkLogError):
+            log.read("a")
+        # Introspection still works after close (job summaries run then).
+        assert len(log) == 1
+        assert log.live_bytes == 1
+
+    def test_oversized_token_rejected(self):
+        log = make_log()
+        with pytest.raises(ChunkLogError):
+            log.append("t" * 70_000, b"x", 1.0)
+
+    def test_in_memory_log_has_no_recovery(self):
+        log = make_log()
+        assert log.recovery == LogRecovery()
+
+
+class TestChunkLogAccounting:
+    def test_page_conservation(self):
+        log = make_log()
+        log.append("a", b"x" * (3 * PAGE), 1.0)
+        log.append("b", b"y", 2.0)
+        log.read("a")
+        log.delete("b")
+        log.clear()
+        stats = log.stats
+        assert log.disk.stats.writes == (
+            stats.append_pages + stats.tombstone_pages + stats.clear_pages
+        )
+        assert log.disk.stats.reads == stats.read_pages + stats.scan_pages
+
+    def test_multi_page_record_charges_ceil(self):
+        log = make_log()
+        pages = log.append("a", b"x" * (PAGE + 1), 1.0)
+        assert pages == log.pages_for("a")
+        assert pages >= 2
+
+    def test_peek_is_uncharged(self):
+        log = make_log()
+        log.append("a", b"payload", 1.0)
+        reads_before = log.disk.stats.reads
+        assert log.peek("a") == b"payload"
+        assert log.disk.stats.reads == reads_before
+        assert log.stats.reads == 0
+
+    def test_faulted_append_charges_partial_pages_only(self):
+        log = make_log()
+        log.append("warm", b"w", 1.0)
+        fail_on = {log.disk.num_pages + 1}  # second page of next record
+
+        def hook(page_id):
+            if page_id in fail_on:
+                raise DiskFault("boom", page_id=page_id, transient=True)
+            return 0.0
+
+        log.disk.write_hook = hook
+        with pytest.raises(DiskFault):
+            log.append("a", b"x" * (3 * PAGE), 2.0)
+        log.disk.write_hook = None
+        # The aborted append reached the manifest and file not at all...
+        assert "a" not in log
+        # ...but the one page written before the fault stays charged,
+        # and the logical counters reconcile with the disk exactly.
+        stats = log.stats
+        assert log.disk.stats.writes == (
+            stats.append_pages + stats.tombstone_pages + stats.clear_pages
+        )
+        assert stats.appends == 1  # only the pre-fault record completed
+
+    def test_faulted_read_charges_partial_pages_only(self):
+        log = make_log()
+        log.append("a", b"x" * (3 * PAGE), 1.0)
+        seen = []
+
+        def hook(page_id):
+            seen.append(page_id)
+            if len(seen) == 2:
+                raise DiskFault("boom", page_id=page_id, transient=True)
+            return 0.0
+
+        log.disk.read_hook = hook
+        with pytest.raises(DiskFault):
+            log.read("a")
+        log.disk.read_hook = None
+        stats = log.stats
+        assert stats.reads == 0  # the read never completed
+        assert log.disk.stats.reads == stats.read_pages + stats.scan_pages
+        assert log.read("a") == b"x" * (3 * PAGE)
+
+
+class TestTornWrites:
+    def test_torn_hook_corrupts_payload_under_valid_framing(self):
+        log = make_log()
+        log.torn_hook = lambda token: token == "torn"
+        log.append("clean", b"ok", 1.0)
+        log.append("torn", b"doomed", 2.0)
+        assert log.stats.torn_writes == 1
+        assert log.read("clean") == b"ok"
+        with pytest.raises(ChunkLogCorruption):
+            log.read("torn")
+        assert log.stats.crc_failures == 1
+
+    def test_torn_record_survives_restart_until_read(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.torn_hook = lambda token: True
+        log.append("torn", b"doomed", 2.0)
+        log.close()
+        reopened = make_log(path)
+        # Valid framing: the scan keeps it; the CRC catches it at read.
+        assert "torn" in reopened
+        with pytest.raises(ChunkLogCorruption):
+            reopened.read("torn")
+
+
+class TestRestartRecovery:
+    def test_clean_replay(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.append("a", b"x" * 10, 1.5)
+        log.append("b", b"y" * 20, 2.5)
+        log.delete("a")
+        log.close()
+        reopened = make_log(path)
+        assert reopened.recovery.records == 3
+        assert reopened.recovery.live_entries == 1
+        assert reopened.recovery.truncated_bytes == 0
+        assert reopened.tokens() == ("b",)
+        assert reopened.read("b") == b"y" * 20
+        assert reopened.benefit("b") == 2.5
+        # The scan charged one read per record page; the read("b")
+        # above added its own pages on top.
+        assert reopened.stats.scan_records == 3
+        assert reopened.disk.stats.reads == (
+            reopened.stats.read_pages + reopened.stats.scan_pages
+        )
+
+    def test_clear_survives_restart(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.append("a", b"x", 1.0)
+        log.clear()
+        log.append("b", b"y", 2.0)
+        log.close()
+        reopened = make_log(path)
+        assert reopened.tokens() == ("b",)
+
+    def test_truncated_tail_is_cut(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.append("a", b"x" * 10, 1.0)
+        log.append("b", b"y" * 10, 2.0)
+        log.close()
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[:-4])  # tear the last record's tail
+        reopened = make_log(path)
+        assert reopened.recovery.truncated_bytes > 0
+        assert reopened.recovery.header_reset is False
+        assert reopened.tokens() == ("a",)
+        assert reopened.read("a") == b"x" * 10
+        # The cut is durable: the next open sees a clean log.
+        reopened.close()
+        again = make_log(path)
+        assert again.recovery.truncated_bytes == 0
+        assert again.tokens() == ("a",)
+
+    def test_corrupt_header_resets_to_fresh_log(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 40)
+        log = make_log(path)
+        assert log.recovery.header_reset is True
+        assert len(log) == 0
+        log.append("a", b"x", 1.0)
+        log.close()
+        assert make_log(path).tokens() == ("a",)
+
+    def test_short_file_resets(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"RC")
+        log = make_log(path)
+        assert log.recovery.header_reset is True
+        assert len(log) == 0
+
+    def test_unframeable_garbage_cuts_tail(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.append("a", b"x", 1.0)
+        log.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\xff" * 64)
+        reopened = make_log(path)
+        assert reopened.recovery.truncated_bytes == 64
+        assert reopened.tokens() == ("a",)
+
+    def test_newer_version_refused(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        header = struct.Struct("<4sHI6x").pack(
+            CHUNKLOG_MAGIC, CHUNKLOG_VERSION + 1, PAGE
+        )
+        with open(path, "wb") as handle:
+            handle.write(header)
+        with pytest.raises(ChunkLogError, match="not supported"):
+            make_log(path)
+
+    def test_page_size_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        make_log(path).close()
+        with pytest.raises(ChunkLogError, match="page_size"):
+            ChunkLog(path, page_size=2 * PAGE)
+
+
+GOLDEN = __file__.rsplit("/", 1)[0] + "/golden/chunklog_v1.bin"
+
+
+def write_golden_sequence(path):
+    """The fixed record sequence pinned in ``golden/chunklog_v1.bin``."""
+    log = ChunkLog(path, page_size=PAGE)
+    log.append("alpha", b"alpha-payload", 1.5)
+    log.append("beta", bytes(range(64)), 2.25)
+    log.append("alpha", b"alpha-v2", 3.0)
+    log.delete("beta")
+    log.append("gamma", b"\x00\xff" * 8, 0.5)
+    log.close()
+
+
+class TestGoldenFormat:
+    """The v1 on-disk format is a frozen artifact.
+
+    If either test fails after an intentional format change, bump
+    ``CHUNKLOG_VERSION``, regenerate the golden under a *new* file name
+    (``chunklog_v2.bin``) and keep this v1 test refusing the old bytes —
+    format drift must fail loudly, never reinterpret.
+    """
+
+    def test_writer_reproduces_golden_bytes(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        write_golden_sequence(path)
+        with open(path, "rb") as handle:
+            produced = handle.read()
+        with open(GOLDEN, "rb") as handle:
+            golden = handle.read()
+        assert produced == golden
+
+    def test_reader_replays_golden_bytes(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with open(GOLDEN, "rb") as src, open(path, "wb") as dst:
+            dst.write(src.read())
+        log = make_log(path)
+        assert log.recovery.records == 5
+        assert log.tokens() == ("alpha", "gamma")
+        assert log.read("alpha") == b"alpha-v2"
+        assert log.benefit("alpha") == 3.0
+        assert log.read("gamma") == b"\x00\xff" * 8
+
+    def test_version_bump_refuses_golden_reinterpretation(self, tmp_path):
+        raw = bytearray(open(GOLDEN, "rb").read())
+        struct.Struct("<H").pack_into(raw, 4, CHUNKLOG_VERSION + 1)
+        path = str(tmp_path / "log.bin")
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.raises(ChunkLogError, match="not supported"):
+            make_log(path)

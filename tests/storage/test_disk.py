@@ -62,6 +62,44 @@ class TestSimulatedDisk:
         assert disk.read_page(pid)[:3] == b"abc"
 
 
+class TestWriteHook:
+    def test_raising_hook_aborts_before_any_effect(self):
+        disk = SimulatedDisk(page_size=64)
+        pid = disk.allocate()
+        disk.write_page(pid, b"before")
+
+        def hook(page_id):
+            raise PageError(f"injected on page {page_id}")
+
+        disk.write_hook = hook
+        with pytest.raises(PageError, match="injected"):
+            disk.write_page(pid, b"after")
+        disk.write_hook = None
+        # The faulted write counted nothing and stored nothing.
+        assert disk.stats.writes == 1
+        assert disk.read_page(pid)[:6] == b"before"
+
+    def test_latency_hook_charges_fault_latency(self):
+        disk = SimulatedDisk(page_size=64)
+        pid = disk.allocate()
+        disk.write_hook = lambda page_id: 0.25
+        disk.write_page(pid, b"x")
+        disk.write_page(pid, b"y")
+        disk.write_hook = None
+        assert disk.stats.writes == 2
+        assert disk.stats.fault_latency == 0.5
+
+    def test_hook_sees_the_page_id(self):
+        disk = SimulatedDisk(page_size=64)
+        pages = [disk.allocate() for _ in range(3)]
+        seen = []
+        disk.write_hook = lambda page_id: seen.append(page_id) or 0.0
+        for pid in pages:
+            disk.write_page(pid, b"")
+        disk.write_hook = None
+        assert seen == pages
+
+
 class TestDiskStats:
     def test_copy_is_independent(self):
         stats = DiskStats(reads=1)

@@ -34,3 +34,13 @@ def test_documented_orders_are_pinned():
     lines = GOLDEN.read_text().splitlines()
     assert "shard -> accounting" in lines
     assert "estimator -> engine" in lines
+
+
+def test_tiering_orders_are_pinned():
+    # The two-tier cache's locking discipline: an L1 eviction spills
+    # under the shard lock (shard -> tiered -> chunklog), and the
+    # transitive shard -> chunklog edge is declared alongside it.
+    lines = GOLDEN.read_text().splitlines()
+    assert "shard -> tiered" in lines
+    assert "tiered -> chunklog" in lines
+    assert "shard -> chunklog" in lines

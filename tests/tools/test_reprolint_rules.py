@@ -514,3 +514,56 @@ class TestR008ProcessBoundary:
     def test_tests_are_exempt(self):
         src = "import multiprocessing\n"
         assert only(src, "tests/serve/test_proc.py", "R008") == []
+
+
+class TestR011ChunkLog:
+    def test_experiment_constructing_chunklog_fires(self):
+        src = (
+            "from repro.storage.chunklog import ChunkLog\n"
+            "def f(path):\n"
+            "    return ChunkLog(path, page_size=4096)\n"
+        )
+        assert only(src, "src/repro/experiments/fig9.py", "R011") == [
+            "R011"
+        ]
+
+    def test_serve_constructing_tiered_cache_fires(self):
+        src = (
+            "from repro.core.tiered import TieredChunkCache\n"
+            "def f(l1, log):\n"
+            "    return TieredChunkCache(l1, log)\n"
+        )
+        assert only(src, "src/repro/serve/soak.py", "R011") == ["R011"]
+
+    def test_chunklog_via_attribute_fires(self):
+        src = (
+            "import repro.storage.chunklog as cl\n"
+            "def f(path):\n"
+            "    return cl.ChunkLog(path, page_size=4096)\n"
+        )
+        assert only(src, "src/repro/workload/stream.py", "R011") == [
+            "R011"
+        ]
+
+    def test_facade_itself_is_exempt(self):
+        src = (
+            "from repro.storage.chunklog import ChunkLog\n"
+            "def build(path):\n"
+            "    return ChunkLog(path, page_size=4096)\n"
+        )
+        assert only(src, "src/repro/api.py", "R011") == []
+
+    def test_defining_modules_are_exempt(self):
+        src = (
+            "def reopen_log(self, path):\n"
+            "    return ChunkLog(path, page_size=self.page_size)\n"
+        )
+        assert only(src, "src/repro/storage/chunklog.py", "R011") == []
+
+    def test_tests_are_exempt(self):
+        src = (
+            "from repro.storage.chunklog import ChunkLog\n"
+            "def test_log(tmp_path):\n"
+            "    ChunkLog(str(tmp_path / 'log.bin'), page_size=256)\n"
+        )
+        assert only(src, "tests/storage/test_chunklog.py", "R011") == []

@@ -31,7 +31,13 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from tools.reprolint.facts import ClassFacts, FileFacts, FunctionFacts
 
-__all__ = ["FuncRef", "SymbolTable", "CallGraph", "AMBIGUOUS_METHOD_NAMES"]
+__all__ = [
+    "FuncRef",
+    "SymbolTable",
+    "CallGraph",
+    "AMBIGUOUS_METHOD_NAMES",
+    "HOOK_BINDINGS",
+]
 
 #: Method names shared with stdlib containers/locks/futures.  A
 #: non-``self`` call to one of these (``self._memo.get(k)``) is far more
@@ -52,8 +58,44 @@ AMBIGUOUS_METHOD_NAMES = frozenset(
         "qsize", "empty", "full", "get_nowait", "put_nowait",
         "send", "recv", "poll", "close", "terminate", "kill", "is_alive",
         "getvalue", "total_seconds", "timestamp",
+        # Shared with *every* class: a dotted ``super().__init__(...)``
+        # chain would otherwise resolve to each project constructor,
+        # fabricating lock edges out of any ``raise`` under a lock once
+        # any constructor (transitively) acquires one.  Direct
+        # instantiation (``ChunkLog(...)``) is unaffected — bare names
+        # route through the class table, not this fallback.
+        "__init__",
     }
 )
+
+#: Exact callee texts bound to one known method, checked *before* any
+#: name-based resolution.  Two indirections need this:
+#:
+#: - ``self.evict_hook(...)`` is a stored callable, so name resolution
+#:   sees nothing — but the only installer is the tiered cache, whose
+#:   spill path acquires the ``tiered`` and ``chunklog`` locks (the
+#:   whole point of deriving the shard → tiered → chunklog order);
+#: - ``self.log.<m>`` in the tiered cache denotes its owned
+#:   :class:`ChunkLog`, but several of the method names (``append``,
+#:   ``read``, ``clear``, ``peek``) are in
+#:   :data:`AMBIGUOUS_METHOD_NAMES` (resolve to nothing) or collide
+#:   with the sharded store's methods (resolve to a *false*
+#:   ``tiered -> shard`` edge, i.e. a fabricated cycle).
+#:
+#: Each text must be unambiguous project-wide: the attribute name is
+#: used by exactly one class.  R009's DECLARED_EDGES covers the hops
+#: the callgraph still cannot see (hook *installation* sites).
+HOOK_BINDINGS: Mapping[str, tuple[str, str]] = {
+    "self.evict_hook": ("TieredChunkCache", "_on_evict"),
+    "self.log.append": ("ChunkLog", "append"),
+    "self.log.read": ("ChunkLog", "read"),
+    "self.log.peek": ("ChunkLog", "peek"),
+    "self.log.clear": ("ChunkLog", "clear"),
+    "self.log.delete": ("ChunkLog", "delete"),
+    "self.log.drop": ("ChunkLog", "drop"),
+    "self.log.tokens": ("ChunkLog", "tokens"),
+    "self.log.entries": ("ChunkLog", "entries"),
+}
 
 
 @dataclass(frozen=True, order=True)
@@ -106,6 +148,9 @@ class SymbolTable:
         self, callee: str, caller: FunctionFacts, caller_path: str
     ) -> tuple[FuncRef, ...]:
         """Candidate definitions a raw callee text may denote."""
+        bound = HOOK_BINDINGS.get(callee)
+        if bound is not None:
+            return tuple(self._by_class_method.get(bound, ()))
         terminal = callee.rsplit(".", 1)[-1]
         if not terminal.isidentifier():
             return ()

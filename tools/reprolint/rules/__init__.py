@@ -22,6 +22,7 @@ from tools.reprolint.rules import (
     r008_process,
     r009_lockorder,
     r010_taint,
+    r011_chunklog,
 )
 
 ALL_RULES = (
@@ -36,6 +37,7 @@ ALL_RULES = (
     r008_process,
     r009_lockorder,
     r010_taint,
+    r011_chunklog,
 )
 
 RULES_BY_CODE = {rule.CODE: rule for rule in ALL_RULES}
