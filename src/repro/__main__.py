@@ -35,6 +35,9 @@ commands:
                        --exec threads|processes, --tiers 1|2,
                        --persist PATH (2-tier chunk log),
                        --cache-bytes N (override the L1 budget),
+                       --l2-backend chunklog|sqlite,
+                       --l2-budget N (L2 live-byte budget),
+                       --compact-threshold R (dead-space ratio),
                        --report PATH (JSON), --smoke / --paper
   front                async admission front door with single-flight
                        coalescing; --chaos for fault injection,
@@ -42,6 +45,8 @@ commands:
                        --per-user N, --window N, --workers N,
                        --exec threads|processes, --no-coalesce,
                        --tiers 1|2, --persist PATH (2-tier chunk log),
+                       --l2-backend chunklog|sqlite,
+                       --l2-budget N, --compact-threshold R,
                        --report PATH (JSON), --smoke / --paper
   info                 version and default scale
 """
@@ -150,6 +155,9 @@ def _cmd_soak(argv: list[str]) -> int:
     argv, tiers = _flag_value(argv, "--tiers")
     argv, persist = _flag_value(argv, "--persist")
     argv, cache_bytes = _flag_value(argv, "--cache-bytes")
+    argv, l2_backend = _flag_value(argv, "--l2-backend")
+    argv, l2_budget = _flag_value(argv, "--l2-budget")
+    argv, compact_threshold = _flag_value(argv, "--compact-threshold")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown soak arguments: {argv}", file=sys.stderr)
@@ -169,6 +177,12 @@ def _cmd_soak(argv: list[str]) -> int:
         kwargs["persist_path"] = persist
     if cache_bytes is not None:
         kwargs["cache_bytes"] = int(cache_bytes)
+    if l2_backend is not None:
+        kwargs["l2_backend"] = l2_backend
+    if l2_budget is not None:
+        kwargs["l2_budget_bytes"] = int(l2_budget)
+    if compact_threshold is not None:
+        kwargs["compact_threshold"] = float(compact_threshold)
     if chaos:
         if rate is not None:
             kwargs["rate"] = rate
@@ -224,6 +238,9 @@ def _cmd_front(argv: list[str]) -> int:
     argv, exec_mode = _flag_value(argv, "--exec")
     argv, tiers = _flag_value(argv, "--tiers")
     argv, persist = _flag_value(argv, "--persist")
+    argv, l2_backend = _flag_value(argv, "--l2-backend")
+    argv, l2_budget = _flag_value(argv, "--l2-budget")
+    argv, compact_threshold = _flag_value(argv, "--compact-threshold")
     argv, report_path = _flag_value(argv, "--report")
     if argv:
         print(f"unknown front arguments: {argv}", file=sys.stderr)
@@ -246,6 +263,12 @@ def _cmd_front(argv: list[str]) -> int:
         kwargs["cache_tiers"] = int(tiers)
     if persist is not None:
         kwargs["persist_path"] = persist
+    if l2_backend is not None:
+        kwargs["l2_backend"] = l2_backend
+    if l2_budget is not None:
+        kwargs["l2_budget_bytes"] = int(l2_budget)
+    if compact_threshold is not None:
+        kwargs["compact_threshold"] = float(compact_threshold)
     if chaos:
         if rate is not None:
             kwargs["rate"] = rate

@@ -36,6 +36,8 @@ from repro.schema.star import StarSchema
 from repro.serve.session import PROCESSES, THREADS
 from repro.serve.sharded import ShardedChunkCache
 from repro.storage.chunklog import ChunkLog
+from repro.storage.l2 import L2Backend
+from repro.storage.sqlitelog import SqliteBackend
 
 __all__ = [
     "CHUNK",
@@ -105,6 +107,19 @@ class StackConfig:
         demote_min_benefit: Minimum benefit an L1 eviction victim needs
             to be spilled to L2 (2-tier only); lower-value victims are
             dropped exactly as the 1-tier cache drops them.
+        l2_backend: Which :class:`~repro.storage.l2.L2Backend` backs
+            the persistent tier: ``"chunklog"`` (the default append-only
+            :class:`~repro.storage.chunklog.ChunkLog`) or ``"sqlite"``
+            (the stdlib :class:`~repro.storage.sqlitelog.SqliteBackend`,
+            in-place updates, no dead space).  2-tier only.
+        l2_budget_bytes: Cap on live payload bytes in the L2 backend;
+            over-budget spills evict the lowest-benefit live records
+            first (see ``docs/TIERING.md``).  ``None`` = unbounded.
+            2-tier only.
+        compact_threshold: Dead-space page ratio at which the tiered
+            cache triggers a backend compaction (``ChunkLog`` only does
+            real work; in-place backends have no dead space).  ``None``
+            = never compact.  2-tier only.
     """
 
     scheme: str = CHUNK
@@ -124,6 +139,9 @@ class StackConfig:
     cache_tiers: int = 1
     persist_path: str | None = None
     demote_min_benefit: float = 0.0
+    l2_backend: str = "chunklog"
+    l2_budget_bytes: int | None = None
+    compact_threshold: float | None = None
 
 
 @dataclass(frozen=True)
@@ -227,6 +245,20 @@ def build_cache(config: StackConfig) -> ChunkStore:
         raise StackError(
             "persist_path is only meaningful with cache_tiers=2"
         )
+    if config.l2_backend not in ("chunklog", "sqlite"):
+        raise StackError(
+            f"unknown l2_backend {config.l2_backend!r}; "
+            "expected 'chunklog' or 'sqlite'"
+        )
+    if config.cache_tiers != 2:
+        for name, value in (
+            ("l2_budget_bytes", config.l2_budget_bytes),
+            ("compact_threshold", config.compact_threshold),
+        ):
+            if value is not None:
+                raise StackError(
+                    f"{name} is only meaningful with cache_tiers=2"
+                )
     l1: ChunkStore
     if config.num_shards > 0:
         l1 = ShardedChunkCache(
@@ -238,9 +270,17 @@ def build_cache(config: StackConfig) -> ChunkStore:
         l1 = ChunkCache(config.cache_bytes, config.policy)
     if config.cache_tiers == 1:
         return l1
-    log = ChunkLog(config.persist_path, page_size=config.page_size)
+    log: L2Backend
+    if config.l2_backend == "sqlite":
+        log = SqliteBackend(config.persist_path, page_size=config.page_size)
+    else:
+        log = ChunkLog(config.persist_path, page_size=config.page_size)
     tiered = TieredChunkCache(
-        l1, log, demote_min_benefit=config.demote_min_benefit
+        l1,
+        log,
+        demote_min_benefit=config.demote_min_benefit,
+        l2_budget_bytes=config.l2_budget_bytes,
+        compact_threshold=config.compact_threshold,
     )
     if log.recovery is not None and log.recovery.live_entries > 0:
         tiered.reopen()

@@ -1,10 +1,13 @@
-"""The two-tier chunk cache: in-memory L1 over a persistent chunk log.
+"""The two-tier chunk cache: in-memory L1 over a persistent L2 backend.
 
 :class:`TieredChunkCache` implements the
 :class:`~repro.core.cache.ChunkStore` protocol by layering the existing
 in-memory cache (a :class:`~repro.core.cache.ChunkCache` or the serving
-layer's sharded store) over a durable
-:class:`~repro.storage.chunklog.ChunkLog`:
+layer's sharded store) over any durable
+:class:`~repro.storage.l2.L2Backend` — the append-only
+:class:`~repro.storage.chunklog.ChunkLog` by default, or the
+:class:`~repro.storage.sqlitelog.SqliteBackend` (see ``docs/TIERING.md``
+§Backends):
 
 - **Spill on eviction.**  The L1 store's eviction observer
   (``evict_hook``) fires for every victim; victims whose CLOCK benefit
@@ -18,8 +21,22 @@ layer's sharded store) over a durable
   promotion is attributed to the L2 tier's accounting disk, never
   hidden (see :meth:`tiers`).
 - **Warm restart.**  :meth:`reopen` rebuilds the L2 key map from the
-  log manifest and refills L1 highest-benefit-first until the budget is
-  reached, so a restarted stack starts warm instead of cold.
+  log manifest, trims the live set to the benefit-ranked prefix that
+  fits ``l2_budget_bytes`` (when a budget is set), and refills L1
+  highest-benefit-first until the budget is reached, so a restarted
+  stack starts warm instead of cold.
+- **L2 byte budget.**  ``l2_budget_bytes`` caps live payload bytes in
+  the backend: a spill that would overflow first evicts the
+  lowest-benefit live records (charged tombstones; ties broken by
+  insertion order), and a single record larger than the whole budget
+  is never spilled (``budget_skipped``).  ``None`` (the default)
+  leaves the tier unbounded, exactly as before.
+- **Compaction trigger.**  With ``compact_threshold`` set, any
+  operation that grows dead space (spill supersede, invalidate,
+  budget eviction, clear) checks the backend's dead/total page ratio
+  and runs :meth:`~repro.storage.l2.L2Backend.compact` once it crosses
+  the threshold.  ``None`` (the default) never compacts — existing
+  digests cannot move.
 - **Degrade, never corrupt.**  Spill/promote I/O faults are retried
   once when transient and otherwise dropped (a failed spill loses a
   *copy*, never the truth; a failed promote is an L2 miss).  A CRC
@@ -29,8 +46,8 @@ layer's sharded store) over a durable
 
 Locking: the tier's own bookkeeping lock (witness level ``"tiered"``)
 nests inside L1 shard locks (the spill hook fires under the victim's
-shard lock) and outside the chunk-log lock — the documented order is
-``shard -> tiered -> chunklog`` (``tests/tools/lockorder.txt``).  The
+shard lock) and outside the backend lock — the documented order is
+``shard -> tiered -> l2`` (``tests/tools/lockorder.txt``).  The
 promote path releases the tier lock *before* re-inserting into L1, so
 no path ever takes a shard lock while holding ``tiered``.
 
@@ -55,10 +72,9 @@ from repro.exceptions import (
     ChunkLogCorruption,
     ChunkLogError,
     DiskFault,
-    InvariantViolation,
 )
 from repro.lockorder import witness
-from repro.storage.chunklog import ChunkLog
+from repro.storage.l2 import L2Backend, check_l2_conservation
 
 if TYPE_CHECKING:
     from repro.core.cache import FaultHook
@@ -185,33 +201,43 @@ def decode_chunk(key: ChunkKey, payload: bytes) -> CachedChunk:
 
 
 class TieredChunkCache:
-    """A :class:`ChunkStore` layering an in-memory L1 over a chunk log.
+    """A :class:`ChunkStore` layering an in-memory L1 over an L2 backend.
 
     Args:
         l1: The in-memory tier — any ``ChunkStore`` exposing either a
             ``set_evict_hook`` method (the sharded store) or an
             ``evict_hook`` attribute (the plain cache).
-        log: The persistent tier.  The tiered cache owns it from here
-            on (:meth:`close` closes it).
+        log: The persistent tier — any
+            :class:`~repro.storage.l2.L2Backend`.  The tiered cache
+            owns it from here on (:meth:`close` closes it).
         demote_min_benefit: Spill threshold — victims whose benefit is
             below it are dropped, not demoted.  ``0.0`` demotes every
             victim (all real benefits are positive).
         failure_limit: Consecutive L2 I/O failures (spill or promote)
             before the tier disables itself and degrades to L1-only.
+        l2_budget_bytes: Cap on live payload bytes in the backend.
+            Spills evict the lowest-benefit live records to make room
+            (charged tombstones); a record larger than the whole
+            budget is never spilled.  ``None`` = unbounded (the PR 8
+            behaviour, bit-identical).
+        compact_threshold: Dead-space ratio (``dead / (dead + live)``
+            pages) at which dead-space-growing operations trigger a
+            backend compaction.  ``None`` = never compact.
 
-    ``capacity_bytes``/``used_bytes`` are the L1 budget — the log is
-    append-only and unbounded (compaction is future work; see
-    ``docs/TIERING.md``).  ``stats`` folds L2 hits into the combined
-    hit/miss counters: a lookup served by promotion counts as a hit of
-    the store, not a miss, which is what the cost model should see.
+    ``capacity_bytes``/``used_bytes`` are the L1 budget.  ``stats``
+    folds L2 hits into the combined hit/miss counters: a lookup served
+    by promotion counts as a hit of the store, not a miss, which is
+    what the cost model should see.
     """
 
     def __init__(
         self,
         l1: ChunkStore,
-        log: ChunkLog,
+        log: L2Backend,
         demote_min_benefit: float = 0.0,
         failure_limit: int = 8,
+        l2_budget_bytes: int | None = None,
+        compact_threshold: float | None = None,
     ) -> None:
         if demote_min_benefit < 0.0:
             raise CacheError(
@@ -219,13 +245,27 @@ class TieredChunkCache:
             )
         if failure_limit < 1:
             raise CacheError(f"failure_limit must be >= 1, got {failure_limit}")
+        if l2_budget_bytes is not None and l2_budget_bytes < 0:
+            raise CacheError(
+                f"negative L2 byte budget {l2_budget_bytes}"
+            )
+        if compact_threshold is not None and not (
+            0.0 < compact_threshold <= 1.0
+        ):
+            raise CacheError(
+                f"compact_threshold must be in (0, 1], got {compact_threshold}"
+            )
         self._l1 = l1
         self.log = log
         self.demote_min_benefit = demote_min_benefit
         self.failure_limit = failure_limit
+        self.l2_budget_bytes = l2_budget_bytes
+        self.compact_threshold = compact_threshold
         self._lock = threading.Lock()
         # All fields below are guarded by _lock.
         self._l2_keys: dict[str, ChunkKey] = {}
+        self._l2_meta: dict[str, tuple[float, int]] = {}
+        self._l2_bytes = 0
         self._l2_enabled = True
         self._failure_streak = 0
         self._warming = False
@@ -238,6 +278,9 @@ class TieredChunkCache:
         self._promote_faults = 0
         self._quarantined = 0
         self._warm_loaded = 0
+        self._l2_evictions = 0
+        self._budget_skipped = 0
+        self._compact_faults = 0
         hook_setter = getattr(l1, "set_evict_hook", None)
         if callable(hook_setter):
             hook_setter(self._on_evict)
@@ -252,7 +295,7 @@ class TieredChunkCache:
     # ------------------------------------------------------------------
     @property
     def capacity_bytes(self) -> int:
-        """The L1 byte budget (the log is not budget-bounded)."""
+        """The L1 byte budget (see ``l2_budget_bytes`` for the L2 cap)."""
         return self._l1.capacity_bytes
 
     @property
@@ -313,6 +356,7 @@ class TieredChunkCache:
         token = chunk_token(key)
         with self._lock, witness("tiered"):
             if self._l2_keys.pop(token, None) is not None:
+                self._forget_meta_locked(token)
                 try:
                     removed = self.log.delete(token) or removed
                 except DiskFault:
@@ -323,6 +367,7 @@ class TieredChunkCache:
                     self._spill_faults += 1
                     self._note_failure_locked()
                 removed = True
+                self._maybe_compact_locked()
         return removed
 
     def clear(self) -> None:
@@ -330,11 +375,14 @@ class TieredChunkCache:
         self._l1.clear()
         with self._lock, witness("tiered"):
             self._l2_keys.clear()
+            self._l2_meta.clear()
+            self._l2_bytes = 0
             try:
                 self.log.clear()
             except DiskFault:
                 self._spill_faults += 1
                 self._note_failure_locked()
+            self._maybe_compact_locked()
 
     def keys(self) -> list[ChunkKey]:
         """L1 keys, then L2-only keys in manifest order (snapshot)."""
@@ -379,6 +427,7 @@ class TieredChunkCache:
         }
         log_stats = self.log.stats
         disk_stats = self.log.disk.stats
+        space = self.log.counters()
         with self._lock, witness("tiered"):
             lookups = self._l2_hits + self._l2_misses
             l2: dict[str, object] = {
@@ -398,6 +447,14 @@ class TieredChunkCache:
                 "pages_written": disk_stats.writes,
                 "pages_read": disk_stats.reads,
                 "scan_pages": log_stats.scan_pages,
+                "live_pages": space["live_pages"],
+                "dead_pages": space["dead_pages"],
+                "compactions": space["compactions"],
+                "reclaimed_pages": space["reclaimed_pages"],
+                "compact_faults": self._compact_faults,
+                "evictions": self._l2_evictions,
+                "budget_skipped": self._budget_skipped,
+                "budget_bytes": self.l2_budget_bytes,
             }
         return {
             "l1": l1,
@@ -427,42 +484,33 @@ class TieredChunkCache:
         checker = getattr(self._l1, "check_conservation", None)
         if callable(checker):
             checker()
-        log_stats = self.log.stats
-        disk_stats = self.log.disk.stats
-        written = (
-            log_stats.append_pages
-            + log_stats.tombstone_pages
-            + log_stats.clear_pages
-        )
-        if written != disk_stats.writes:
-            raise InvariantViolation(
-                f"chunk log write pages diverged: ops account for "
-                f"{written} pages, disk counted {disk_stats.writes}"
-            )
-        read = log_stats.read_pages + log_stats.scan_pages
-        if read != disk_stats.reads:
-            raise InvariantViolation(
-                f"chunk log read pages diverged: ops account for "
-                f"{read} pages, disk counted {disk_stats.reads}"
-            )
+        check_l2_conservation(self.log)
 
     def reopen(self) -> int:
         """Warm-start: rebuild the L2 key map and refill L1 from the log.
 
-        Candidates load highest-benefit-first (ties broken by manifest
-        order, so the fill is deterministic) and stop charging the L1
-        budget exactly at capacity — an entry that does not fit is
-        skipped, smaller ones may still fit.  Decodes ride on the open
-        scan's already-charged reads (no double charge); corrupt
+        With ``l2_budget_bytes`` set, the live set is first trimmed to
+        the **benefit-ranked prefix** that fits the budget (ties broken
+        by manifest order): ranking stops at the first record that
+        does not fit and everything ranked below it is dropped with
+        charged tombstones — a zero budget drops everything, a single
+        record larger than the budget is dropped even when alone.
+
+        L1 candidates then load highest-benefit-first (ties broken by
+        manifest order, so the fill is deterministic) and stop charging
+        the L1 budget exactly at capacity — an entry that does not fit
+        is skipped, smaller ones may still fit.  Decodes ride on the
+        open scan's already-charged reads (no double charge); corrupt
         records are quarantined, not fatal.  Returns entries loaded.
         """
         with self._lock, witness("tiered"):
             self._rebuild_keys_locked()
+            self._enforce_budget_on_reopen_locked()
             candidates = sorted(
                 (
                     (-benefit, index, token)
                     for index, (token, benefit, _size) in enumerate(
-                        self.log.entries()
+                        self.log.scan_keys()
                     )
                     if token in self._l2_keys
                 ),
@@ -556,6 +604,9 @@ class TieredChunkCache:
                 return
             token = chunk_token(victim.key)
             payload = encode_chunk(victim)
+            if not self._make_room_locked(token, len(payload)):
+                self._budget_skipped += 1
+                return
             try:
                 self._append_with_retry(token, payload, victim.benefit)
             except DiskFault:
@@ -565,24 +616,110 @@ class TieredChunkCache:
             self._failure_streak = 0
             self._spills += 1
             self._l2_keys[token] = victim.key
+            self._forget_meta_locked(token)
+            self._l2_meta[token] = (victim.benefit, len(payload))
+            self._l2_bytes += len(payload)
+            self._maybe_compact_locked()
+
+    def _make_room_locked(self, token: str, need: int) -> bool:
+        """Evict lowest-benefit live records until ``need`` payload
+        bytes fit the L2 budget.  Returns False when the record alone
+        exceeds the budget (never spilled).  Evictions are charged
+        tombstones; ties break by insertion order."""
+        if self.l2_budget_bytes is None:
+            return True
+        if need > self.l2_budget_bytes:
+            return False
+        # A re-spill of a live token replaces it: its current bytes
+        # come back before the new payload is charged.
+        current = self._l2_bytes
+        existing = self._l2_meta.get(token)
+        if existing is not None:
+            current -= existing[1]
+        while current + need > self.l2_budget_bytes:
+            victim_token: str | None = None
+            victim_benefit = 0.0
+            for candidate, (benefit, _size) in self._l2_meta.items():
+                if candidate == token:
+                    continue
+                if victim_token is None or benefit < victim_benefit:
+                    victim_token = candidate
+                    victim_benefit = benefit
+            if victim_token is None:
+                break
+            current -= self._l2_meta[victim_token][1]
+            self._evict_l2_locked(victim_token)
+        return True
+
+    def _evict_l2_locked(self, token: str) -> None:
+        """Budget eviction: charged tombstone + manifest removal."""
+        self._l2_keys.pop(token, None)
+        self._forget_meta_locked(token)
+        try:
+            self.log.delete(token)
+        except DiskFault:
+            # The tombstone faulted: the record is dead to this process
+            # either way (a restart resurrects it — cache semantics
+            # accept that, the base data re-derives the truth).
+            self._spill_faults += 1
+            self._note_failure_locked()
+        self._l2_evictions += 1
+
+    def _maybe_compact_locked(self) -> None:
+        """Run a backend compaction once dead space crosses the
+        configured ratio.  A faulted compaction leaves the backend
+        unchanged (its contract) — count it and move on; no degrade,
+        nothing was lost."""
+        if self.compact_threshold is None:
+            return
+        space = self.log.counters()
+        total = space["live_pages"] + space["dead_pages"]
+        if total <= 0 or space["dead_pages"] / total < self.compact_threshold:
+            return
+        try:
+            self.log.compact()
+        except DiskFault:
+            self._compact_faults += 1
+
+    def _enforce_budget_on_reopen_locked(self) -> None:
+        """Trim the recovered live set to the benefit-ranked prefix
+        that fits ``l2_budget_bytes`` (strict prefix: ranking stops at
+        the first record that does not fit)."""
+        if self.l2_budget_bytes is None:
+            return
+        ranked = sorted(
+            (-benefit, index, token, size)
+            for index, (token, (benefit, size)) in enumerate(
+                self._l2_meta.items()
+            )
+        )
+        kept = 0
+        fits = True
+        for _neg_benefit, _index, token, size in ranked:
+            if fits and kept + size <= self.l2_budget_bytes:
+                kept += size
+                continue
+            fits = False
+            self._evict_l2_locked(token)
+        self._maybe_compact_locked()
 
     def _read_with_retry(self, token: str) -> bytes:
         try:
-            return self.log.read(token)
+            return self.log.get(token)
         except DiskFault as fault:
             if not fault.transient:
                 raise
-            return self.log.read(token)
+            return self.log.get(token)
 
     def _append_with_retry(
         self, token: str, payload: bytes, benefit: float
     ) -> int:
         try:
-            return self.log.append(token, payload, benefit)
+            return self.log.put(token, payload, benefit)
         except DiskFault as fault:
             if not fault.transient:
                 raise
-            return self.log.append(token, payload, benefit)
+            return self.log.put(token, payload, benefit)
 
     def _decode_locked(
         self, token: str, key: ChunkKey, payload: bytes
@@ -597,7 +734,13 @@ class TieredChunkCache:
     def _quarantine_locked(self, token: str) -> None:
         self.log.drop(token)
         self._l2_keys.pop(token, None)
+        self._forget_meta_locked(token)
         self._quarantined += 1
+
+    def _forget_meta_locked(self, token: str) -> None:
+        meta = self._l2_meta.pop(token, None)
+        if meta is not None:
+            self._l2_bytes -= meta[1]
 
     def _note_failure_locked(self) -> None:
         self._failure_streak += 1
@@ -608,7 +751,9 @@ class TieredChunkCache:
         """Regenerate token -> key from the log manifest (lock held,
         or construction-exclusive from ``__init__``)."""
         self._l2_keys.clear()
-        for token in self.log.tokens():
+        self._l2_meta.clear()
+        self._l2_bytes = 0
+        for token, benefit, size in self.log.scan_keys():
             try:
                 self._l2_keys[token] = token_key(token)
             except (ValueError, KeyError, TypeError):
@@ -616,6 +761,9 @@ class TieredChunkCache:
                 # record may belong to a future key schema.
                 self.log.drop(token)
                 self._quarantined += 1
+                continue
+            self._l2_meta[token] = (benefit, size)
+            self._l2_bytes += size
 
     def _l2_only_keys(self) -> list[ChunkKey]:
         with self._lock, witness("tiered"):

@@ -85,6 +85,9 @@ def _build_manager(
     exec_mode: str = THREADS,
     cache_tiers: int = 1,
     persist_path: str | None = None,
+    l2_backend: str = "chunklog",
+    l2_budget_bytes: int | None = None,
+    compact_threshold: float | None = None,
 ) -> Any:
     cache = build_cache(
         StackConfig(
@@ -92,6 +95,9 @@ def _build_manager(
             num_shards=num_shards,
             cache_tiers=cache_tiers,
             persist_path=persist_path,
+            l2_backend=l2_backend,
+            l2_budget_bytes=l2_budget_bytes,
+            compact_threshold=compact_threshold,
         )
     )
     return make_chunk_manager(system, cache=cache, exec_mode=exec_mode)
@@ -124,6 +130,9 @@ def run_front_job(
     exec_mode: str = THREADS,
     cache_tiers: int = 1,
     persist_path: str | None = None,
+    l2_backend: str = "chunklog",
+    l2_budget_bytes: int | None = None,
+    compact_threshold: float | None = None,
 ) -> dict[str, Any]:
     """Run the fault-free front door and quantify coalescing's saving.
 
@@ -139,7 +148,15 @@ def run_front_job(
     streams = duplicate_streams(
         system, num_users=num_users, per_user=per_user
     )
-    manager = _build_manager(system, num_shards, exec_mode, cache_tiers)
+    manager = _build_manager(
+        system,
+        num_shards,
+        exec_mode,
+        cache_tiers,
+        l2_backend=l2_backend,
+        l2_budget_bytes=l2_budget_bytes,
+        compact_threshold=compact_threshold,
+    )
     try:
         baseline = run_front(
             manager, streams, replace(config, coalesce=False)
@@ -147,7 +164,14 @@ def run_front_job(
     finally:
         _close_manager(manager, exec_mode)
     manager = _build_manager(
-        system, num_shards, exec_mode, cache_tiers, persist_path
+        system,
+        num_shards,
+        exec_mode,
+        cache_tiers,
+        persist_path,
+        l2_backend=l2_backend,
+        l2_budget_bytes=l2_budget_bytes,
+        compact_threshold=compact_threshold,
     )
     try:
         report = run_front(manager, streams, config)
@@ -180,6 +204,9 @@ def run_front_chaos_job(
     exec_mode: str = THREADS,
     cache_tiers: int = 1,
     persist_path: str | None = None,
+    l2_backend: str = "chunklog",
+    l2_budget_bytes: int | None = None,
+    compact_threshold: float | None = None,
 ) -> dict[str, Any]:
     """Run the front door under a standard fault plan and summarize it.
 
@@ -214,7 +241,14 @@ def run_front_chaos_job(
         oracle = _replay
 
     manager = _build_manager(
-        system, num_shards, exec_mode, cache_tiers, persist_path
+        system,
+        num_shards,
+        exec_mode,
+        cache_tiers,
+        persist_path,
+        l2_backend=l2_backend,
+        l2_budget_bytes=l2_budget_bytes,
+        compact_threshold=compact_threshold,
     )
     specs = tiered_specs(rate) if cache_tiers == 2 else standard_specs(rate)
     plan = FaultPlan(seed=seed, specs=specs)

@@ -54,6 +54,9 @@ def run_soak_job(
     cache_tiers: int = 1,
     persist_path: str | None = None,
     cache_bytes: int | None = None,
+    l2_backend: str = "chunklog",
+    l2_budget_bytes: int | None = None,
+    compact_threshold: float | None = None,
 ) -> dict[str, Any]:
     """Run the fault-free concurrency soak and summarize it.
 
@@ -65,7 +68,9 @@ def run_soak_job(
     summary stays byte-identical — tier keys only appear at 2).
     ``cache_bytes`` overrides the scale-derived L1 budget — a
     constrained budget forces evictions, which is how the nightly
-    restart arm guarantees the log actually fills.
+    restart arm guarantees the log actually fills.  ``l2_backend``,
+    ``l2_budget_bytes`` and ``compact_threshold`` pass through to
+    :class:`~repro.api.StackConfig` (2-tier only).
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
@@ -78,6 +83,9 @@ def run_soak_job(
             num_shards=num_shards,
             cache_tiers=cache_tiers,
             persist_path=persist_path,
+            l2_backend=l2_backend,
+            l2_budget_bytes=l2_budget_bytes,
+            compact_threshold=compact_threshold,
         )
     )
     manager = make_chunk_manager(
@@ -114,6 +122,9 @@ def run_chaos_job(
     cache_tiers: int = 1,
     persist_path: str | None = None,
     cache_bytes: int | None = None,
+    l2_backend: str = "chunklog",
+    l2_budget_bytes: int | None = None,
+    compact_threshold: float | None = None,
 ) -> dict[str, Any]:
     """Run the chaos soak under a standard fault plan and summarize it.
 
@@ -136,6 +147,11 @@ def run_chaos_job(
         persist_path: Backing file for the 2-tier chunk log.
         cache_bytes: Override for the scale-derived L1 budget (forces
             eviction pressure in 2-tier runs).
+        l2_backend: L2 backend selector (``"chunklog"``/``"sqlite"``).
+        l2_budget_bytes: L2 live-byte budget (2-tier only).
+        compact_threshold: Dead-space ratio that triggers backend
+            compaction — arming it puts the ``log-compact`` fault kind
+            on a live code path (2-tier only).
     """
     system = get_system(scale)
     streams = user_streams(system, num_users=num_users, per_user=per_user)
@@ -157,6 +173,9 @@ def run_chaos_job(
             num_shards=num_shards,
             cache_tiers=cache_tiers,
             persist_path=persist_path,
+            l2_backend=l2_backend,
+            l2_budget_bytes=l2_budget_bytes,
+            compact_threshold=compact_threshold,
         )
     )
     manager = make_chunk_manager(

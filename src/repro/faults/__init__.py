@@ -19,6 +19,7 @@ from repro.faults.plan import (
     DISK_SLOW,
     DISK_TRANSIENT,
     FAULT_KINDS,
+    LOG_COMPACT,
     LOG_PERMANENT,
     LOG_TORN,
     PROMOTE_READ,
@@ -37,6 +38,7 @@ __all__ = [
     "DISK_SLOW",
     "DISK_TRANSIENT",
     "FAULT_KINDS",
+    "LOG_COMPACT",
     "LOG_PERMANENT",
     "LOG_TORN",
     "PROMOTE_READ",

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     DISK_PERMANENT,
     DISK_SLOW,
     DISK_TRANSIENT,
+    LOG_COMPACT,
     LOG_PERMANENT,
     LOG_TORN,
     PROMOTE_READ,
@@ -183,6 +184,20 @@ class FaultInjector:
             return True
         return False
 
+    def compact_abort(self, record_index: int) -> bool:
+        """Backend ``compact_hook``: abort one compaction record copy.
+
+        A fired decision aborts the compaction at that record's write
+        boundary with the log untouched (the backend's crash-safety
+        contract); the tiered cache counts the fault and retries at the
+        next trigger.
+        """
+        sequence = self._next("chunklog.compact")
+        if self.plan.roll(LOG_COMPACT, "chunklog.compact", sequence):
+            self._count(LOG_COMPACT)
+            return True
+        return False
+
     def cache_put(self, entry: object) -> tuple[str, int] | None:
         """Cache put hook: ``("poison", 0)``, ``("pressure", n)`` or None."""
         sequence = self._next("cache.put")
@@ -208,10 +223,11 @@ class FaultInjector:
         ``set_fault_hook`` when it has one (the sharded cache
         distributes the hook to every shard) or a plain ``fault_hook``
         attribute otherwise.  A cache exposing a ``.log`` (the tiered
-        cache's persistent tier) additionally gets the write-path
-        hooks: spill-write and promote-read faults on the log's
-        accounting disk plus the torn-write hook.  Previous hooks are
-        restored on exit even when the body raises.
+        cache's persistent tier — any L2 backend) additionally gets the
+        write-path hooks: spill-write and promote-read faults through
+        the backend's ``write_hook``/``read_hook`` fault points, the
+        torn-write hook, and the compaction-abort hook.  Previous hooks
+        are restored on exit even when the body raises.
         """
         backend = getattr(manager, "backend", None)
         cache = getattr(manager, "cache", None)
@@ -227,7 +243,9 @@ class FaultInjector:
         if not callable(set_hook):
             previous_cache = getattr(cache, "fault_hook", None)
         log = getattr(cache, "log", None)
-        previous_log_hooks: tuple[object, object, object] | None = None
+        previous_log_hooks: (
+            tuple[object, object, object, object] | None
+        ) = None
         disk.read_hook = self.disk_read
         backend.fault_hook = self.backend_op
         if callable(set_hook):
@@ -236,11 +254,15 @@ class FaultInjector:
             cache.fault_hook = self.cache_put
         if log is not None:
             previous_log_hooks = (
-                log.disk.write_hook, log.disk.read_hook, log.torn_hook
+                log.write_hook,
+                log.read_hook,
+                log.torn_hook,
+                log.compact_hook,
             )
-            log.disk.write_hook = self.spill_write
-            log.disk.read_hook = self.promote_read
+            log.write_hook = self.spill_write
+            log.read_hook = self.promote_read
             log.torn_hook = self.torn_write
+            log.compact_hook = self.compact_abort
         try:
             yield self
         finally:
@@ -251,6 +273,7 @@ class FaultInjector:
             else:
                 cache.fault_hook = previous_cache
             if log is not None and previous_log_hooks is not None:
-                log.disk.write_hook = previous_log_hooks[0]
-                log.disk.read_hook = previous_log_hooks[1]
+                log.write_hook = previous_log_hooks[0]
+                log.read_hook = previous_log_hooks[1]
                 log.torn_hook = previous_log_hooks[2]
+                log.compact_hook = previous_log_hooks[3]

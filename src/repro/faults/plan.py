@@ -30,6 +30,7 @@ __all__ = [
     "DISK_SLOW",
     "DISK_TRANSIENT",
     "FAULT_KINDS",
+    "LOG_COMPACT",
     "LOG_PERMANENT",
     "LOG_TORN",
     "PROMOTE_READ",
@@ -60,6 +61,8 @@ PROMOTE_READ = "promote-read"
 LOG_PERMANENT = "log-permanent"
 #: A spill write tears: stored bytes no longer match the stored CRC.
 LOG_TORN = "log-torn"
+#: A log compaction aborts at one record-copy write boundary.
+LOG_COMPACT = "log-compact"
 
 FAULT_KINDS = (
     DISK_TRANSIENT,
@@ -72,6 +75,7 @@ FAULT_KINDS = (
     PROMOTE_READ,
     LOG_PERMANENT,
     LOG_TORN,
+    LOG_COMPACT,
 )
 
 _SCALE = float(2**64)
@@ -185,8 +189,11 @@ def tiered_specs(rate: str = "mid") -> tuple[FaultSpec, ...]:
 
     Extends :func:`standard_specs` (whose presets stay byte-identical —
     existing pinned digests never move) with spill-write and
-    promote-read faults at the base rate and torn writes at half of it;
-    ``"high"`` additionally arms permanently dead chunk-log pages.
+    promote-read faults at the base rate, torn writes and compaction
+    aborts at half of it; ``"high"`` additionally arms permanently dead
+    chunk-log pages.  Because :meth:`FaultPlan.roll` hashes per kind and
+    site, arming ``log-compact`` does not perturb any other kind's
+    decisions — stacks that never compact keep their digests.
     """
     base = _PRESET_RATES.get(rate)
     if base is None:
@@ -198,6 +205,7 @@ def tiered_specs(rate: str = "mid") -> tuple[FaultSpec, ...]:
     specs.append(FaultSpec(SPILL_WRITE, base))
     specs.append(FaultSpec(PROMOTE_READ, base))
     specs.append(FaultSpec(LOG_TORN, base / 2.0))
+    specs.append(FaultSpec(LOG_COMPACT, base / 2.0))
     if rate == "high":
         specs.append(FaultSpec(LOG_PERMANENT, base / 100.0))
     return tuple(specs)

@@ -1,11 +1,13 @@
-"""Persistent, checksummed append-only chunk log (the L2 cache tier).
+"""Persistent, checksummed append-only chunk log (an L2 cache backend).
 
-:class:`ChunkLog` is the durable half of the two-tier chunk cache
-(``docs/TIERING.md``).  It stores opaque ``(token, benefit, payload)``
-records in an append-only file and charges every record read and write
-through a private :class:`~repro.storage.disk.SimulatedDisk`, so L2
-traffic lands in the same page-accounting currency as the backend's
-I/O — spills and promotions have an exact, deterministic page cost.
+:class:`ChunkLog` is the default durable half of the two-tier chunk
+cache (``docs/TIERING.md``) and the reference implementation of the
+:class:`~repro.storage.l2.L2Backend` protocol.  It stores opaque
+``(token, benefit, payload)`` records in an append-only file and
+charges every record read and write through a private
+:class:`~repro.storage.disk.SimulatedDisk`, so L2 traffic lands in the
+same page-accounting currency as the backend's I/O — spills and
+promotions have an exact, deterministic page cost.
 
 The module is deliberately *key-agnostic*: tokens are caller-chosen
 strings and payloads are caller-encoded bytes.  Encoding a
@@ -26,6 +28,16 @@ the token and the payload.  Each record occupies
 accounting disk; the backing file is flushed after every append so a
 kill leaves at worst one torn tail record.
 
+Because the log is append-only, superseded puts, tombstones, clear
+records and the extents they killed all remain in the file as **dead
+space**.  The log tracks the split exactly (:attr:`ChunkLog.live_pages`
+/ :attr:`ChunkLog.dead_pages`) and :meth:`ChunkLog.compact` reclaims
+it: live records are rewritten verbatim into a sidecar file
+(``<path>.compact``) which atomically replaces the log via
+``os.replace``.  A crash at *any* write boundary leaves either the
+complete old file or the complete new file — a partial sidecar is
+removed on the next open, never replayed.
+
 Recovery policy on open (see ``docs/TIERING.md`` §restart):
 
 - a clean log replays fully (puts last-win, tombstones and clears
@@ -38,7 +50,7 @@ Recovery policy on open (see ``docs/TIERING.md`` §restart):
 - a *newer* format version raises :class:`~repro.exceptions.ChunkLogError`
   — format drift must fail loudly, never reinterpret bytes.
 
-Record CRCs are verified at :meth:`ChunkLog.read` time, not during the
+Record CRCs are verified at :meth:`ChunkLog.get` time, not during the
 scan: a torn record with valid framing survives restart in the
 manifest and is quarantined on first access, exactly like in the
 original process (``tests/integration/test_restart.py`` pins this).
@@ -54,9 +66,10 @@ from dataclasses import dataclass
 from typing import Callable
 from zlib import crc32
 
-from repro.exceptions import ChunkLogCorruption, ChunkLogError
+from repro.exceptions import ChunkLogCorruption, ChunkLogError, DiskFault
 from repro.lockorder import witness
 from repro.storage.disk import DEFAULT_PAGE_SIZE, SimulatedDisk
+from repro.storage.l2 import L2Recovery, L2Stats
 
 __all__ = [
     "CHUNKLOG_MAGIC",
@@ -69,6 +82,12 @@ __all__ = [
 CHUNKLOG_MAGIC = b"RCLG"
 CHUNKLOG_VERSION = 1
 
+#: Backwards-compatible names: the stats/recovery value objects moved
+#: to :mod:`repro.storage.l2` when the backend contract was extracted;
+#: they are the same classes, shared by every backend.
+ChunkLogStats = L2Stats
+LogRecovery = L2Recovery
+
 _HEADER = struct.Struct("<4sHI6x")  # magic, version, page_size
 _PREFIX = struct.Struct("<BHIdI")  # type, token_len, payload_len, benefit, crc
 _CRC_FIELDS = struct.Struct("<BHId")  # prefix minus the crc itself
@@ -78,50 +97,8 @@ _TOMBSTONE = 2
 _CLEAR = 3
 _RECORD_TYPES = frozenset({_PUT, _TOMBSTONE, _CLEAR})
 
-
-@dataclass
-class ChunkLogStats:
-    """Cumulative logical counters of one :class:`ChunkLog`.
-
-    Page counters count *successful* page transfers only, one per
-    :class:`SimulatedDisk` page actually charged — so they reconcile
-    exactly with the accounting disk even when a fault hook aborts an
-    operation partway through a multi-page record::
-
-        disk.stats.writes == append_pages + tombstone_pages + clear_pages
-        disk.stats.reads  == read_pages + scan_pages
-    """
-
-    appends: int = 0
-    append_pages: int = 0
-    reads: int = 0
-    read_pages: int = 0
-    tombstones: int = 0
-    tombstone_pages: int = 0
-    clears: int = 0
-    clear_pages: int = 0
-    scan_records: int = 0
-    scan_pages: int = 0
-    crc_failures: int = 0
-    torn_writes: int = 0
-
-
-@dataclass(frozen=True)
-class LogRecovery:
-    """What :class:`ChunkLog` found (and discarded) while opening.
-
-    Attributes:
-        records: Well-framed records replayed from the existing file.
-        live_entries: Tokens live in the manifest after replay.
-        truncated_bytes: Tail bytes discarded as torn/unframeable.
-        header_reset: The file had a corrupt header and was reset to a
-            fresh empty log.
-    """
-
-    records: int = 0
-    live_entries: int = 0
-    truncated_bytes: int = 0
-    header_reset: bool = False
+#: Sidecar suffix compaction rewrites into before the atomic swap.
+COMPACT_SUFFIX = ".compact"
 
 
 @dataclass(frozen=True)
@@ -141,17 +118,17 @@ class ChunkLog:
 
     Args:
         path: Backing file.  ``None`` keeps the log purely in memory
-            (same accounting, no durability) — used by tests and by
-            2-tier stacks that want spill/promote economics without a
-            persist path.
+            (same accounting, no durability across processes) — used by
+            tests and by 2-tier stacks that want spill/promote
+            economics without a persist path.
         page_size: Page size of the private accounting disk.
 
     Thread safety: every public operation holds the log's single
-    internal lock (runtime witness level ``"chunklog"``).  The lock is
-    a leaf in the documented order — ``shard -> chunklog`` and
-    ``tiered -> chunklog`` edges are pinned in
-    ``tests/tools/lockorder.txt``; no code path acquires another lock
-    while holding it.
+    internal lock (runtime witness level ``"l2"`` — the tier-boundary
+    level shared by every backend).  The lock is a leaf in the
+    documented order — ``shard -> l2`` and ``tiered -> l2`` edges are
+    pinned in ``tests/tools/lockorder.txt``; no code path acquires
+    another lock while holding it.
     """
 
     def __init__(
@@ -159,47 +136,67 @@ class ChunkLog:
     ) -> None:
         self.path = path
         self.disk = SimulatedDisk(page_size=page_size)
-        self.stats = ChunkLogStats()
+        self.stats = L2Stats()
         self._lock = threading.Lock()
         self._manifest: dict[str, _Extent] = {}
         self._closed = False
-        # Fault-injection hook (repro.faults installs it): consulted per
-        # put-append with the record token; returning True tears the
-        # stored payload while the CRC still covers the original bytes.
+        # Fault-injection hooks (repro.faults installs them).
+        # torn_hook: consulted per put with the record token; returning
+        # True tears the stored payload while the CRC still covers the
+        # original bytes.  compact_hook: consulted once per record a
+        # compaction copies; returning True aborts the compaction at
+        # that write boundary (the log is left untouched).
         self.torn_hook: Callable[[str], bool] | None = None
+        self.compact_hook: Callable[[int], bool] | None = None
+        self._live_pages = 0
+        self._total_record_pages = 0
+        self._file: io.BufferedRandom | None = None
+        # A sidecar left behind by a compaction the process died inside
+        # is garbage by construction (the swap is atomic): remove it.
+        if path is not None and os.path.exists(path + COMPACT_SUFFIX):
+            os.remove(path + COMPACT_SUFFIX)
         existing = b""
         if path is not None and os.path.exists(path):
             with open(path, "rb") as handle:
                 existing = handle.read()
         # No lock here: the object is not published until __init__
         # returns, so construction has exclusive access by definition.
-        self.recovery = self._replay(existing)
-        self._buf = bytearray(existing[: self._logical_end])
-        if not self._buf:
-            self._buf = bytearray(
-                _HEADER.pack(CHUNKLOG_MAGIC, CHUNKLOG_VERSION, page_size)
-            )
-        self._file: io.BufferedRandom | None = None
-        if path is not None:
-            self._file = open(path, "w+b")
-            self._file.write(bytes(self._buf))
-            self._file.flush()
+        self.recovery = self._open_from(existing)
 
     # ------------------------------------------------------------------
     # Open/replay
 
-    def _replay(self, existing: bytes) -> LogRecovery:
+    def _open_from(self, existing: bytes) -> L2Recovery:
+        """(Re)build all in-memory state from durable bytes (lock held,
+        or construction-exclusive)."""
+        recovery = self._replay(existing)
+        self._buf = bytearray(existing[: self._logical_end])
+        if not self._buf:
+            self._buf = bytearray(
+                _HEADER.pack(CHUNKLOG_MAGIC, CHUNKLOG_VERSION, self.disk.page_size)
+            )
+        if self.path is not None:
+            self._file = open(self.path, "w+b")
+            self._file.write(bytes(self._buf))
+            self._file.flush()
+        self._closed = False
+        return recovery
+
+    def _replay(self, existing: bytes) -> L2Recovery:
         """Rebuild the manifest from existing bytes; charge scan reads."""
         self._logical_end = 0
+        self._manifest.clear()
+        self._live_pages = 0
+        self._total_record_pages = 0
         if not existing:
-            return LogRecovery()
+            return L2Recovery()
         if len(existing) < _HEADER.size:
-            return LogRecovery(
+            return L2Recovery(
                 truncated_bytes=len(existing), header_reset=True
             )
         magic, version, page_size = _HEADER.unpack_from(existing, 0)
         if magic != CHUNKLOG_MAGIC:
-            return LogRecovery(
+            return L2Recovery(
                 truncated_bytes=len(existing), header_reset=True
             )
         if version != CHUNKLOG_VERSION:
@@ -242,8 +239,9 @@ class ChunkLog:
                 self.stats.scan_pages += 1
             records += 1
             self.stats.scan_records += 1
+            self._total_record_pages += pages
             if rtype == _PUT:
-                self._manifest.pop(token, None)
+                self._forget_extent(token)
                 self._manifest[token] = _Extent(
                     offset=offset,
                     length=length,
@@ -252,28 +250,55 @@ class ChunkLog:
                     page_start=page_start,
                     pages=pages,
                 )
+                self._live_pages += pages
             elif rtype == _TOMBSTONE:
-                self._manifest.pop(token, None)
+                self._forget_extent(token)
             else:
                 self._manifest.clear()
+                self._live_pages = 0
             offset = end
         self._logical_end = offset
-        return LogRecovery(
+        return L2Recovery(
             records=records,
             live_entries=len(self._manifest),
             truncated_bytes=size - offset,
         )
 
+    def reopen(self) -> L2Recovery:
+        """Simulated restart: rebuild everything from durable state.
+
+        The backing file (or, for an in-memory log, the persisted
+        byte buffer — which survives exactly like a file would) is
+        re-replayed from scratch: manifest, live/dead split and torn
+        tails are all rediscovered, charging one scan read per record
+        page like the constructor does.  Also reopens a :meth:`close`-d
+        log.  Returns what the replay found.
+        """
+        with self._lock, witness("l2"):
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+            if self.path is not None:
+                existing = b""
+                if os.path.exists(self.path):
+                    with open(self.path, "rb") as handle:
+                        existing = handle.read()
+            else:
+                existing = bytes(self._buf)
+            self.recovery = self._open_from(existing)
+            return self.recovery
+
     # ------------------------------------------------------------------
     # Writes
 
-    def append(self, token: str, payload: bytes, benefit: float) -> int:
+    def put(self, token: str, payload: bytes, benefit: float) -> int:
         """Durably store ``payload`` under ``token``; returns pages written.
 
         Last write wins: an existing live record for the same token is
         superseded (the old extent stays in the file as dead space).
         A :class:`~repro.exceptions.DiskFault` raised by the accounting
-        disk's write hook aborts the append — the pages charged before
+        disk's write hook aborts the put — the pages charged before
         the fault stay charged (a torn multi-page write did real work)
         but no bytes reach the backing file and the manifest is
         unchanged.
@@ -281,14 +306,14 @@ class ChunkLog:
         if not token:
             raise ChunkLogError("chunk log token must be non-empty")
         record, stored = self._encode(_PUT, token, payload, benefit)
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             self._ensure_open()
             pages = self._charge_write(record, kind="append")
             if stored is not record:
                 self.stats.torn_writes += 1
             offset = len(self._buf)
             self._persist(stored)
-            self._manifest.pop(token, None)
+            self._forget_extent(token)
             self._manifest[token] = _Extent(
                 offset=offset,
                 length=len(record),
@@ -297,29 +322,34 @@ class ChunkLog:
                 page_start=self.disk.num_pages - pages,
                 pages=pages,
             )
+            self._live_pages += pages
+            self._total_record_pages += pages
             return pages
 
     def delete(self, token: str) -> bool:
         """Tombstone a live record (charged); returns whether it was live."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             self._ensure_open()
             if token not in self._manifest:
                 return False
             record, stored = self._encode(_TOMBSTONE, token, b"", 0.0)
-            self._charge_write(record, kind="tombstone")
+            pages = self._charge_write(record, kind="tombstone")
             self._persist(stored)
-            del self._manifest[token]
+            self._forget_extent(token)
+            self._total_record_pages += pages
             return True
 
     def clear(self) -> int:
         """Drop every live record via one clear-all record (charged)."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             self._ensure_open()
             dropped = len(self._manifest)
             record, stored = self._encode(_CLEAR, "", b"", 0.0)
-            self._charge_write(record, kind="clear")
+            pages = self._charge_write(record, kind="clear")
             self._persist(stored)
             self._manifest.clear()
+            self._live_pages = 0
+            self._total_record_pages += pages
             return dropped
 
     def drop(self, token: str) -> bool:
@@ -327,15 +357,124 @@ class ChunkLog:
 
         No tombstone is written — a torn record cannot be trusted to
         need one; the restart scan will re-surface it and the next read
-        re-quarantines it.
+        re-quarantines it.  (A :meth:`compact` run while the token is
+        quarantined makes the quarantine durable: only manifest records
+        are copied.)
         """
-        with self._lock, witness("chunklog"):
-            return self._manifest.pop(token, None) is not None
+        with self._lock, witness("l2"):
+            return self._forget_extent(token)
+
+    # ------------------------------------------------------------------
+    # Compaction
+
+    def compact(self) -> int:
+        """Rewrite live records into a fresh log; returns pages reclaimed.
+
+        The live manifest is copied *verbatim* (byte-for-byte, CRCs and
+        all — a torn-but-framed record stays torn and still quarantines
+        at read) into a sidecar file which then atomically replaces the
+        log via ``os.replace``.  Every copied record charges its pages
+        as a read and again as a write on the accounting disk
+        (``compact_read_pages`` / ``compact_write_pages``), so
+        compaction I/O is as visible as any other.
+
+        Crash-safe at every write boundary: until the swap the old file
+        is untouched, and a partial sidecar is deleted on the next
+        open.  A :class:`~repro.exceptions.DiskFault` from the
+        read/write hooks (or an armed ``compact_hook``) aborts the
+        compaction with the log unchanged — charged pages stay
+        charged, mirroring every other faulted operation.
+
+        No-op (returns 0) when the log has no dead pages.
+        """
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            reclaimed = self._total_record_pages - self._live_pages
+            if reclaimed <= 0:
+                return 0
+            sidecar_path = (
+                self.path + COMPACT_SUFFIX if self.path is not None else None
+            )
+            header = _HEADER.pack(
+                CHUNKLOG_MAGIC, CHUNKLOG_VERSION, self.disk.page_size
+            )
+            new_buf = bytearray(header)
+            new_manifest: dict[str, _Extent] = {}
+            sidecar: io.BufferedRandom | None = None
+            try:
+                if sidecar_path is not None:
+                    sidecar = open(sidecar_path, "w+b")
+                    sidecar.write(header)
+                    sidecar.flush()
+                for index, (token, extent) in enumerate(
+                    self._manifest.items()
+                ):
+                    if self.compact_hook is not None and self.compact_hook(
+                        index
+                    ):
+                        raise DiskFault(
+                            "injected compaction abort at record "
+                            f"{index} ({token!r})",
+                            page_id=extent.page_start,
+                            transient=True,
+                            site="compact",
+                        )
+                    for page in range(
+                        extent.page_start, extent.page_start + extent.pages
+                    ):
+                        self.disk.read_page(page)
+                        self.stats.compact_read_pages += 1
+                    record = bytes(
+                        self._buf[extent.offset : extent.offset + extent.length]
+                    )
+                    pages = self._charge_compact_write(record)
+                    offset = len(new_buf)
+                    new_buf.extend(record)
+                    if sidecar is not None:
+                        sidecar.write(record)
+                        sidecar.flush()
+                    new_manifest[token] = _Extent(
+                        offset=offset,
+                        length=extent.length,
+                        payload_len=extent.payload_len,
+                        benefit=extent.benefit,
+                        page_start=self.disk.num_pages - pages,
+                        pages=pages,
+                    )
+            except BaseException:
+                if sidecar is not None:
+                    sidecar.close()
+                    assert sidecar_path is not None
+                    os.remove(sidecar_path)
+                raise
+            if sidecar is not None:
+                assert sidecar_path is not None and self.path is not None
+                sidecar.flush()
+                os.fsync(sidecar.fileno())
+                sidecar.close()
+                try:
+                    os.replace(sidecar_path, self.path)
+                except OSError as exc:
+                    os.remove(sidecar_path)
+                    raise ChunkLogError(
+                        f"compaction swap failed: {exc}"
+                    ) from exc
+                if self._file is not None:
+                    self._file.close()
+                self._file = open(self.path, "r+b")
+                self._file.seek(0, os.SEEK_END)
+            self._buf = new_buf
+            self._logical_end = len(new_buf)
+            self._manifest = new_manifest
+            self._total_record_pages = self._live_pages
+            self.stats.compactions += 1
+            self.stats.reclaimed_pages += reclaimed
+            return reclaimed
 
     # ------------------------------------------------------------------
     # Reads
 
-    def read(self, token: str) -> bytes:
+    def get(self, token: str) -> bytes:
         """Charged, verified read of a live record's payload.
 
         Raises :class:`~repro.exceptions.ChunkLogError` for a token that
@@ -344,7 +483,7 @@ class ChunkLog:
         any :class:`~repro.exceptions.DiskFault` from the accounting
         disk's read hook (pages read before the fault stay charged).
         """
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             self._ensure_open()
             extent = self._manifest.get(token)
             if extent is None:
@@ -362,7 +501,7 @@ class ChunkLog:
         deterministic I/O accounting; still CRC-verified so corruption
         never decodes.
         """
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             extent = self._manifest.get(token)
             if extent is None:
                 raise ChunkLogError(f"token {token!r} is not live in the log")
@@ -372,28 +511,28 @@ class ChunkLog:
     # Introspection
 
     def __contains__(self, token: str) -> bool:
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             return token in self._manifest
 
     def __len__(self) -> int:
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             return len(self._manifest)
 
     def tokens(self) -> tuple[str, ...]:
         """Live tokens in (re-)insertion order — deterministic."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             return tuple(self._manifest)
 
-    def entries(self) -> tuple[tuple[str, float, int], ...]:
+    def scan_keys(self) -> tuple[tuple[str, float, int], ...]:
         """Live ``(token, benefit, payload_len)`` in insertion order."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             return tuple(
                 (token, extent.benefit, extent.payload_len)
                 for token, extent in self._manifest.items()
             )
 
     def benefit(self, token: str) -> float:
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             extent = self._manifest.get(token)
             if extent is None:
                 raise ChunkLogError(f"token {token!r} is not live in the log")
@@ -401,7 +540,7 @@ class ChunkLog:
 
     def pages_for(self, token: str) -> int:
         """Pages one charged read of a live token will cost."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             extent = self._manifest.get(token)
             if extent is None:
                 raise ChunkLogError(f"token {token!r} is not live in the log")
@@ -410,12 +549,55 @@ class ChunkLog:
     @property
     def live_bytes(self) -> int:
         """Total payload bytes across live records."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             return sum(e.payload_len for e in self._manifest.values())
+
+    @property
+    def live_pages(self) -> int:
+        """File pages occupied by live (manifest) records."""
+        with self._lock, witness("l2"):
+            return self._live_pages
+
+    @property
+    def dead_pages(self) -> int:
+        """File pages occupied by superseded/tombstone/clear records."""
+        with self._lock, witness("l2"):
+            return self._total_record_pages - self._live_pages
+
+    def counters(self) -> dict[str, int]:
+        """Space gauges the tiered cache surfaces per tier."""
+        with self._lock, witness("l2"):
+            return {
+                "live_pages": self._live_pages,
+                "dead_pages": self._total_record_pages - self._live_pages,
+                "compactions": self.stats.compactions,
+                "reclaimed_pages": self.stats.reclaimed_pages,
+            }
+
+    # ------------------------------------------------------------------
+    # Fault points (the injector sets these; see docs/FAULTS.md)
+
+    @property
+    def write_hook(self) -> Callable[[int], float] | None:
+        """Per-page write fault point (delegates to the accounting disk)."""
+        return self.disk.write_hook
+
+    @write_hook.setter
+    def write_hook(self, hook: Callable[[int], float] | None) -> None:
+        self.disk.write_hook = hook
+
+    @property
+    def read_hook(self) -> Callable[[int], float] | None:
+        """Per-page read fault point (delegates to the accounting disk)."""
+        return self.disk.read_hook
+
+    @read_hook.setter
+    def read_hook(self, hook: Callable[[int], float] | None) -> None:
+        self.disk.read_hook = hook
 
     def close(self) -> None:
         """Flush and close the backing file (idempotent)."""
-        with self._lock, witness("chunklog"):
+        with self._lock, witness("l2"):
             if self._closed:
                 return
             self._closed = True
@@ -425,7 +607,31 @@ class ChunkLog:
                 self._file = None
 
     # ------------------------------------------------------------------
+    # Backwards-compatible names (pre-protocol API)
+
+    def append(self, token: str, payload: bytes, benefit: float) -> int:
+        """Alias of :meth:`put` (the pre-``L2Backend`` name)."""
+        return self.put(token, payload, benefit)
+
+    def read(self, token: str) -> bytes:
+        """Alias of :meth:`get` (the pre-``L2Backend`` name)."""
+        return self.get(token)
+
+    def entries(self) -> tuple[tuple[str, float, int], ...]:
+        """Alias of :meth:`scan_keys` (the pre-``L2Backend`` name)."""
+        return self.scan_keys()
+
+    # ------------------------------------------------------------------
     # Internals (lock held)
+
+    def _forget_extent(self, token: str) -> bool:
+        """Drop a token's extent from the manifest, keeping the live
+        page gauge exact (lock held)."""
+        extent = self._manifest.pop(token, None)
+        if extent is None:
+            return False
+        self._live_pages -= extent.pages
+        return True
 
     def _encode(
         self, rtype: int, token: str, payload: bytes, benefit: float
@@ -478,6 +684,19 @@ class ChunkLog:
                 self.stats.clear_pages += written
                 if written == pages:
                     self.stats.clears += 1
+        return pages
+
+    def _charge_compact_write(self, record: bytes) -> int:
+        """Allocate + write-charge one compacted record's pages."""
+        pages = self._pages_for(len(record))
+        first = self.disk.allocate(pages)
+        written = 0
+        try:
+            for page in range(first, first + pages):
+                self.disk.write_page(page, b"")
+                written += 1
+        finally:
+            self.stats.compact_write_pages += written
         return pages
 
     def _persist(self, stored: bytes) -> None:

@@ -1,0 +1,474 @@
+"""SQLite-backed L2 cache backend (stdlib :mod:`sqlite3` only).
+
+:class:`SqliteBackend` stores the same ``(token, benefit, payload)``
+records as :class:`~repro.storage.chunklog.ChunkLog`, but in a SQLite
+table that updates rows **in place** — superseded puts and tombstones
+leave no dead space, so :meth:`SqliteBackend.compact` is a no-op and
+``dead_pages`` is ``0`` by construction.  It exists both as a real
+alternative store (PartitionCache-style pluggable handler) and as the
+second implementation that keeps the :class:`~repro.storage.l2.L2Backend`
+contract honest: the conformance kit in ``tests/storage/l2_contract.py``
+runs identically over both.
+
+Accounting is *logical*, not physical: every operation charges
+``ceil(record_length(token, payload) / page_size)`` pages through the
+backend's private :class:`~repro.storage.disk.SimulatedDisk` — the
+canonical framed size from :mod:`repro.storage.l2`, independent of how
+SQLite lays out B-tree pages.  Two backends holding the same records
+therefore charge identical page counts, which is what keeps chaos
+digests backend-comparable (see ``docs/TIERING.md`` §Backends).
+
+Corruption detection mirrors the log: each row stores a CRC-32 over
+the record's canonical framing, token and payload; ``torn_hook`` may
+corrupt the *stored* payload while the stored CRC still covers the
+originals, and the mismatch is detected at :meth:`SqliteBackend.get`
+(quarantine, not scan-time rejection — same policy as the log).
+
+Recovery policy on open: a readable database replays its rows in
+``seq`` order (charging one scan read per record's pages).  An
+unreadable file — not a SQLite database, or a database without our
+table schema — resets to a fresh empty store (``header_reset=True``):
+the persist path is cache-owned state, so a cold start beats refusing
+to serve.  This matches the log's corrupt-header policy exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Callable
+from zlib import crc32
+
+from repro.exceptions import ChunkLogCorruption, ChunkLogError
+from repro.lockorder import witness
+from repro.storage.disk import DEFAULT_PAGE_SIZE, SimulatedDisk
+from repro.storage.l2 import L2Recovery, L2Stats, record_length
+
+__all__ = ["SqliteBackend"]
+
+_CRC_FIELDS = struct.Struct("<BHId")  # type, token_len, payload_len, benefit
+_PUT = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    token   TEXT    PRIMARY KEY,
+    benefit REAL    NOT NULL,
+    payload BLOB    NOT NULL,
+    crc     INTEGER NOT NULL,
+    seq     INTEGER NOT NULL
+)
+"""
+
+
+def _record_crc(token_bytes: bytes, payload: bytes, benefit: float) -> int:
+    fields = _CRC_FIELDS.pack(_PUT, len(token_bytes), len(payload), benefit)
+    return crc32(fields + token_bytes + payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class _Row:
+    """In-memory manifest entry: benefit, size and charged page run."""
+
+    benefit: float
+    payload_len: int
+    page_start: int
+    pages: int
+
+
+class SqliteBackend:
+    """In-place-update L2 backend over a stdlib SQLite database.
+
+    Args:
+        path: Database file.  ``None`` uses an in-memory database
+            (same accounting; :meth:`reopen` rescans the live
+            connection, mirroring the in-memory chunk log).
+        page_size: Page size of the private accounting disk.
+
+    Thread safety: every public operation holds the backend's single
+    internal lock (runtime witness level ``"l2"`` — a leaf in the
+    documented lock order, same level as every L2 backend).  The
+    SQLite connection is only ever touched under that lock, so
+    ``check_same_thread=False`` is safe.
+    """
+
+    def __init__(
+        self, path: str | None = None, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        self.path = path
+        self.disk = SimulatedDisk(page_size=page_size)
+        self.stats = L2Stats()
+        self._lock = threading.Lock()
+        self._manifest: dict[str, _Row] = {}
+        self._closed = False
+        self._seq = 0
+        self._conn: sqlite3.Connection | None = None
+        self.torn_hook: Callable[[str], bool] | None = None
+        # In-place updates leave no dead space, so compaction never
+        # copies a record and the hook has nothing to interpose on; it
+        # exists to satisfy the backend contract uniformly.
+        self.compact_hook: Callable[[int], bool] | None = None
+        # No lock: not published until construction returns.
+        self.recovery = self._open()
+
+    # ------------------------------------------------------------------
+    # Open/replay
+
+    def _connect(self) -> sqlite3.Connection:
+        target = self.path if self.path is not None else ":memory:"
+        conn = sqlite3.connect(target, check_same_thread=False)
+        conn.execute(_SCHEMA)
+        conn.commit()
+        return conn
+
+    def _open(self) -> L2Recovery:
+        """(Re)connect and rebuild the manifest; charge scan reads."""
+        header_reset = False
+        truncated = 0
+        if self._conn is None:
+            try:
+                self._conn = self._connect()
+            except sqlite3.DatabaseError:
+                # Not a SQLite database: reset to a fresh empty store,
+                # same policy as the log's corrupt-header recovery.
+                assert self.path is not None
+                truncated = os.path.getsize(self.path)
+                os.remove(self.path)
+                header_reset = True
+                self._conn = self._connect()
+        self._manifest.clear()
+        self._seq = 0
+        records = 0
+        try:
+            rows = self._conn.execute(
+                "SELECT token, benefit, payload, seq FROM records"
+                " ORDER BY seq"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            # Readable header but corrupt pages / missing schema.
+            self._conn.close()
+            self._conn = None
+            if self.path is not None:
+                truncated = os.path.getsize(self.path)
+                os.remove(self.path)
+            header_reset = True
+            self._conn = self._connect()
+            rows = []
+        for token, benefit, payload, seq in rows:
+            pages = self._pages_for(record_length(token, payload))
+            page_start = self.disk.allocate(pages)
+            for page in range(page_start, page_start + pages):
+                self.disk.read_page(page)
+                self.stats.scan_pages += 1
+            records += 1
+            self.stats.scan_records += 1
+            self._manifest[token] = _Row(
+                benefit=benefit,
+                payload_len=len(payload),
+                page_start=page_start,
+                pages=pages,
+            )
+            self._seq = max(self._seq, seq + 1)
+        self._closed = False
+        return L2Recovery(
+            records=records,
+            live_entries=len(self._manifest),
+            truncated_bytes=truncated,
+            header_reset=header_reset,
+        )
+
+    def reopen(self) -> L2Recovery:
+        """Simulated restart: rebuild everything from durable state.
+
+        A file-backed store closes and reconnects; an in-memory store
+        rescans its live connection (its table plays the role of the
+        durable bytes, exactly like the in-memory log's buffer).  Also
+        reopens a :meth:`close`-d backend.
+        """
+        with self._lock, witness("l2"):
+            if self._conn is not None and self.path is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+            self.recovery = self._open()
+            return self.recovery
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def put(self, token: str, payload: bytes, benefit: float) -> int:
+        """Durably store ``payload`` under ``token``; returns pages charged.
+
+        Last write wins (the row is replaced in place).  A
+        :class:`~repro.exceptions.DiskFault` from the write hook aborts
+        the put before any SQL runs — charged pages stay charged, the
+        table and manifest are unchanged.
+        """
+        if not token:
+            raise ChunkLogError("chunk log token must be non-empty")
+        token_bytes = token.encode("utf-8")
+        if len(token_bytes) > 0xFFFF:
+            raise ChunkLogError(
+                f"token of {len(token_bytes)} bytes exceeds the 64 KiB "
+                "format limit"
+            )
+        crc = _record_crc(token_bytes, payload, benefit)
+        stored = payload
+        if payload and self.torn_hook is not None and self.torn_hook(token):
+            torn = bytearray(payload)
+            torn[-1] ^= 0xFF
+            stored = bytes(torn)
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            pages = self._charge_write(
+                record_length(token, payload), kind="append"
+            )
+            if stored is not payload:
+                self.stats.torn_writes += 1
+            conn = self._require_conn()
+            conn.execute(
+                "INSERT OR REPLACE INTO records"
+                " (token, benefit, payload, crc, seq) VALUES (?, ?, ?, ?, ?)",
+                (token, benefit, stored, crc, self._seq),
+            )
+            conn.commit()
+            self._manifest.pop(token, None)
+            self._manifest[token] = _Row(
+                benefit=benefit,
+                payload_len=len(payload),
+                page_start=self.disk.num_pages - pages,
+                pages=pages,
+            )
+            self._seq += 1
+            return pages
+
+    def delete(self, token: str) -> bool:
+        """Durably drop a live token (charged); returns whether it was live."""
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            if token not in self._manifest:
+                return False
+            self._charge_write(record_length(token), kind="tombstone")
+            conn = self._require_conn()
+            conn.execute("DELETE FROM records WHERE token = ?", (token,))
+            conn.commit()
+            del self._manifest[token]
+            return True
+
+    def clear(self) -> int:
+        """Durably drop every live token with one charged clear record."""
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            dropped = len(self._manifest)
+            self._charge_write(record_length(""), kind="clear")
+            conn = self._require_conn()
+            conn.execute("DELETE FROM records")
+            conn.commit()
+            self._manifest.clear()
+            return dropped
+
+    def drop(self, token: str) -> bool:
+        """Quarantine: remove a token from the manifest, memory only.
+
+        The row stays in the table — the restart scan re-surfaces it
+        and the next read re-quarantines it, same policy as the log.
+        """
+        with self._lock, witness("l2"):
+            return self._manifest.pop(token, None) is not None
+
+    # ------------------------------------------------------------------
+    # Compaction (vacuous: updates happen in place)
+
+    def compact(self) -> int:
+        """No-op: in-place updates never accumulate dead space."""
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            return 0
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def get(self, token: str) -> bytes:
+        """Charged, CRC-verified read of a live token's payload."""
+        with self._lock, witness("l2"):
+            self._ensure_open()
+            row = self._manifest.get(token)
+            if row is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            for page in range(row.page_start, row.page_start + row.pages):
+                self.disk.read_page(page)
+                self.stats.read_pages += 1
+            self.stats.reads += 1
+            return self._verified_payload(token, row)
+
+    def peek(self, token: str) -> bytes:
+        """Uncharged, verified read (no disk counters, no fault hooks)."""
+        with self._lock, witness("l2"):
+            row = self._manifest.get(token)
+            if row is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return self._verified_payload(token, row)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __contains__(self, token: str) -> bool:
+        with self._lock, witness("l2"):
+            return token in self._manifest
+
+    def __len__(self) -> int:
+        with self._lock, witness("l2"):
+            return len(self._manifest)
+
+    def tokens(self) -> tuple[str, ...]:
+        """Live tokens in (re-)insertion order — deterministic."""
+        with self._lock, witness("l2"):
+            return tuple(self._manifest)
+
+    def scan_keys(self) -> tuple[tuple[str, float, int], ...]:
+        """Live ``(token, benefit, payload_len)`` in insertion order."""
+        with self._lock, witness("l2"):
+            return tuple(
+                (token, row.benefit, row.payload_len)
+                for token, row in self._manifest.items()
+            )
+
+    def benefit(self, token: str) -> float:
+        with self._lock, witness("l2"):
+            row = self._manifest.get(token)
+            if row is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return row.benefit
+
+    def pages_for(self, token: str) -> int:
+        """Pages one charged read of a live token will cost."""
+        with self._lock, witness("l2"):
+            row = self._manifest.get(token)
+            if row is None:
+                raise ChunkLogError(f"token {token!r} is not live in the log")
+            return row.pages
+
+    @property
+    def live_bytes(self) -> int:
+        """Total payload bytes across live records."""
+        with self._lock, witness("l2"):
+            return sum(r.payload_len for r in self._manifest.values())
+
+    @property
+    def live_pages(self) -> int:
+        """Accounting pages charged for the currently live records."""
+        with self._lock, witness("l2"):
+            return sum(r.pages for r in self._manifest.values())
+
+    @property
+    def dead_pages(self) -> int:
+        """Always ``0``: rows are replaced in place, never superseded."""
+        return 0
+
+    def counters(self) -> dict[str, int]:
+        """Space gauges the tiered cache surfaces per tier."""
+        with self._lock, witness("l2"):
+            return {
+                "live_pages": sum(
+                    r.pages for r in self._manifest.values()
+                ),
+                "dead_pages": 0,
+                "compactions": self.stats.compactions,
+                "reclaimed_pages": self.stats.reclaimed_pages,
+            }
+
+    # ------------------------------------------------------------------
+    # Fault points (the injector sets these; see docs/FAULTS.md)
+
+    @property
+    def write_hook(self) -> Callable[[int], float] | None:
+        """Per-page write fault point (delegates to the accounting disk)."""
+        return self.disk.write_hook
+
+    @write_hook.setter
+    def write_hook(self, hook: Callable[[int], float] | None) -> None:
+        self.disk.write_hook = hook
+
+    @property
+    def read_hook(self) -> Callable[[int], float] | None:
+        """Per-page read fault point (delegates to the accounting disk)."""
+        return self.disk.read_hook
+
+    @read_hook.setter
+    def read_hook(self, hook: Callable[[int], float] | None) -> None:
+        self.disk.read_hook = hook
+
+    def close(self) -> None:
+        """Commit and close the connection (idempotent).
+
+        An in-memory database is *not* closed — closing would discard
+        the only copy of the durable state; the backend just stops
+        accepting operations until :meth:`reopen`.
+        """
+        with self._lock, witness("l2"):
+            if self._closed:
+                return
+            self._closed = True
+            if self._conn is not None and self.path is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+
+    # ------------------------------------------------------------------
+    # Internals (lock held)
+
+    def _charge_write(self, length: int, kind: str) -> int:
+        pages = self._pages_for(length)
+        first = self.disk.allocate(pages)
+        written = 0
+        try:
+            for page in range(first, first + pages):
+                self.disk.write_page(page, b"")
+                written += 1
+        finally:
+            if kind == "append":
+                self.stats.append_pages += written
+                if written == pages:
+                    self.stats.appends += 1
+            elif kind == "tombstone":
+                self.stats.tombstone_pages += written
+                if written == pages:
+                    self.stats.tombstones += 1
+            else:
+                self.stats.clear_pages += written
+                if written == pages:
+                    self.stats.clears += 1
+        return pages
+
+    def _verified_payload(self, token: str, row: _Row) -> bytes:
+        conn = self._require_conn()
+        fetched = conn.execute(
+            "SELECT benefit, payload, crc FROM records WHERE token = ?",
+            (token,),
+        ).fetchone()
+        if fetched is None:
+            raise ChunkLogError(f"token {token!r} is not live in the log")
+        benefit, payload, crc = fetched
+        token_bytes = token.encode("utf-8")
+        if _record_crc(token_bytes, payload, benefit) != crc:
+            self.stats.crc_failures += 1
+            raise ChunkLogCorruption(
+                f"chunk log record {token!r} failed its CRC-32 check "
+                "(torn write)",
+                token=token,
+            )
+        return bytes(payload)
+
+    def _require_conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise ChunkLogError("chunk log is closed")
+        return self._conn
+
+    def _pages_for(self, length: int) -> int:
+        return max(1, -(-length // self.disk.page_size))
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ChunkLogError("chunk log is closed")

@@ -1,5 +1,8 @@
 """Tests for repro.core.tiered — the two-tier chunk cache."""
 
+import json
+import struct
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -13,7 +16,12 @@ from repro.core.tiered import (
     encode_chunk,
     token_key,
 )
-from repro.exceptions import DiskFault, InvariantViolation
+from repro.exceptions import (
+    CacheError,
+    ChunkLogError,
+    DiskFault,
+    InvariantViolation,
+)
 from repro.storage.chunklog import ChunkLog
 
 PAGE = 256
@@ -58,6 +66,53 @@ class TestTokenCodec:
         assert restored.compute_pages == entry.compute_pages
         assert restored.rows.dtype == entry.rows.dtype
         assert restored.rows.tobytes() == entry.rows.tobytes()
+
+
+class TestPayloadCodecEdges:
+    def test_plain_dtype_roundtrip(self):
+        entry = CachedChunk(
+            key=make_chunk().key,
+            rows=np.arange(6, dtype="<f8"),
+            benefit=1.5,
+            compute_pages=2.0,
+        )
+        restored = decode_chunk(entry.key, encode_chunk(entry))
+        assert restored.rows.dtype == np.dtype("<f8")
+        assert restored.rows.tobytes() == entry.rows.tobytes()
+
+    def test_subarray_field_roundtrip(self):
+        rows = np.zeros(3, dtype=[("v", "<f8", (2,)), ("n", "<i4")])
+        rows["v"] = [[1, 2], [3, 4], [5, 6]]
+        entry = CachedChunk(
+            key=make_chunk().key, rows=rows, benefit=1.0, compute_pages=1.0
+        )
+        restored = decode_chunk(entry.key, encode_chunk(entry))
+        assert restored.rows.dtype == rows.dtype
+        assert restored.rows.tobytes() == rows.tobytes()
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ChunkLogError):
+            decode_chunk(make_chunk().key, b"\x01")
+
+    def test_meta_extending_past_the_record_rejected(self):
+        with pytest.raises(ChunkLogError):
+            decode_chunk(make_chunk().key, struct.pack("<I", 100) + b"{}")
+
+    def test_unparseable_meta_rejected(self):
+        meta = b"not json at all"
+        with pytest.raises(ChunkLogError):
+            decode_chunk(
+                make_chunk().key, struct.pack("<I", len(meta)) + meta
+            )
+
+    def test_malformed_dtype_spec_rejected(self):
+        meta = json.dumps(
+            {"b": "0x1p+0", "c": "0x1p+0", "d": 5, "s": [1]}
+        ).encode("utf-8")
+        with pytest.raises(ChunkLogError):
+            decode_chunk(
+                make_chunk().key, struct.pack("<I", len(meta)) + meta
+            )
 
 
 class TestSpillAndPromote:
@@ -211,6 +266,149 @@ class TestInvalidateAndClear:
         assert len(tiered) == 0
         assert len(tiered.log) == 0
 
+    def test_faulted_tombstone_still_invalidates(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))  # 0 spilled
+        key = make_chunk(number=0).key
+
+        def hook(page_id):
+            raise DiskFault("wedged", page_id=page_id, transient=False)
+
+        tiered.log.disk.write_hook = hook
+        assert tiered.invalidate(key) is True
+        tiered.log.disk.write_hook = None
+        # The tombstone never landed, but the key is dead to this
+        # process either way.
+        assert key not in tiered
+        assert tiered.tiers()["l2"]["spill_faults"] == 1
+        tiered.check_conservation()
+
+    def test_faulted_clear_still_clears_the_manifest(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))
+
+        def hook(page_id):
+            raise DiskFault("wedged", page_id=page_id, transient=False)
+
+        tiered.log.disk.write_hook = hook
+        tiered.clear()
+        tiered.log.disk.write_hook = None
+        assert len(tiered) == 0
+        assert make_chunk(number=0).key not in tiered
+        assert tiered.tiers()["l2"]["spill_faults"] == 1
+        tiered.check_conservation()
+
+
+class TestStoreSurfaces:
+    def test_failure_limit_validated(self):
+        with pytest.raises(CacheError):
+            TieredChunkCache(
+                ChunkCache(100), ChunkLog(page_size=PAGE), failure_limit=0
+            )
+
+    def test_capacity_is_the_l1_budget(self):
+        assert make_tiered(capacity=4_096).capacity_bytes == 4_096
+
+    def test_membership_and_peek_prefer_l1(self):
+        tiered = make_tiered()
+        entry = make_chunk(fill=3)
+        tiered.put(entry)
+        assert entry.key in tiered
+        resident = tiered.peek(entry.key)
+        assert resident is not None
+        assert resident.rows["D0"][0] == 3
+        assert tiered.peek(make_chunk(number=9).key) is None
+
+    def test_snapshot_spans_both_tiers(self):
+        tiered = make_tiered(capacity=2 * make_chunk().size_bytes)
+        for n in range(3):
+            tiered.put(make_chunk(number=n, fill=n))
+        pairs = tiered.snapshot()
+        assert len(pairs) == 3  # two resident + one decoded from the log
+        assert {key.number for key, _ in pairs} == {0, 1, 2}
+        tiered.check_conservation()  # snapshot decodes are uncharged
+
+    def test_stale_manifest_entry_is_a_miss(self):
+        tiered = make_tiered(capacity=make_chunk().size_bytes)
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))  # 0 spilled
+        key = make_chunk(number=0).key
+        # Delete behind the tier's back: the manifest now points at a
+        # record the log no longer holds.
+        tiered.log.delete(chunk_token(key))
+        assert tiered.get(key) is None
+        assert key not in tiered  # the stale entry is forgotten
+        tiered.check_conservation()
+
+    def test_respill_credits_the_existing_record(self):
+        size = len(encode_chunk(make_chunk()))
+        tiered = TieredChunkCache(
+            ChunkCache(make_chunk().size_bytes),
+            ChunkLog(page_size=PAGE),
+            l2_budget_bytes=2 * size,
+        )
+        first, second = make_chunk(number=0), make_chunk(number=1, fill=1)
+        tiered.put(first)
+        tiered.put(second)  # spill 0
+        tiered.put(first)   # spill 1
+        tiered.put(second)  # re-spill 0: replaced in place, no eviction
+        l2 = tiered.tiers()["l2"]
+        assert l2["spills"] == 3
+        assert l2["evictions"] == 0
+        assert l2["budget_skipped"] == 0
+        tiered.check_conservation()
+
+    def test_budget_eviction_survives_a_faulted_tombstone(self):
+        size = len(encode_chunk(make_chunk()))
+        tiered = TieredChunkCache(
+            ChunkCache(make_chunk().size_bytes),
+            ChunkLog(page_size=PAGE),
+            l2_budget_bytes=size,
+            failure_limit=8,
+        )
+        first, second = make_chunk(number=0), make_chunk(number=1, fill=1)
+        tiered.put(first)
+        tiered.put(second)  # spill 0, exactly filling the budget
+
+        def hook(page_id):
+            raise DiskFault("wedged", page_id=page_id, transient=False)
+
+        tiered.log.disk.write_hook = hook
+        tiered.put(first)  # spill 1: budget-evicts 0 (tombstone faults),
+        tiered.log.disk.write_hook = None  # then its own append faults
+        l2 = tiered.tiers()["l2"]
+        assert l2["evictions"] == 1
+        assert l2["spill_faults"] == 2
+        tiered.check_conservation()
+
+    def test_unparseable_token_is_quarantined_on_rebuild(self):
+        log = ChunkLog(page_size=PAGE)
+        log.append("not-json", b"payload", 1.0)
+        tiered = TieredChunkCache(ChunkCache(1_000), log)
+        assert tiered.tiers()["l2"]["quarantined"] == 1
+        assert len(tiered) == 0
+        assert "not-json" not in log
+
+    def test_degraded_tier_hides_l2_keys(self):
+        tiered = make_tiered(
+            capacity=make_chunk().size_bytes, failure_limit=1
+        )
+        tiered.put(make_chunk(number=0))
+        tiered.put(make_chunk(number=1))  # 0 spilled cleanly
+
+        def hook(page_id):
+            raise DiskFault("wedged", page_id=page_id, transient=False)
+
+        tiered.log.disk.write_hook = hook
+        tiered.put(make_chunk(number=2))  # faulted spill degrades the tier
+        tiered.log.disk.write_hook = None
+        assert tiered.tiers()["l2"]["degraded"] is True
+        # The spilled key survives in the log but is invisible now.
+        assert len(tiered.keys()) == len(tiered._l1.keys())
+        assert len(tiered) == 1
+
 
 class TestDegrade:
     def test_corrupt_payload_quarantines(self):
@@ -303,6 +501,155 @@ class TestReopen:
         # Warm filling must not cascade eviction spills back into the log.
         assert log.disk.stats.writes == writes_before
         assert fresh.tiers()["l2"]["spills"] == 0
+
+
+class TestL2BudgetValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CacheError):
+            TieredChunkCache(
+                ChunkCache(1_000), ChunkLog(page_size=PAGE),
+                l2_budget_bytes=-1,
+            )
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_out_of_range_compact_threshold_rejected(self, threshold):
+        with pytest.raises(CacheError):
+            TieredChunkCache(
+                ChunkCache(1_000), ChunkLog(page_size=PAGE),
+                compact_threshold=threshold,
+            )
+
+    def test_unbounded_budget_never_evicts(self):
+        size = make_chunk().size_bytes
+        tiered = TieredChunkCache(ChunkCache(size), ChunkLog(page_size=PAGE))
+        for n in range(6):
+            tiered.put(make_chunk(number=n, fill=n))
+        l2 = tiered.tiers()["l2"]
+        assert l2["evictions"] == 0
+        assert l2["budget_skipped"] == 0
+        assert l2["budget_bytes"] is None
+        assert len(tiered.log) == 5
+
+
+class TestBudgetReopen:
+    """Warm start under ``l2_budget_bytes``: the recovered live set is
+    the strict benefit-ranked prefix that fits the budget."""
+
+    @staticmethod
+    def fill_log(entries):
+        log = ChunkLog(page_size=PAGE)
+        sizes = {}
+        for number, rows, benefit in entries:
+            entry = make_chunk(number=number, rows=rows, benefit=benefit)
+            payload = encode_chunk(entry)
+            log.put(chunk_token(entry.key), payload, benefit)
+            sizes[number] = len(payload)
+        return log, sizes
+
+    def test_reopen_keeps_the_benefit_ranked_prefix(self):
+        log, sizes = self.fill_log(
+            [(0, 4, 3.0), (1, 4, 1.0), (2, 4, 2.0)]
+        )
+        tiered = TieredChunkCache(
+            ChunkCache(1 << 20), log, l2_budget_bytes=2 * sizes[0]
+        )
+        tiered.reopen()
+        assert chunk_token(make_chunk(number=0).key) in log
+        assert chunk_token(make_chunk(number=2).key) in log
+        assert chunk_token(make_chunk(number=1).key) not in log
+        assert tiered.tiers()["l2"]["evictions"] == 1
+        assert log.live_bytes <= 2 * sizes[0]
+        tiered.check_conservation()
+
+    def test_zero_budget_drops_everything(self):
+        log, _sizes = self.fill_log([(0, 4, 3.0), (1, 4, 1.0)])
+        tiered = TieredChunkCache(
+            ChunkCache(1 << 20), log, l2_budget_bytes=0
+        )
+        loaded = tiered.reopen()
+        assert loaded == 0
+        assert len(log) == 0
+        assert log.stats.tombstones == 2  # charged, durable drops
+        tiered.check_conservation()
+
+    def test_single_oversized_record_is_dropped_even_alone(self):
+        log, sizes = self.fill_log([(0, 16, 5.0)])
+        tiered = TieredChunkCache(
+            ChunkCache(1 << 20), log, l2_budget_bytes=sizes[0] - 1
+        )
+        assert tiered.reopen() == 0
+        assert len(log) == 0
+        tiered.check_conservation()
+
+    def test_ranking_stops_at_the_first_record_that_does_not_fit(self):
+        # A (big, benefit 5) fits; B (big, benefit 4) does not; C
+        # (small, benefit 3) *would* fit — but the prefix is strict, so
+        # everything ranked below the first non-fit is dropped too.
+        log, sizes = self.fill_log(
+            [(0, 16, 5.0), (1, 16, 4.0), (2, 4, 3.0)]
+        )
+        assert sizes[2] < sizes[0]
+        tiered = TieredChunkCache(
+            ChunkCache(1 << 20), log, l2_budget_bytes=sizes[0] + sizes[2]
+        )
+        tiered.reopen()
+        assert log.tokens() == (chunk_token(make_chunk(number=0).key),)
+        assert tiered.tiers()["l2"]["evictions"] == 2
+        tiered.check_conservation()
+
+
+class TestCompactionTrigger:
+    def test_crossing_the_dead_space_ratio_compacts(self):
+        size = make_chunk().size_bytes
+        tiered = TieredChunkCache(
+            ChunkCache(size), ChunkLog(page_size=PAGE),
+            compact_threshold=0.5,
+        )
+        tiered.put(make_chunk(number=0, fill=0))
+        tiered.put(make_chunk(number=1, fill=1))  # spills #0
+        tiered.invalidate(make_chunk(number=0).key)  # all L2 pages dead
+        l2 = tiered.tiers()["l2"]
+        assert l2["compactions"] == 1
+        assert l2["dead_pages"] == 0
+        assert l2["reclaimed_pages"] > 0
+        tiered.check_conservation()
+
+    def test_no_threshold_never_compacts(self):
+        size = make_chunk().size_bytes
+        tiered = TieredChunkCache(ChunkCache(size), ChunkLog(page_size=PAGE))
+        tiered.put(make_chunk(number=0, fill=0))
+        tiered.put(make_chunk(number=1, fill=1))
+        tiered.invalidate(make_chunk(number=0).key)
+        l2 = tiered.tiers()["l2"]
+        assert l2["compactions"] == 0
+        assert l2["dead_pages"] > 0
+
+    def test_faulted_compaction_counts_but_does_not_degrade(self):
+        size = make_chunk().size_bytes
+        tiered = TieredChunkCache(
+            ChunkCache(size), ChunkLog(page_size=PAGE),
+            compact_threshold=0.5,
+        )
+        for n in range(3):
+            tiered.put(make_chunk(number=n, fill=n))  # spills #0, #1
+        tiered.log.compact_hook = lambda index: True
+        tiered.invalidate(make_chunk(number=0).key)  # ratio hits 0.5
+        tiered.log.compact_hook = None
+        l2 = tiered.tiers()["l2"]
+        assert l2["compact_faults"] == 1
+        assert l2["compactions"] == 0
+        assert l2["degraded"] is False
+        assert l2["dead_pages"] > 0  # the abort left the log untouched
+        tiered.check_conservation()
+
+    def test_tiers_surface_the_space_gauges(self):
+        tiered = make_tiered()
+        l2 = tiered.tiers()["l2"]
+        for gauge in (
+            "live_pages", "dead_pages", "compactions", "reclaimed_pages",
+            "compact_faults", "evictions", "budget_skipped", "budget_bytes",
+        ):
+            assert gauge in l2
 
 
 class TestInfiniteL1Equivalence:

@@ -17,6 +17,7 @@ from repro.core.tiered import TieredChunkCache, chunk_token
 from repro.experiments.configs import SMOKE_SCALE
 from repro.experiments.soakjob import run_chaos_job
 from repro.faults import (
+    LOG_COMPACT,
     LOG_PERMANENT,
     LOG_TORN,
     PROMOTE_READ,
@@ -159,7 +160,7 @@ class TestTieredSpecs:
         extended = tiered_specs("mid")
         assert extended[: len(base)] == base  # pinned digests never move
         kinds = {spec.kind for spec in extended[len(base):]}
-        assert kinds == {SPILL_WRITE, PROMOTE_READ, LOG_TORN}
+        assert kinds == {SPILL_WRITE, PROMOTE_READ, LOG_TORN, LOG_COMPACT}
 
     def test_high_arms_dead_pages(self):
         kinds = {spec.kind for spec in tiered_specs("high")}
@@ -185,10 +186,12 @@ CHAOS_ARGS = dict(
 
 
 class TestTieredChaosDigest:
-    """The 2-tier chaos digest is schedule-independent."""
+    """The 2-tier chaos digest is schedule-independent — for every
+    L2 backend: the digest is a pure function of (workload, seed,
+    config), and the backend is part of the config, not the schedule."""
 
-    @pytest.fixture(scope="class")
-    def runs(self):
+    @pytest.fixture(scope="class", params=["chunklog", "sqlite"])
+    def runs(self, request):
         return {
             workers: run_chaos_job(
                 config=ChaosConfig(
@@ -196,6 +199,7 @@ class TestTieredChaosDigest:
                     checkpoint_every=25,
                     timeout_seconds=120.0,
                 ),
+                l2_backend=request.param,
                 **CHAOS_ARGS,
             )
             for workers in (1, 2, 4)

@@ -107,7 +107,7 @@ def test_soak_requires_a_conservation_checking_store():
 def test_two_tier_soak_witnesses_the_tiering_lock_order():
     """The 2-tier soak under real thread interleavings: conservation
     still exact, and every runtime lock-order edge — now including the
-    spill path's shard -> tiered -> chunklog nesting — was predicted by
+    spill path's shard -> tiered -> l2 nesting — was predicted by
     the static graph."""
     from repro.core.tiered import TieredChunkCache
     from repro.storage.chunklog import ChunkLog
@@ -144,4 +144,4 @@ def test_two_tier_soak_witnesses_the_tiering_lock_order():
         " — regenerate tests/tools/lockorder.txt if this is intentional"
     )
     assert ("shard", "tiered") in observed
-    assert ("tiered", "chunklog") in observed
+    assert ("tiered", "l2") in observed

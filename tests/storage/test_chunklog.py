@@ -289,6 +289,20 @@ class TestRestartRecovery:
         assert reopened.recovery.truncated_bytes == 64
         assert reopened.tokens() == ("a",)
 
+    def test_non_utf8_token_bytes_cut_tail(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.append("a", b"x", 1.0)
+        log.close()
+        # A well-framed PUT whose token bytes are not UTF-8: the scan
+        # treats it as the start of a corrupt tail.
+        bogus = struct.Struct("<BHIdI").pack(1, 2, 0, 1.0, 0) + b"\xff\xfe"
+        with open(path, "ab") as handle:
+            handle.write(bogus)
+        reopened = make_log(path)
+        assert reopened.recovery.truncated_bytes == len(bogus)
+        assert reopened.tokens() == ("a",)
+
     def test_newer_version_refused(self, tmp_path):
         path = str(tmp_path / "log.bin")
         header = struct.Struct("<4sHI6x").pack(
@@ -304,6 +318,48 @@ class TestRestartRecovery:
         make_log(path).close()
         with pytest.raises(ChunkLogError, match="page_size"):
             ChunkLog(path, page_size=2 * PAGE)
+
+
+class TestSpaceCounters:
+    def test_supersede_and_tombstone_grow_dead_pages(self):
+        log = make_log()
+        assert (log.live_pages, log.dead_pages) == (0, 0)
+        first = log.put("a", b"x" * PAGE, 1.0)
+        assert log.live_pages == first
+        assert log.dead_pages == 0
+        second = log.put("a", b"y" * 4, 2.0)  # supersedes the old record
+        assert log.live_pages == second
+        assert log.dead_pages == first
+        log.delete("a")  # the record and its tombstone are both dead
+        assert log.live_pages == 0
+        assert log.dead_pages == (
+            first + second + log.stats.tombstone_pages
+        )
+        counters = log.counters()
+        assert counters["live_pages"] == log.live_pages
+        assert counters["dead_pages"] == log.dead_pages
+
+    def test_compact_resets_dead_space_and_reports_reclaimed(self):
+        log = make_log()
+        log.put("a", b"x" * PAGE, 1.0)
+        log.put("a", b"y" * 4, 2.0)
+        dead = log.dead_pages
+        assert dead > 0
+        assert log.compact() == dead
+        assert log.dead_pages == 0
+        assert log.counters()["compactions"] == 1
+        assert log.counters()["reclaimed_pages"] == dead
+        assert log.read("a") == b"y" * 4
+
+    def test_space_gauges_are_recomputed_from_durable_bytes(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        log = make_log(path)
+        log.put("a", b"x" * PAGE, 1.0)
+        log.put("a", b"y" * 4, 2.0)
+        gauges = (log.live_pages, log.dead_pages)
+        log.close()
+        reopened = make_log(path)
+        assert (reopened.live_pages, reopened.dead_pages) == gauges
 
 
 GOLDEN = __file__.rsplit("/", 1)[0] + "/golden/chunklog_v1.bin"

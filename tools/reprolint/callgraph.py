@@ -68,33 +68,47 @@ AMBIGUOUS_METHOD_NAMES = frozenset(
     }
 )
 
-#: Exact callee texts bound to one known method, checked *before* any
+#: Exact callee texts bound to known methods, checked *before* any
 #: name-based resolution.  Two indirections need this:
 #:
 #: - ``self.evict_hook(...)`` is a stored callable, so name resolution
 #:   sees nothing — but the only installer is the tiered cache, whose
-#:   spill path acquires the ``tiered`` and ``chunklog`` locks (the
-#:   whole point of deriving the shard → tiered → chunklog order);
+#:   spill path acquires the ``tiered`` and ``l2`` locks (the whole
+#:   point of deriving the shard → tiered → l2 order);
 #: - ``self.log.<m>`` in the tiered cache denotes its owned
-#:   :class:`ChunkLog`, but several of the method names (``append``,
-#:   ``read``, ``clear``, ``peek``) are in
+#:   :class:`~repro.storage.l2.L2Backend`, but several of the method
+#:   names (``put``, ``get``, ``clear``, ``close``) are in
 #:   :data:`AMBIGUOUS_METHOD_NAMES` (resolve to nothing) or collide
 #:   with the sharded store's methods (resolve to a *false*
 #:   ``tiered -> shard`` edge, i.e. a fabricated cycle).
 #:
-#: Each text must be unambiguous project-wide: the attribute name is
-#: used by exactly one class.  R009's DECLARED_EDGES covers the hops
-#: the callgraph still cannot see (hook *installation* sites).
-HOOK_BINDINGS: Mapping[str, tuple[str, str]] = {
-    "self.evict_hook": ("TieredChunkCache", "_on_evict"),
-    "self.log.append": ("ChunkLog", "append"),
-    "self.log.read": ("ChunkLog", "read"),
-    "self.log.peek": ("ChunkLog", "peek"),
-    "self.log.clear": ("ChunkLog", "clear"),
-    "self.log.delete": ("ChunkLog", "delete"),
-    "self.log.drop": ("ChunkLog", "drop"),
-    "self.log.tokens": ("ChunkLog", "tokens"),
-    "self.log.entries": ("ChunkLog", "entries"),
+#: Each text maps to *every* implementation it may denote at runtime —
+#: for ``self.log`` that is both L2 backends (:class:`ChunkLog` and
+#: :class:`SqliteBackend`), so the derived lock graph covers whichever
+#: one the stack composes.  R009's DECLARED_EDGES covers the hops the
+#: callgraph still cannot see (hook *installation* sites).
+_L2_IMPLS = ("ChunkLog", "SqliteBackend")
+
+HOOK_BINDINGS: Mapping[str, tuple[tuple[str, str], ...]] = {
+    "self.evict_hook": (("TieredChunkCache", "_on_evict"),),
+    **{
+        f"self.log.{method}": tuple((cls, method) for cls in _L2_IMPLS)
+        for method in (
+            "put", "get", "peek", "delete", "drop", "clear",
+            "scan_keys", "tokens", "counters", "compact", "close",
+            "reopen", "benefit", "pages_for",
+        )
+    },
+    # ChunkLog-specific aliases kept for older call sites.
+    "self.log.append": (("ChunkLog", "append"),),
+    "self.log.read": (("ChunkLog", "read"),),
+    "self.log.entries": (("ChunkLog", "entries"),),
+    # sqlite3 connection calls inside the SqliteBackend: the receiver
+    # is a stdlib object, but ``execute`` collides with the query
+    # pipeline's entry point — name resolution would thread the whole
+    # engine lock graph under the ``l2`` lock.  Bind to nothing.
+    "conn.execute": (),
+    "self._conn.execute": (),
 }
 
 
@@ -150,7 +164,10 @@ class SymbolTable:
         """Candidate definitions a raw callee text may denote."""
         bound = HOOK_BINDINGS.get(callee)
         if bound is not None:
-            return tuple(self._by_class_method.get(bound, ()))
+            refs: list[FuncRef] = []
+            for pair in bound:
+                refs.extend(self._by_class_method.get(pair, ()))
+            return tuple(refs)
         terminal = callee.rsplit(".", 1)[-1]
         if not terminal.isidentifier():
             return ()

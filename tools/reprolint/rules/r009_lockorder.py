@@ -67,7 +67,10 @@ LOCK_LEVELS: Mapping[tuple[str, str], str] = {
     ("ChunkAdmitter", "_registry_lock"): "admitter",
     ("ChunkWorkEstimator", "_lock"): "estimator",
     ("TieredChunkCache", "_lock"): "tiered",
-    ("ChunkLog", "_lock"): "chunklog",
+    # Every L2 backend's internal lock shares one level: the tier
+    # boundary is the contract, not the concrete store.
+    ("ChunkLog", "_lock"): "l2",
+    ("SqliteBackend", "_lock"): "l2",
 }
 
 #: Decorators that acquire a level around the wrapped function.  The
@@ -84,7 +87,7 @@ DOCUMENTED_ORDER: tuple[tuple[str, str], ...] = (
     ("shard", "accounting"),
     ("estimator", "engine"),
     ("shard", "tiered"),
-    ("tiered", "chunklog"),
+    ("tiered", "l2"),
 )
 
 
@@ -113,9 +116,9 @@ DECLARED_EDGES: tuple[DeclaredEdge, ...] = (
     ),
     DeclaredEdge(
         "shard",
-        "chunklog",
+        "l2",
         "transitive continuation of shard -> tiered: the spill hook "
-        "appends to the chunk log while the shard lock is still held",
+        "writes to the L2 backend while the shard lock is still held",
     ),
 )
 
